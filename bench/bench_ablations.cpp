@@ -1,0 +1,88 @@
+// Ablations of DD-LRNA design choices called out in DESIGN.md §5, matching
+// the paper's hyperparameter discussion (§A.2: "generally w >= 10 and
+// r >= 32 yield good performance"):
+//   * LoRA rank sweep on VP (r = 0 means no LoRA: encoder + head only)
+//   * decision-transformer context window sweep on ABR
+//   * return-to-go conditioning target sweep on ABR (off = target 0)
+//
+// Not part of the default fleet (run_benches.sh) — run manually. Reduced
+// step budgets keep each arm comparable and CPU-affordable.
+#include <iostream>
+
+#include "support/bench_common.hpp"
+
+namespace bs = netllm::benchsupport;
+namespace vp = netllm::vp;
+namespace abr = netllm::abr;
+namespace ad = netllm::adapt;
+using netllm::core::Table;
+using netllm::core::mean;
+using netllm::core::print_banner;
+
+int main() {
+  std::cout << "Ablations — DD-LRNA design choices (reduced budgets)\n";
+
+  // ---- LoRA rank sweep (VP) ----
+  {
+    print_banner(std::cout, "LoRA rank r (VP, 400 adaptation steps)");
+    const auto train = vp::build_dataset(vp::vp_default_train(), 600);
+    auto setting = vp::vp_default_test();
+    setting.num_traces = 6;
+    Table t({"rank", "trainable params", "MAE"});
+    for (int rank : {0, 2, 4, 8}) {
+      auto llm = netllm::llm::build_pretrained("llama2-lite", 7, bs::kCacheDir);
+      netllm::core::Rng rng(static_cast<std::uint64_t>(100 + rank));
+      ad::VpAdapterConfig cfg;
+      cfg.use_lora = rank > 0;
+      cfg.lora_rank = std::max(rank, 1);
+      cfg.lora_alpha = 2.0f * cfg.lora_rank;
+      ad::VpAdapter adapter(llm, cfg, rng);
+      adapter.adapt(train, 400, 1e-3f, 101);
+      t.add_row({std::to_string(rank), std::to_string(adapter.trainable_param_count()),
+                 Table::num(mean(bs::eval_vp(adapter, setting, 120)))});
+    }
+    t.print(std::cout);
+  }
+
+  // ---- context window sweep (ABR) ----
+  {
+    print_banner(std::cout, "DT context window w (ABR, 600 adaptation steps)");
+    const auto pool = bs::abr_experience_pool();
+    auto setting = abr::abr_default_test();
+    setting.num_traces = 24;
+    Table t({"w", "QoE"});
+    for (int w : {2, 6, 10}) {
+      auto llm = netllm::llm::build_pretrained("llama2-lite", 7, bs::kCacheDir);
+      netllm::core::Rng rng(static_cast<std::uint64_t>(200 + w));
+      ad::AbrAdapterConfig cfg;
+      cfg.context_window = w;
+      cfg.target_return_boost = 1.1f;
+      ad::AbrAdapter adapter(llm, cfg, rng);
+      adapter.adapt(pool, 600, 1e-3f, 201);
+      t.add_row({std::to_string(w), Table::num(mean(bs::eval_abr(adapter, setting)))});
+    }
+    t.print(std::cout);
+  }
+
+  // ---- return-conditioning target sweep (ABR) ----
+  {
+    print_banner(std::cout, "return-conditioning target (ABR, shared 600-step model)");
+    const auto pool = bs::abr_experience_pool();
+    auto setting = abr::abr_default_test();
+    setting.num_traces = 24;
+    auto llm = netllm::llm::build_pretrained("llama2-lite", 7, bs::kCacheDir);
+    netllm::core::Rng rng(300);
+    ad::AbrAdapterConfig cfg;
+    cfg.target_return_boost = 1.0f;
+    ad::AbrAdapter adapter(llm, cfg, rng);
+    adapter.adapt(pool, 600, 1e-3f, 301);
+    const float best = adapter.target_return();
+    Table t({"target (x best pool return)", "QoE"});
+    for (float boost : {0.0f, 0.5f, 1.0f, 1.1f}) {
+      adapter.set_target_return(best * boost);
+      t.add_row({Table::num(boost, 1), Table::num(mean(bs::eval_abr(adapter, setting)))});
+    }
+    t.print(std::cout);
+  }
+  return 0;
+}

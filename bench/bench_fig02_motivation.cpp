@@ -1,0 +1,144 @@
+// Reproduces paper Fig. 2 (+ §A.1/Fig. 17): why naive adaptations fail.
+//   Left:   VP MAE — prompt-learning-adapted LLM vs TRACK vs NetLLM
+//           (1 s history -> 1 s prediction at 5 Hz, as in §A.1).
+//   Middle: fraction of valid answers — token prediction vs NetLLM head.
+//   Right:  per-answer generation latency vs the 1 s response deadline.
+//
+// Expected shape: prompt learning is worse than TRACK; NetLLM beats both;
+// token prediction is sometimes invalid and much slower than the head.
+#include <iostream>
+
+#include <filesystem>
+
+#include "core/timer.hpp"
+#include "support/bench_common.hpp"
+#include "netllm/prompt_vp.hpp"
+
+namespace bs = netllm::benchsupport;
+namespace vp = netllm::vp;
+namespace ad = netllm::adapt;
+using netllm::core::Table;
+using netllm::core::Timer;
+using netllm::core::mean;
+using netllm::core::print_banner;
+
+int main() {
+  std::cout << "Fig. 2 — prompt learning / token prediction vs NetLLM (VP task)\n";
+  // §A.1 setup: predict the next 1 s from the last 1 s, 5 Hz.
+  vp::VpSetting setting = vp::vp_default_test();
+  setting.hw_s = 1.0;
+  setting.pw_s = 1.0;
+  setting.num_traces = 8;
+  const auto test_data = vp::build_dataset(setting, 120);
+
+  vp::VpSetting train_setting = vp::vp_default_train();
+  train_setting.hw_s = 1.0;
+  train_setting.pw_s = 1.0;
+  const auto train_data = vp::build_dataset(train_setting, 800);
+
+  // --- Prompt learning: fine-tune the LLM's token path on prompt/answer
+  // text (OpenPrompt-style), then decode token by token. ---
+  auto prompt_llm = netllm::llm::build_pretrained("llama2-lite", 7, bs::kCacheDir);
+  ad::PromptVpModel prompt_model(prompt_llm);
+  const std::string prompt_cache = std::string(bs::kCacheDir) + "/fig02_promptllm_v1.bin";
+  bool prompt_cached = false;
+  if (std::filesystem::exists(prompt_cache)) {
+    try {
+      prompt_llm->load(prompt_cache);
+      prompt_cached = true;
+    } catch (const std::exception&) {
+    }
+  }
+  if (!prompt_cached) {
+    std::cerr << "[bench] fine-tuning prompt-learning baseline...\n";
+    prompt_model.fine_tune(train_data, 800, 1e-3f, 5);
+    try {
+      prompt_llm->save(prompt_cache);
+    } catch (const std::exception&) {
+    }
+  }
+
+  // --- TRACK and NetLLM, trained on the same windows. ---
+  netllm::core::Rng rng(3);
+  netllm::baselines::TrackModel track({}, rng);
+  const std::string track_cache = std::string(bs::kCacheDir) + "/fig02_track_v1.bin";
+  try {
+    track.load(track_cache);
+  } catch (const std::exception&) {
+    std::cerr << "[bench] training TRACK (1s/1s windows)...\n";
+    track.train(train_data, 1500, 3e-3f, 6);
+    try {
+      track.save(track_cache);
+    } catch (const std::exception&) {
+    }
+  }
+  auto netllm_llm = netllm::llm::build_pretrained("llama2-lite", 7, bs::kCacheDir);
+  ad::VpAdapterConfig vp_cfg;
+  vp_cfg.lora_rank = 4;
+  vp_cfg.lora_alpha = 8.0f;
+  netllm::core::Rng rng2(4);
+  ad::VpAdapter netllm_model(netllm_llm, vp_cfg, rng2);
+  const std::string netllm_cache = std::string(bs::kCacheDir) + "/fig02_netllm_v1.bin";
+  try {
+    netllm_model.load(netllm_cache);
+  } catch (const std::exception&) {
+    std::cerr << "[bench] adapting NetLLM (1s/1s windows)...\n";
+    netllm_model.adapt(train_data, 600, 1e-3f, 7);
+    try {
+      netllm_model.save(netllm_cache);
+    } catch (const std::exception&) {
+    }
+  }
+
+  // --- Left: MAE. ---
+  int valid = 0;
+  double prompt_latency = 0.0;
+  std::vector<double> prompt_mae;
+  for (const auto& s : test_data) {
+    Timer t;
+    const auto pred = prompt_model.predict(s.history, s.saliency, static_cast<int>(s.future.size()));
+    prompt_latency += t.elapsed_s();
+    valid += prompt_model.last_answer_valid() ? 1 : 0;
+    prompt_mae.push_back(vp::viewport_mae(pred, s.future));
+  }
+  prompt_latency /= static_cast<double>(test_data.size());
+
+  double netllm_latency = 0.0;
+  std::vector<double> netllm_mae;
+  for (const auto& s : test_data) {
+    Timer t;
+    const auto pred = netllm_model.predict(s.history, s.saliency, static_cast<int>(s.future.size()));
+    netllm_latency += t.elapsed_s();
+    netllm_mae.push_back(vp::viewport_mae(pred, s.future));
+  }
+  netllm_latency /= static_cast<double>(test_data.size());
+  const auto track_mae = vp::evaluate_mae(track, test_data);
+
+  print_banner(std::cout, "left: MAE (deg, lower better)");
+  Table left({"method", "MAE", "vs TRACK %"});
+  const double track_mean = mean(track_mae);
+  left.add_row({"Prompt learning (token path)", Table::num(mean(prompt_mae)),
+                Table::num(netllm::core::improvement_pct(mean(prompt_mae), track_mean), 1)});
+  left.add_row({"TRACK", Table::num(track_mean), "0.0"});
+  left.add_row({"NetLLM (multimodal encoder + head)", Table::num(mean(netllm_mae)),
+                Table::num(netllm::core::improvement_pct(mean(netllm_mae), track_mean), 1)});
+  left.print(std::cout);
+
+  print_banner(std::cout, "middle: fraction of valid answers");
+  Table mid({"method", "valid %"});
+  mid.add_row({"Token prediction (LM head)",
+               Table::num(100.0 * valid / static_cast<double>(test_data.size()), 1)});
+  mid.add_row({"NetLLM (networking head)", "100.0"});
+  mid.print(std::cout);
+
+  print_banner(std::cout, "right: per-answer generation latency (1 s deadline)");
+  Table right({"method", "latency s", "inferences/answer"});
+  right.add_row({"Token prediction (LM head)", Table::num(prompt_latency, 4),
+                 ">= 1 per generated token"});
+  right.add_row({"NetLLM (networking head)", Table::num(netllm_latency, 4),
+                 "1 per predicted step"});
+  right.print(std::cout);
+  std::cout << "token-path / head latency ratio: "
+            << Table::num(prompt_latency / std::max(netllm_latency, 1e-9), 1) << "x\n";
+  return 0;
+}

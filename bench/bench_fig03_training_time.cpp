@@ -1,0 +1,123 @@
+// Reproduces paper Fig. 3: fine-tuning the LLM for RL tasks with standard
+// online RL spends a large share of wall time interacting with the
+// environment to collect experience; the DD-LRNA data-driven pipeline
+// collects the dataset once and removes that share.
+//
+// We run a scaled-down iteration budget (the paper uses 10000/100
+// iterations on A100s) and report the same quantities: interaction time,
+// optimisation time, their split, and DD-LRNA's total for the same number
+// of gradient iterations.
+#include <iostream>
+
+#include "core/timer.hpp"
+#include "support/bench_common.hpp"
+#include "netllm/costs.hpp"
+
+namespace bs = netllm::benchsupport;
+namespace abr = netllm::abr;
+namespace cjs = netllm::cjs;
+namespace ad = netllm::adapt;
+using netllm::core::Table;
+using netllm::core::Timer;
+using netllm::core::print_banner;
+
+int main() {
+  std::cout << "Fig. 3 — standard-RL vs DD-LRNA training-time split (scaled iteration budget)\n";
+
+  // ---- ABR ----
+  {
+    const int iterations = 20;  // paper: 10000; same per-iteration structure
+    auto llm = netllm::llm::build_pretrained("llama2-lite", 7, bs::kCacheDir);
+    netllm::core::Rng rng(5);
+    ad::AbrAdapterConfig cfg;
+    cfg.lora_rank = 8;
+    cfg.lora_alpha = 16.0f;
+    ad::AbrAdapter online_adapter(llm, cfg, rng);
+    const auto setting = abr::abr_default_train();
+    const auto video = abr::video_for(setting);
+    const auto traces = abr::traces_for(setting);
+    std::cerr << "[bench] ABR standard online RL (" << iterations << " iterations)...\n";
+    const auto online = ad::run_online_rl_abr(online_adapter, video, traces, iterations,
+                                              1e-3f, 6);
+
+    std::cerr << "[bench] ABR DD-LRNA (collect once + offline steps)...\n";
+    Timer collect_timer;
+    netllm::baselines::Bba collector;  // any existing algorithm (paper §4.3)
+    auto pool = ad::collect_abr_experience(collector, video, traces, 1, 0.1, 7);
+    const double collect_s = collect_timer.elapsed_s();
+    auto llm2 = netllm::llm::build_pretrained("llama2-lite", 7, bs::kCacheDir);
+    netllm::core::Rng rng2(8);
+    ad::AbrAdapter offline_adapter(llm2, cfg, rng2);
+    Timer offline_timer;
+    offline_adapter.adapt(pool, 2 * iterations, 1e-3f, 9);  // same gradient budget
+    const double offline_s = offline_timer.elapsed_s();
+
+    print_banner(std::cout, "ABR");
+    Table t({"pipeline", "interaction s", "optimisation s", "total s", "interaction %"});
+    t.add_row({"standard RL", Table::num(online.interaction_s, 2),
+               Table::num(online.optimization_s, 2), Table::num(online.total_s(), 2),
+               Table::num(100.0 * online.interaction_s / online.total_s(), 1)});
+    t.add_row({"DD-LRNA (offline)", Table::num(collect_s, 2) + " (once)",
+               Table::num(offline_s, 2), Table::num(collect_s + offline_s, 2),
+               Table::num(100.0 * collect_s / (collect_s + offline_s), 1)});
+    t.print(std::cout);
+    std::cout << "training-time reduction: "
+              << Table::num(netllm::core::reduction_pct(collect_s + offline_s, online.total_s()), 1)
+              << "% (paper reports 51.1% for ABR)\n";
+  }
+
+  // ---- CJS ----
+  {
+    const int iterations = 4;  // paper: 100; CJS episodes are long
+    auto llm = netllm::llm::build_pretrained("llama2-lite", 7, bs::kCacheDir);
+    netllm::core::Rng rng(15);
+    ad::CjsAdapterConfig cfg;
+    cfg.lora_rank = 8;
+    cfg.lora_alpha = 16.0f;
+    ad::CjsAdapter online_adapter(llm, cfg, rng);
+    auto train_cfg = cjs::cjs_default_train();
+
+    std::cerr << "[bench] CJS standard online RL (" << iterations << " iterations)...\n";
+    netllm::core::StopWatch interact, optimize;
+    netllm::core::Rng it_rng(16);
+    for (int it = 0; it < iterations; ++it) {
+      interact.start();
+      auto episode_cfg = train_cfg;
+      episode_cfg.seed = it_rng.next_u64();
+      std::vector<cjs::Decision> decisions;
+      cjs::run_workload(episode_cfg, online_adapter, &decisions);  // LLM-in-the-loop rollout
+      interact.stop();
+      optimize.start();
+      std::vector<ad::CjsTrajectory> fresh{std::move(decisions)};
+      online_adapter.adapt(fresh, 2, 1e-3f, it_rng.next_u64());
+      optimize.stop();
+    }
+
+    std::cerr << "[bench] CJS DD-LRNA (collect once + offline steps)...\n";
+    Timer collect_timer;
+    netllm::baselines::FifoScheduler collector;
+    auto pool = ad::collect_cjs_experience(collector, train_cfg, iterations, 17);
+    const double collect_s = collect_timer.elapsed_s();
+    auto llm2 = netllm::llm::build_pretrained("llama2-lite", 7, bs::kCacheDir);
+    netllm::core::Rng rng2(18);
+    ad::CjsAdapter offline_adapter(llm2, cfg, rng2);
+    Timer offline_timer;
+    offline_adapter.adapt(pool, 2 * iterations, 1e-3f, 19);
+    const double offline_s = offline_timer.elapsed_s();
+
+    print_banner(std::cout, "CJS");
+    const double online_total = interact.total_s() + optimize.total_s();
+    Table t({"pipeline", "interaction s", "optimisation s", "total s", "interaction %"});
+    t.add_row({"standard RL", Table::num(interact.total_s(), 2),
+               Table::num(optimize.total_s(), 2), Table::num(online_total, 2),
+               Table::num(100.0 * interact.total_s() / online_total, 1)});
+    t.add_row({"DD-LRNA (offline)", Table::num(collect_s, 2) + " (once)",
+               Table::num(offline_s, 2), Table::num(collect_s + offline_s, 2),
+               Table::num(100.0 * collect_s / (collect_s + offline_s), 1)});
+    t.print(std::cout);
+    std::cout << "training-time reduction: "
+              << Table::num(netllm::core::reduction_pct(collect_s + offline_s, online_total), 1)
+              << "% (paper reports 37.7% for CJS)\n";
+  }
+  return 0;
+}

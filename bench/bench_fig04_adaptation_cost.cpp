@@ -1,0 +1,93 @@
+// Reproduces paper Fig. 4: full-parameter fine-tuning vs DD-LRNA low-rank
+// adaptation on the VP task — training-state memory, wall time for the same
+// step budget, and the trainable-parameter fraction (paper: LoRA trains
+// 0.31% of parameters, cutting 60.9% of GPU memory and 15.1% of time).
+//
+// Memory here is the measured training-state footprint (parameters +
+// gradients + Adam moments) plus the peak activation floats observed by the
+// tensor allocator during a training step.
+#include <iostream>
+
+#include "core/timer.hpp"
+#include "support/bench_common.hpp"
+#include "netllm/costs.hpp"
+
+namespace bs = netllm::benchsupport;
+namespace vp = netllm::vp;
+namespace ad = netllm::adapt;
+namespace nt = netllm::tensor;
+using netllm::core::Table;
+using netllm::core::Timer;
+using netllm::core::print_banner;
+
+namespace {
+
+struct ArmResult {
+  ad::MemoryFootprint footprint;
+  std::int64_t peak_activation_bytes = 0;
+  double train_s = 0.0;
+  double final_loss = 0.0;
+};
+
+ArmResult run_arm(bool full_finetune, std::span<const vp::VpSample> data, int steps) {
+  auto llm = netllm::llm::build_pretrained("llama2-lite", 7, bs::kCacheDir);
+  netllm::core::Rng rng(full_finetune ? 33 : 34);
+  ad::VpAdapterConfig cfg;
+  cfg.lora_rank = 4;
+  cfg.lora_alpha = 8.0f;
+  cfg.use_lora = !full_finetune;
+  cfg.train_backbone = full_finetune;
+  ad::VpAdapter adapter(llm, cfg, rng);
+
+  ArmResult result;
+  const auto total_params = llm->param_count() + adapter.param_count();
+  result.footprint = ad::measure_footprint(total_params, adapter.adapt_parameters());
+  nt::reset_peak_float_count();
+  const auto before_floats = nt::live_float_count();
+  Timer t;
+  auto stats = adapter.adapt(data, steps, 1e-3f, 35);
+  result.train_s = t.elapsed_s();
+  result.final_loss = stats.final_loss;
+  result.peak_activation_bytes =
+      (nt::peak_float_count() - before_floats) * static_cast<std::int64_t>(sizeof(float));
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Fig. 4 — full-parameter fine-tune vs DD-LRNA (VP task)\n";
+  const auto data = vp::build_dataset(vp::vp_default_train(), 600);
+  const int steps = 150;  // same gradient budget for both arms
+  std::cerr << "[bench] full-parameter fine-tune arm...\n";
+  const auto full = run_arm(true, data, steps);
+  std::cerr << "[bench] DD-LRNA low-rank arm...\n";
+  const auto lora = run_arm(false, data, steps);
+
+  print_banner(std::cout, "adaptation costs (" + std::to_string(steps) + " steps)");
+  auto mb = [](std::int64_t bytes) { return Table::num(static_cast<double>(bytes) / 1e6, 3); };
+  Table t({"arm", "trainable params", "trainable %", "train-state MB", "peak activ. MB",
+           "train s", "final loss"});
+  t.add_row({"full fine-tune", std::to_string(full.footprint.trainable_params),
+             Table::num(100.0 * full.footprint.trainable_fraction(), 2),
+             mb(full.footprint.training_state_bytes()), mb(full.peak_activation_bytes),
+             Table::num(full.train_s, 2), Table::num(full.final_loss, 4)});
+  t.add_row({"DD-LRNA (LoRA)", std::to_string(lora.footprint.trainable_params),
+             Table::num(100.0 * lora.footprint.trainable_fraction(), 2),
+             mb(lora.footprint.training_state_bytes()), mb(lora.peak_activation_bytes),
+             Table::num(lora.train_s, 2), Table::num(lora.final_loss, 4)});
+  t.print(std::cout);
+
+  const double mem_red = netllm::core::reduction_pct(
+      static_cast<double>(lora.footprint.training_state_bytes() + lora.peak_activation_bytes),
+      static_cast<double>(full.footprint.training_state_bytes() + full.peak_activation_bytes));
+  const double time_red = netllm::core::reduction_pct(lora.train_s, full.train_s);
+  std::cout << "memory reduction:  " << Table::num(mem_red, 1)
+            << "%  (paper: 60.9% on Llama2-7B)\n"
+            << "time reduction:    " << Table::num(time_red, 1)
+            << "%  (paper: 15.1%)\n"
+            << "trainable share:   " << Table::num(100.0 * lora.footprint.trainable_fraction(), 2)
+            << "%  (paper: 0.31% — the lite backbone is ~5 orders smaller, so the\n"
+            << "                    encoder/head/LoRA share is proportionally larger)\n";
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Reproduces paper Fig. 10: NetLLM-adapted Llama2 vs baselines on the
+// default Table 2/3/4 settings — mean metric bars (10a) and CDF series
+// (10b-d) for VP (MAE), ABR (QoE) and CJS (JCT).
+//
+// Expected shape: NetLLM best on every task; learning-based baselines
+// (TRACK / GENET / Decima) beat the rule-based ones.
+#include <iostream>
+
+#include "support/bench_common.hpp"
+
+namespace bs = netllm::benchsupport;
+namespace vp = netllm::vp;
+namespace abr = netllm::abr;
+namespace cjs = netllm::cjs;
+using netllm::core::Table;
+using netllm::core::cdf_points;
+using netllm::core::print_banner;
+
+namespace {
+
+void print_cdf(const std::string& title,
+               const std::vector<std::pair<std::string, std::vector<double>>>& rows) {
+  print_banner(std::cout, title + " (CDF: value @ 10/25/50/75/90th pct)");
+  Table table({"method", "p10", "p25", "p50", "p75", "p90"});
+  for (const auto& [name, values] : rows) {
+    table.add_row({name, Table::num(netllm::core::percentile(values, 10)),
+                   Table::num(netllm::core::percentile(values, 25)),
+                   Table::num(netllm::core::percentile(values, 50)),
+                   Table::num(netllm::core::percentile(values, 75)),
+                   Table::num(netllm::core::percentile(values, 90))});
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Fig. 10 — general evaluation on default settings (Tables 2/3/4)\n";
+
+  // ---- VP (Fig. 10a left + 10b) ----
+  {
+    auto netllm_model = bs::adapted_vp();
+    auto track = bs::trained_track();
+    netllm::baselines::LinearRegressionVp lr;
+    netllm::baselines::VelocityVp velocity;
+    const auto setting = vp::vp_default_test();
+    std::vector<std::pair<std::string, std::vector<double>>> rows;
+    rows.emplace_back("NetLLM (Llama2)", bs::eval_vp(*netllm_model, setting));
+    rows.emplace_back("TRACK", bs::eval_vp(*track, setting));
+    rows.emplace_back("LR", bs::eval_vp(lr, setting));
+    rows.emplace_back("Velocity", bs::eval_vp(velocity, setting));
+    bs::print_metric_summary("VP, default test — MAE (deg, lower better)", rows, "MAE", false);
+    print_cdf("VP MAE", rows);
+  }
+
+  // ---- ABR (Fig. 10a middle + 10c) ----
+  {
+    auto netllm_policy = bs::adapted_abr();
+    auto genet = bs::trained_genet();
+    netllm::baselines::Bba bba;
+    netllm::baselines::Mpc mpc;
+    const auto setting = abr::abr_default_test();
+    std::vector<std::pair<std::string, std::vector<double>>> rows;
+    rows.emplace_back("NetLLM (Llama2)", bs::eval_abr(*netllm_policy, setting));
+    rows.emplace_back("GENET", bs::eval_abr(*genet, setting));
+    rows.emplace_back("MPC", bs::eval_abr(mpc, setting));
+    rows.emplace_back("BBA", bs::eval_abr(bba, setting));
+    bs::print_metric_summary("ABR, default test — QoE (higher better)", rows, "QoE", true);
+    print_cdf("ABR QoE", rows);
+  }
+
+  // ---- CJS (Fig. 10a right + 10d) ----
+  {
+    auto netllm_sched = bs::adapted_cjs();
+    auto decima = bs::trained_decima();
+    netllm::baselines::FifoScheduler fifo;
+    netllm::baselines::FairScheduler fair;
+    const auto setting = cjs::cjs_default_test();
+    std::cout << "\n(CJS workloads scaled by " << setting.scale
+              << " for CPU budget: " << setting.scaled_jobs() << " jobs, "
+              << setting.scaled_executors() << " executors)\n";
+    std::vector<std::pair<std::string, std::vector<double>>> rows;
+    rows.emplace_back("NetLLM (Llama2)", bs::eval_cjs(*netllm_sched, setting));
+    rows.emplace_back("Decima", bs::eval_cjs(*decima, setting));
+    rows.emplace_back("Fair", bs::eval_cjs(fair, setting));
+    rows.emplace_back("FIFO", bs::eval_cjs(fifo, setting));
+    bs::print_metric_summary("CJS, default test — JCT (s, lower better)", rows, "JCT", false);
+    print_cdf("CJS JCT", rows);
+  }
+
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Reproduces paper Fig. 11: generalization to unseen settings. Every model
+// is trained/adapted ONLY on the default training setting, then evaluated
+// on Table 2/3/4 "unseen setting 1-3" rows. Output per setting: box-plot
+// five-number summaries + averages (the paper's box glyphs).
+//
+// Expected shape: NetLLM stays on top everywhere; learning-based baselines
+// degrade — in particular GENET drops below MPC on ABR unseen settings.
+#include <iostream>
+
+#include "support/bench_common.hpp"
+
+namespace bs = netllm::benchsupport;
+namespace vp = netllm::vp;
+namespace abr = netllm::abr;
+namespace cjs = netllm::cjs;
+using netllm::core::Table;
+using netllm::core::box_summary;
+using netllm::core::print_banner;
+
+namespace {
+
+void print_boxes(const std::string& title,
+                 const std::vector<std::pair<std::string, std::vector<double>>>& rows) {
+  print_banner(std::cout, title);
+  Table table({"method", "min", "q1", "median", "q3", "max", "avg"});
+  for (const auto& [name, values] : rows) {
+    const auto b = box_summary(values);
+    table.add_row({name, Table::num(b.min), Table::num(b.q1), Table::num(b.median),
+                   Table::num(b.q3), Table::num(b.max), Table::num(b.avg)});
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Fig. 11 — generalization on unseen settings (Tables 2/3/4)\n";
+
+  // ---- VP ----
+  {
+    auto netllm_model = bs::adapted_vp();
+    auto track = bs::trained_track();
+    netllm::baselines::LinearRegressionVp lr;
+    netllm::baselines::VelocityVp velocity;
+    for (int which = 1; which <= 3; ++which) {
+      const auto setting = vp::vp_unseen(which);
+      std::vector<std::pair<std::string, std::vector<double>>> rows;
+      rows.emplace_back("NetLLM (Llama2)", bs::eval_vp(*netllm_model, setting, 160));
+      rows.emplace_back("TRACK", bs::eval_vp(*track, setting, 160));
+      rows.emplace_back("LR", bs::eval_vp(lr, setting, 160));
+      rows.emplace_back("Velocity", bs::eval_vp(velocity, setting, 160));
+      print_boxes("VP " + setting.name + " (" + vp::dataset_name(setting.dataset) +
+                      ", hw=" + Table::num(setting.hw_s, 0) + "s, pw=" +
+                      Table::num(setting.pw_s, 0) + "s) — MAE deg, lower better",
+                  rows);
+    }
+  }
+
+  // ---- ABR ----
+  {
+    auto netllm_policy = bs::adapted_abr();
+    auto genet = bs::trained_genet();
+    netllm::baselines::Bba bba;
+    netllm::baselines::Mpc mpc;
+    for (int which = 1; which <= 3; ++which) {
+      const auto setting = abr::abr_unseen(which);
+      std::vector<std::pair<std::string, std::vector<double>>> rows;
+      rows.emplace_back("NetLLM (Llama2)", bs::eval_abr(*netllm_policy, setting));
+      rows.emplace_back("GENET", bs::eval_abr(*genet, setting));
+      rows.emplace_back("MPC", bs::eval_abr(mpc, setting));
+      rows.emplace_back("BBA", bs::eval_abr(bba, setting));
+      print_boxes("ABR " + setting.name + " (" + setting.video_name + " x " +
+                      abr::preset_name(setting.traces) + ") — QoE, higher better",
+                  rows);
+    }
+  }
+
+  // ---- CJS ----
+  {
+    auto netllm_sched = bs::adapted_cjs();
+    auto decima = bs::trained_decima();
+    netllm::baselines::FifoScheduler fifo;
+    netllm::baselines::FairScheduler fair;
+    for (int which = 1; which <= 3; ++which) {
+      const auto setting = cjs::cjs_unseen(which);
+      std::vector<std::pair<std::string, std::vector<double>>> rows;
+      rows.emplace_back("NetLLM (Llama2)", bs::eval_cjs(*netllm_sched, setting));
+      rows.emplace_back("Decima", bs::eval_cjs(*decima, setting));
+      rows.emplace_back("Fair", bs::eval_cjs(fair, setting));
+      rows.emplace_back("FIFO", bs::eval_cjs(fifo, setting));
+      print_boxes("CJS " + setting.name + " (" + std::to_string(setting.num_job_requests) +
+                      " jobs, " + std::to_string(setting.executor_units_k) +
+                      "k exec units; scaled x" + Table::num(setting.scale, 2) +
+                      ") — JCT s, lower better",
+                  rows);
+    }
+  }
+
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Reproduces paper Fig. 12: ABR QoE factor breakdown on the unseen
+// settings. For each method we report the three QoE components (bitrate /
+// rebuffering / bitrate change per chunk), both raw and min-max normalised
+// across methods as the paper plots them.
+//
+// Expected shape: GENET mis-adapts on unseen traffic (high rebuffering on
+// unseen setting 2's fast fluctuations), while NetLLM balances all three
+// factors and keeps the top QoE.
+#include <iostream>
+
+#include "support/bench_common.hpp"
+
+namespace bs = netllm::benchsupport;
+namespace abr = netllm::abr;
+using netllm::core::Table;
+using netllm::core::print_banner;
+
+namespace {
+
+struct Breakdown {
+  std::string method;
+  double qoe = 0, bitrate = 0, rebuffer = 0, change = 0;
+};
+
+Breakdown run_breakdown(const std::string& name, abr::AbrPolicy& policy,
+                        const abr::AbrSetting& setting) {
+  const auto video = abr::video_for(setting);
+  const auto traces = abr::traces_for(setting);
+  Breakdown b;
+  b.method = name;
+  for (const auto& trace : traces) {
+    const auto stats = abr::run_session(policy, video, trace);
+    b.qoe += stats.mean_qoe;
+    b.bitrate += stats.mean_bitrate_mbps;
+    b.rebuffer += stats.mean_rebuffer_s;
+    b.change += stats.mean_change_mbps;
+  }
+  const auto n = static_cast<double>(traces.size());
+  b.qoe /= n;
+  b.bitrate /= n;
+  b.rebuffer /= n;
+  b.change /= n;
+  return b;
+}
+
+void print_breakdowns(const abr::AbrSetting& setting, const std::vector<Breakdown>& rows) {
+  print_banner(std::cout, "ABR " + setting.name + " (" + setting.video_name + " x " +
+                              abr::preset_name(setting.traces) + ")");
+  Table raw({"method", "QoE", "bitrate Mbps (hi better)", "rebuffer s/chunk (lo better)",
+             "change Mbps (lo better)"});
+  for (const auto& b : rows) {
+    raw.add_row({b.method, Table::num(b.qoe), Table::num(b.bitrate), Table::num(b.rebuffer),
+                 Table::num(b.change)});
+  }
+  raw.print(std::cout);
+
+  // Min-max normalised view, as in the paper's bar groups.
+  auto norm = [&](auto get) {
+    std::vector<double> vals;
+    for (const auto& b : rows) vals.push_back(get(b));
+    return netllm::core::min_max_normalise(vals);
+  };
+  const auto nb = norm([](const Breakdown& b) { return b.bitrate; });
+  const auto nr = norm([](const Breakdown& b) { return b.rebuffer; });
+  const auto nc = norm([](const Breakdown& b) { return b.change; });
+  Table normed({"method", "bitrate^", "rebuffer_", "change_"});
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    normed.add_row({rows[i].method, Table::num(nb[i], 2), Table::num(nr[i], 2),
+                    Table::num(nc[i], 2)});
+  }
+  std::cout << "min-max normalised (^ higher better, _ lower better):\n";
+  normed.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Fig. 12 — ABR QoE factor breakdown on unseen settings\n";
+  auto netllm_policy = bs::adapted_abr();
+  auto genet = bs::trained_genet();
+  netllm::baselines::Bba bba;
+  netllm::baselines::Mpc mpc;
+  for (int which = 1; which <= 3; ++which) {
+    const auto setting = abr::abr_unseen(which);
+    std::vector<Breakdown> rows;
+    rows.push_back(run_breakdown("NetLLM (Llama2)", *netllm_policy, setting));
+    rows.push_back(run_breakdown("GENET", *genet, setting));
+    rows.push_back(run_breakdown("MPC", mpc, setting));
+    rows.push_back(run_breakdown("BBA", bba, setting));
+    print_breakdowns(setting, rows);
+  }
+  return 0;
+}

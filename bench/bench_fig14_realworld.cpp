@@ -1,0 +1,45 @@
+// Reproduces paper Fig. 14: "real-world" ABR tests. The paper runs a
+// dash.js client against an Apache server through Mahimahi with an 80 ms
+// RTT over broadband and cellular traces; our packet-lite emulator adds the
+// same per-chunk RTT on top of trace families the models never saw in
+// training (see DESIGN.md substitution table).
+//
+// Expected shape: NetLLM wins on both network families.
+#include <iostream>
+
+#include "support/bench_common.hpp"
+
+namespace bs = netllm::benchsupport;
+namespace abr = netllm::abr;
+using netllm::core::Table;
+using netllm::core::mean;
+using netllm::core::print_banner;
+
+int main() {
+  std::cout << "Fig. 14 — real-world client/server ABR emulation (80 ms RTT)\n";
+  auto netllm_policy = bs::adapted_abr();
+  auto genet = bs::trained_genet();
+  netllm::baselines::Bba bba;
+  netllm::baselines::Mpc mpc;
+
+  abr::SimConfig emulated;
+  emulated.rtt_s = 0.08;  // Mahimahi link RTT in the paper's testbed
+
+  const auto video = abr::VideoModel::envivio(777);
+  for (auto preset : {abr::TracePreset::kBroadband, abr::TracePreset::kCellular}) {
+    const auto traces = abr::generate_traces(preset, 40, 900 + static_cast<int>(preset));
+    print_banner(std::cout, "network: " + abr::preset_name(preset) + " — QoE, higher better");
+    Table t({"method", "mean QoE", "p10", "p90"});
+    auto row = [&](const std::string& name, abr::AbrPolicy& policy) {
+      const auto qoe = abr::evaluate_qoe(policy, video, traces, emulated);
+      t.add_row({name, Table::num(mean(qoe)), Table::num(netllm::core::percentile(qoe, 10)),
+                 Table::num(netllm::core::percentile(qoe, 90))});
+    };
+    row("NetLLM (Llama2)", *netllm_policy);
+    row("GENET", *genet);
+    row("MPC", mpc);
+    row("BBA", bba);
+    t.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Reproduces paper Fig. 15: NetLLM adapting different LLMs (Llama2, OPT,
+// Mistral, and the multimodal LLaVa — all "7B-class") on the VP and ABR
+// tasks, against the best learning-based baselines.
+//
+// Expected shape: every adapted LLM beats the state-of-the-art baseline
+// (compatibility), and the multimodal LLaVa is not better than the
+// single-modal Llama2 (its image-text fusion pre-training does not help
+// networking).
+#include <iostream>
+
+#include "support/bench_common.hpp"
+
+namespace bs = netllm::benchsupport;
+namespace vp = netllm::vp;
+namespace abr = netllm::abr;
+using netllm::core::Table;
+using netllm::core::mean;
+using netllm::core::print_banner;
+
+int main() {
+  std::cout << "Fig. 15 — different LLMs adapted by NetLLM (VP + ABR)\n";
+  const std::vector<std::string> llms = {"llama2-lite", "opt-lite-6.7b", "mistral-lite",
+                                         "llava-lite"};
+
+  {
+    print_banner(std::cout, "VP (MAE deg, lower better)");
+    auto setting = vp::vp_default_test();
+    setting.num_traces = 8;  // lighter eval for the model sweep
+    Table t({"model", "MAE"});
+    for (const auto& name : llms) {
+      bs::NetllmVariant variant;
+      variant.llm = name;
+      variant.adapt_steps = -1;  // full VP budget for every model
+      t.add_row({netllm::llm::zoo_entry(name).display,
+                 Table::num(mean(bs::eval_vp(*bs::adapted_vp(variant), setting, 160)))});
+    }
+    auto track = bs::trained_track();
+    t.add_row({"TRACK (baseline)", Table::num(mean(bs::eval_vp(*track, setting)))});
+    t.print(std::cout);
+  }
+  {
+    print_banner(std::cout, "ABR (QoE, higher better)");
+    auto setting = abr::abr_default_test();
+    setting.num_traces = 24;  // lighter eval for the model sweep
+    Table t({"model", "QoE"});
+    for (const auto& name : llms) {
+      bs::NetllmVariant variant;
+      variant.llm = name;
+      variant.adapt_steps = name == "llama2-lite" ? -1 : 2000;
+      t.add_row({netllm::llm::zoo_entry(name).display,
+                 Table::num(mean(bs::eval_abr(*bs::adapted_abr(variant), setting)))});
+    }
+    auto genet = bs::trained_genet();
+    t.add_row({"GENET (baseline)", Table::num(mean(bs::eval_abr(*genet, setting)))});
+    t.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Reproduces paper Fig. 16: impact of LLM size on adaptation quality, using
+// the OPT ladder (0.35B / 1.3B / 2.7B / 6.7B class) on VP and ABR.
+//
+// Expected shape: models above the "1B" class match or beat the advanced
+// learning-based baselines; the smallest model falls clearly behind on ABR.
+#include <iostream>
+
+#include "support/bench_common.hpp"
+
+namespace bs = netllm::benchsupport;
+namespace vp = netllm::vp;
+namespace abr = netllm::abr;
+using netllm::core::Table;
+using netllm::core::mean;
+using netllm::core::print_banner;
+
+int main() {
+  std::cout << "Fig. 16 — impact of LLM size (OPT ladder)\n";
+  const std::vector<std::string> ladder = {"opt-lite-0.35b", "opt-lite-1.3b", "opt-lite-2.7b",
+                                           "opt-lite-6.7b"};
+
+  print_banner(std::cout, "VP (MAE deg, lower better) / ABR (QoE, higher better)");
+  Table t({"model", "params (lite)", "VP MAE", "ABR QoE"});
+  auto vp_setting = vp::vp_default_test();
+  vp_setting.num_traces = 8;
+  auto abr_setting = abr::abr_default_test();
+  abr_setting.num_traces = 24;
+  for (const auto& name : ladder) {
+    bs::NetllmVariant variant;
+    variant.llm = name;
+    variant.adapt_steps = -1;  // full VP budget
+    const auto entry = netllm::llm::zoo_entry(name);
+    auto vp_model = bs::adapted_vp(variant);
+    variant.adapt_steps = 2000;
+    auto abr_model = bs::adapted_abr(variant);
+    t.add_row({entry.display, std::to_string(vp_model->llm().param_count()),
+               Table::num(mean(bs::eval_vp(*vp_model, vp_setting, 160))),
+               Table::num(mean(bs::eval_abr(*abr_model, abr_setting)))});
+  }
+  auto track = bs::trained_track();
+  auto genet = bs::trained_genet();
+  t.add_row({"baseline (TRACK / GENET)", "-",
+             Table::num(mean(bs::eval_vp(*track, vp_setting))),
+             Table::num(mean(bs::eval_abr(*genet, abr_setting)))});
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,97 @@
+// google-benchmark micro-kernels for the numeric substrate: the matmul,
+// attention-softmax, layer-norm and conv kernels that dominate MiniGPT
+// training/inference time, plus one end-to-end LLM forward. Useful when
+// optimising the tensor library — the figure benches are too coarse for
+// kernel work.
+#include <benchmark/benchmark.h>
+
+#include "core/rng.hpp"
+#include "llm/minigpt.hpp"
+#include "llm/tokenizer.hpp"
+#include "tensor/tensor.hpp"
+
+namespace nt = netllm::tensor;
+using netllm::core::Rng;
+
+namespace {
+
+void BM_Matmul(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(1);
+  auto a = nt::Tensor::randn({n, n}, rng, 1.0f);
+  auto b = nt::Tensor::randn({n, n}, rng, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nt::matmul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_MatmulBackward(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(2);
+  auto a = nt::Tensor::randn({n, n}, rng, 1.0f, true);
+  auto b = nt::Tensor::randn({n, n}, rng, 1.0f, true);
+  for (auto _ : state) {
+    auto loss = nt::mean_all(nt::matmul(a, b));
+    loss.backward();
+    a.zero_grad();
+    b.zero_grad();
+  }
+}
+BENCHMARK(BM_MatmulBackward)->Arg(32)->Arg(64);
+
+void BM_CausalSoftmax(benchmark::State& state) {
+  const auto t = state.range(0);
+  Rng rng(3);
+  auto scores = nt::Tensor::randn({t, t}, rng, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nt::causal_masked_softmax(scores));
+  }
+}
+BENCHMARK(BM_CausalSoftmax)->Arg(64)->Arg(112);
+
+void BM_LayerNorm(benchmark::State& state) {
+  Rng rng(4);
+  auto x = nt::Tensor::randn({112, 64}, rng, 1.0f);
+  auto gamma = nt::Tensor::full({64}, 1.0f);
+  auto beta = nt::Tensor::zeros({64});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nt::layer_norm_rows(x, gamma, beta));
+  }
+}
+BENCHMARK(BM_LayerNorm);
+
+void BM_Conv1d(benchmark::State& state) {
+  Rng rng(5);
+  auto x = nt::Tensor::randn({1, 8}, rng, 1.0f);
+  auto w = nt::Tensor::randn({8, 1, 3}, rng, 1.0f);
+  auto b = nt::Tensor::zeros({8});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nt::conv1d(x, w, b, 1));
+  }
+}
+BENCHMARK(BM_Conv1d);
+
+void BM_MiniGptForward(benchmark::State& state) {
+  const auto seq = state.range(0);
+  netllm::llm::MiniGptConfig cfg;
+  cfg.vocab = netllm::llm::Tokenizer().vocab_size();
+  cfg.d_model = 64;
+  cfg.n_heads = 4;
+  cfg.n_layers = 4;
+  cfg.d_ff = 160;
+  cfg.max_seq = 112;
+  Rng rng(6);
+  netllm::llm::MiniGpt model(cfg, rng);
+  Rng data_rng(7);
+  auto embeds = nt::Tensor::randn({seq, 64}, data_rng, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.forward_embeddings(embeds));
+  }
+}
+BENCHMARK(BM_MiniGptForward)->Arg(31)->Arg(60)->Arg(100);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// Scenario: stream a 48-chunk video over a fluctuating cellular link and
+// watch three controllers react chunk by chunk — rule-based BBA, MPC, and a
+// NetLLM-adapted LLM (trained on a quick experience pool). Prints a
+// per-chunk timeline (bandwidth, chosen rung, buffer, rebuffering) plus the
+// QoE ledger, i.e. the view a streaming engineer would debug with.
+#include <iomanip>
+#include <iostream>
+
+#include "baselines/abr/rule_based.hpp"
+#include "llm/zoo.hpp"
+#include "netllm/api.hpp"
+
+using namespace netllm;
+
+namespace {
+
+void stream_with(abr::AbrPolicy& policy, const abr::VideoModel& video,
+                 const abr::BandwidthTrace& trace, bool print_timeline) {
+  abr::StreamingSession session(video, trace);
+  policy.begin_session();
+  if (print_timeline) {
+    std::cout << "chunk  bw(Mbps)  rung  kbps  buffer(s)  rebuffer(s)\n";
+  }
+  int prev = -1;
+  double clock = 0.0;
+  while (!session.done()) {
+    const int chunk = session.next_chunk_index();
+    const auto obs = session.observe();
+    const int level = policy.choose_level(obs);
+    const auto r = session.step(level);
+    const double prev_kbps = prev < 0 ? video.bitrate_kbps(level) : video.bitrate_kbps(prev);
+    policy.observe_result(
+        r, abr::qoe_chunk({}, video.bitrate_kbps(level), prev_kbps, r.rebuffer_s));
+    clock += r.delay_s;
+    if (print_timeline && chunk % 4 == 0) {
+      std::cout << std::setw(5) << chunk << "  " << std::setw(8) << std::fixed
+                << std::setprecision(2) << trace.bw_at(clock) << "  " << std::setw(4) << level
+                << "  " << std::setw(4) << static_cast<int>(video.bitrate_kbps(level)) << "  "
+                << std::setw(9) << r.buffer_s << "  " << std::setw(11) << r.rebuffer_s << "\n";
+    }
+    prev = level;
+  }
+  std::cout << policy.name() << ": mean QoE " << std::setprecision(3) << session.mean_qoe()
+            << "  (bitrate " << session.total_bitrate_mbps() / session.chunks_served()
+            << " Mbps/chunk, rebuffer " << session.total_rebuffer_s() << " s total, "
+            << "switch cost " << session.total_smoothness_mbps() << " Mbps)\n\n";
+}
+
+}  // namespace
+
+int main() {
+  const auto video = abr::VideoModel::envivio(5);
+  const auto traces = abr::generate_traces(abr::TracePreset::kCellular, 1, 42);
+  const auto& trace = traces.front();
+  std::cout << "cellular trace '" << trace.name << "': mean " << trace.mean_mbps()
+            << " Mbps over " << trace.duration_s() << " s\n\n";
+
+  baselines::Bba bba;
+  baselines::Mpc mpc;
+  stream_with(bba, video, trace, /*print_timeline=*/true);
+  stream_with(mpc, video, trace, /*print_timeline=*/false);
+
+  // A quickly-adapted NetLLM policy: small backbone, MPC-collected pool
+  // over cellular-like training traces (train/test traces differ).
+  auto llm = llm::build_pretrained("opt-lite-1.3b", 7);
+  const auto train_traces = abr::generate_traces(abr::TracePreset::kCellular, 12, 7);
+  baselines::Mpc collector;
+  auto pool = adapt::collect_abr_experience(collector, video, train_traces, 2, 0.1, 3);
+  core::Rng rng(4);
+  adapt::api::AdaptOptions opts;
+  opts.steps = 700;
+  auto netllm_policy = adapt::api::Adapt(llm, pool, adapt::AbrAdapterConfig{}, opts, rng);
+  stream_with(*netllm_policy, video, trace, /*print_timeline=*/true);
+  std::cout << "(This is a workflow demo on one harsh cellular trace; rule-based\n"
+               " conservatism wins single traces like this. The figure benches train\n"
+               " the full recipe on llama2-lite and evaluate across trace sets.)\n";
+  return 0;
+}

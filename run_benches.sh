@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Regenerates every paper table/figure. Output: bench_output.txt
+set -u
+cd "$(dirname "$0")"
+{
+for b in bench_fig02_motivation bench_fig03_training_time bench_fig04_adaptation_cost \
+         bench_fig10_general bench_fig11_generalization bench_fig12_qoe_breakdown \
+         bench_fig13_knowledge bench_fig14_realworld bench_fig15_llm_types \
+         bench_fig16_llm_sizes bench_overhead_inference bench_microkernels; do
+  echo "##### $b"
+  "./build/bench/$b" 2>&1
+  echo
+done
+echo "FLEET-DONE"
+} > bench_output.txt 2>&1

@@ -1,0 +1,167 @@
+#include "baselines/abr/genet.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "tensor/optim.hpp"
+
+namespace netllm::baselines {
+
+namespace {
+using namespace netllm::tensor;
+}  // namespace
+
+GenetPolicy::GenetPolicy(core::Rng& rng, std::int64_t hidden) {
+  body_ = std::make_shared<nn::Mlp>(std::vector<std::int64_t>{kFeatures, hidden, hidden}, rng);
+  actor_ = std::make_shared<nn::Linear>(hidden, kLevels, rng);
+  critic_ = std::make_shared<nn::Linear>(hidden, 1, rng);
+}
+
+Tensor GenetPolicy::features(const abr::Observation& obs) {
+  std::vector<float> f;
+  f.reserve(static_cast<std::size_t>(kFeatures));
+  for (double tp : obs.past_throughput_mbps) f.push_back(static_cast<float>(tp / 10.0));
+  for (double d : obs.past_delay_s) f.push_back(static_cast<float>(d / 10.0));
+  for (int l = 0; l < 6; ++l) {
+    const double size = l < obs.num_levels ? obs.next_chunk_sizes_mbytes[static_cast<std::size_t>(l)] : 0.0;
+    f.push_back(static_cast<float>(size / 5.0));
+  }
+  f.push_back(static_cast<float>(obs.buffer_s / 30.0));
+  f.push_back(static_cast<float>(obs.remaining_chunks_frac));
+  for (int l = 0; l < 6; ++l) f.push_back(l == obs.last_level ? 1.0f : 0.0f);
+  return Tensor::from(std::move(f), {1, kFeatures});
+}
+
+Tensor GenetPolicy::body(const Tensor& x) const { return relu(body_->forward(x)); }
+
+int GenetPolicy::choose_level(const abr::Observation& obs) {
+  auto logits = actor_->forward(body(features(obs)));
+  int best = 0;
+  for (std::int64_t j = 1; j < std::min<std::int64_t>(kLevels, obs.num_levels); ++j) {
+    if (logits.at(j) > logits.at(best)) best = static_cast<int>(j);
+  }
+  return best;
+}
+
+GenetPolicy::TrainStats GenetPolicy::train(const abr::VideoModel& video,
+                                           std::span<const abr::BandwidthTrace> traces,
+                                           const GenetTrainConfig& cfg) {
+  core::Rng rng(cfg.seed);
+  Adam opt(trainable_parameters(), cfg.lr);
+  const abr::QoeWeights weights;
+
+  // Curriculum: order traces from easy (smooth, high bandwidth) to hard, and
+  // widen the sampling pool as training progresses.
+  std::vector<std::size_t> order(traces.size());
+  std::iota(order.begin(), order.end(), 0);
+  if (cfg.curriculum) {
+    auto difficulty = [](const abr::BandwidthTrace& t) {
+      double mean = t.mean_mbps();
+      double rough = 0.0;
+      for (std::size_t i = 1; i < t.bw_mbps.size(); ++i) {
+        rough += std::abs(t.bw_mbps[i] - t.bw_mbps[i - 1]);
+      }
+      rough /= static_cast<double>(t.bw_mbps.size());
+      return rough / std::max(mean, 1e-6) - mean * 0.1;
+    };
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return difficulty(traces[a]) < difficulty(traces[b]);
+    });
+  }
+
+  TrainStats stats;
+  int first_n = 0, last_n = 0;
+  for (int ep = 0; ep < cfg.episodes; ++ep) {
+    const double progress = static_cast<double>(ep + 1) / cfg.episodes;
+    const auto pool = cfg.curriculum
+                          ? std::max<std::size_t>(4, static_cast<std::size_t>(progress * traces.size()))
+                          : traces.size();
+    const auto& trace =
+        traces[order[static_cast<std::size_t>(rng.randint(0, static_cast<std::int64_t>(pool) - 1))]];
+
+    // Roll out one episode with stochastic actions.
+    abr::StreamingSession session(video, trace);
+    std::vector<Tensor> feats;
+    std::vector<int> actions;
+    std::vector<float> rewards;
+    int prev_level = 0;
+    bool first = true;
+    while (!session.done()) {
+      auto obs = session.observe();
+      auto f = features(obs);
+      auto probs = softmax_rows(actor_->forward(body(f))).detach();
+      const auto a = static_cast<int>(rng.categorical(probs.data()));
+      const auto r = session.step(a);
+      const double prev_kbps = first ? video.bitrate_kbps(a) : video.bitrate_kbps(prev_level);
+      rewards.push_back(static_cast<float>(
+          abr::qoe_chunk(weights, video.bitrate_kbps(a), prev_kbps, r.rebuffer_s)));
+      feats.push_back(std::move(f));
+      actions.push_back(a);
+      prev_level = a;
+      first = false;
+    }
+    const double ep_qoe = session.mean_qoe(weights);
+    if (ep < cfg.episodes / 4) {
+      stats.first_quarter_mean_qoe += ep_qoe;
+      ++first_n;
+    } else if (ep >= 3 * cfg.episodes / 4) {
+      stats.last_quarter_mean_qoe += ep_qoe;
+      ++last_n;
+    }
+
+    // Discounted returns-to-go.
+    std::vector<float> returns(rewards.size());
+    float g = 0.0f;
+    for (std::size_t i = rewards.size(); i-- > 0;) {
+      g = rewards[i] + cfg.discount * g;
+      returns[i] = g;
+    }
+
+    // One gradient step per episode: actor (advantage-weighted NLL), critic
+    // (MSE to returns), entropy regulariser.
+    opt.zero_grad();
+    auto batch = concat_rows(feats);
+    auto hidden = body(batch);
+    auto log_probs = log_softmax_rows(actor_->forward(hidden));
+    auto values = critic_->forward(hidden);  // [n,1]
+    // Advantages = returns - V(s), z-scored within the episode for stable
+    // policy-gradient magnitudes across QoE scales.
+    std::vector<float> advantages(returns.size());
+    for (std::size_t i = 0; i < returns.size(); ++i) {
+      advantages[i] = returns[i] - values.at(static_cast<std::int64_t>(i));
+    }
+    float adv_mean = 0.0f, adv_sq = 0.0f;
+    for (float a : advantages) adv_mean += a;
+    adv_mean /= static_cast<float>(advantages.size());
+    for (float a : advantages) adv_sq += (a - adv_mean) * (a - adv_mean);
+    const float adv_std =
+        std::sqrt(adv_sq / static_cast<float>(advantages.size())) + 1e-4f;
+    for (auto& a : advantages) a = (a - adv_mean) / adv_std;
+    auto actor_loss = nll_weighted(log_probs, actions, advantages);
+    auto critic_loss =
+        mse_loss(scale(values, 0.1f),
+                 scale(Tensor::from(std::vector<float>(returns.begin(), returns.end()),
+                                    {static_cast<std::int64_t>(returns.size()), 1}),
+                       0.1f));
+    // Entropy bonus decays over training: explore early, commit late.
+    const float entropy_w =
+        cfg.entropy_bonus * kLevels * static_cast<float>(1.0 - 0.9 * progress);
+    auto entropy = mean_all(mul(softmax_rows(actor_->forward(hidden)), log_probs));
+    auto loss = add(add(actor_loss, scale(critic_loss, 0.5f)), scale(entropy, entropy_w));
+    loss.backward();
+    opt.clip_grad_norm(2.0);
+    opt.step();
+  }
+  if (first_n > 0) stats.first_quarter_mean_qoe /= first_n;
+  if (last_n > 0) stats.last_quarter_mean_qoe /= last_n;
+  return stats;
+}
+
+void GenetPolicy::collect_params(NamedParams& out, const std::string& prefix) const {
+  body_->collect_params(out, prefix + "body.");
+  actor_->collect_params(out, prefix + "actor.");
+  critic_->collect_params(out, prefix + "critic.");
+}
+
+}  // namespace netllm::baselines

@@ -1,0 +1,56 @@
+// GENET-like ABR baseline: a Pensieve-style actor-critic network trained
+// with policy gradients plus GENET's key idea — a bandwidth curriculum that
+// starts training on easy (stable) traces and progressively opens up the
+// full training distribution (Xia et al., SIGCOMM'22).
+#pragma once
+
+#include <memory>
+
+#include "core/rng.hpp"
+#include "envs/abr/policy.hpp"
+#include "nn/layers.hpp"
+#include "nn/module.hpp"
+
+namespace netllm::baselines {
+
+struct GenetTrainConfig {
+  int episodes = 400;
+  float lr = 3e-4f;
+  float discount = 0.99f;
+  float entropy_bonus = 0.02f;
+  bool curriculum = true;
+  std::uint64_t seed = 1;
+};
+
+class GenetPolicy final : public nn::Module, public abr::AbrPolicy {
+ public:
+  explicit GenetPolicy(core::Rng& rng, std::int64_t hidden = 64);
+
+  std::string name() const override { return "GENET"; }
+  /// Greedy (argmax) action — used for evaluation.
+  int choose_level(const abr::Observation& obs) override;
+
+  /// Observation -> normalized feature row [1, kFeatures].
+  static tensor::Tensor features(const abr::Observation& obs);
+  static constexpr std::int64_t kFeatures =
+      abr::Observation::kHistory * 2 + 6 /*sizes*/ + 2 /*buffer, remaining*/ + 6 /*last level*/;
+  static constexpr std::int64_t kLevels = 6;
+
+  struct TrainStats {
+    double first_quarter_mean_qoe = 0.0;
+    double last_quarter_mean_qoe = 0.0;
+  };
+  TrainStats train(const abr::VideoModel& video, std::span<const abr::BandwidthTrace> traces,
+                   const GenetTrainConfig& cfg);
+
+  void collect_params(tensor::NamedParams& out, const std::string& prefix) const override;
+
+ private:
+  tensor::Tensor body(const tensor::Tensor& x) const;  // [n,kFeatures] -> [n,hidden]
+
+  std::shared_ptr<nn::Mlp> body_;
+  std::shared_ptr<nn::Linear> actor_;
+  std::shared_ptr<nn::Linear> critic_;
+};
+
+}  // namespace netllm::baselines

@@ -1,0 +1,86 @@
+#include "baselines/abr/rule_based.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace netllm::baselines {
+
+int Bba::choose_level(const abr::Observation& obs) {
+  if (obs.buffer_s <= reservoir_s_) return 0;
+  if (obs.buffer_s >= reservoir_s_ + cushion_s_) return obs.num_levels - 1;
+  const double frac = (obs.buffer_s - reservoir_s_) / cushion_s_;
+  const int level = static_cast<int>(frac * (obs.num_levels - 1));
+  return std::clamp(level, 0, obs.num_levels - 1);
+}
+
+double Mpc::estimate_throughput(const abr::Observation& obs) {
+  // Harmonic mean over the last 5 non-zero throughput samples.
+  double inv_sum = 0.0;
+  int n = 0;
+  const auto& tp = obs.past_throughput_mbps;
+  for (std::size_t i = tp.size() >= 5 ? tp.size() - 5 : 0; i < tp.size(); ++i) {
+    if (tp[i] > 1e-6) {
+      inv_sum += 1.0 / tp[i];
+      ++n;
+    }
+  }
+  const double harmonic = n > 0 ? static_cast<double>(n) / inv_sum : 1.0;
+  // Robust-MPC: track the relative error of the previous estimate and
+  // discount by the worst recent error.
+  if (last_estimate_ > 1e-9 && !tp.empty() && tp.back() > 1e-9) {
+    const double err = std::abs(last_estimate_ - tp.back()) / tp.back();
+    past_error_ = std::max(0.5 * past_error_, err);
+  }
+  const double estimate = harmonic / (1.0 + past_error_);
+  last_estimate_ = estimate;
+  return estimate;
+}
+
+int Mpc::choose_level(const abr::Observation& obs) {
+  const double tp_mbps = estimate_throughput(obs);
+  const int levels = obs.num_levels;
+  const int horizon = std::min({horizon_, obs.chunks_remaining, abr::Observation::kHorizon});
+  // Exhaustive search over level sequences; states are tiny so this is fine
+  // (levels^horizon <= 6^4 = 1296 rollouts).
+  std::vector<int> plan(static_cast<std::size_t>(horizon), 0);
+  double best_qoe = -1e18;
+  int best_first = obs.last_level;
+  std::vector<int> seq(static_cast<std::size_t>(horizon), 0);
+  const auto total = static_cast<long>(std::pow(levels, horizon));
+  for (long code = 0; code < total; ++code) {
+    long c = code;
+    for (int h = 0; h < horizon; ++h) {
+      seq[static_cast<std::size_t>(h)] = static_cast<int>(c % levels);
+      c /= levels;
+    }
+    double buffer = obs.buffer_s;
+    double qoe = 0.0;
+    int prev = obs.last_level;
+    for (int h = 0; h < horizon; ++h) {
+      const int lvl = seq[static_cast<std::size_t>(h)];
+      const double size_mb =
+          obs.future_chunk_sizes_mbytes[static_cast<std::size_t>(h * levels + lvl)];
+      const double download_s = size_mb * 8.0 / std::max(tp_mbps, 1e-6);
+      const double rebuf = std::max(download_s - buffer, 0.0);
+      buffer = std::max(buffer - download_s, 0.0) + obs.chunk_duration_s;
+      // Approximate per-chunk QoE with the ladder's nominal bitrates derived
+      // from chunk size (size/duration) — close enough for planning.
+      const double bitrate_mbps = size_mb * 8.0 / obs.chunk_duration_s;
+      const double prev_mbps =
+          obs.future_chunk_sizes_mbytes[static_cast<std::size_t>(h * levels + prev)] * 8.0 /
+          obs.chunk_duration_s;
+      qoe += bitrate_mbps - weights_.rebuffer_penalty * rebuf -
+             weights_.smooth_penalty * std::abs(bitrate_mbps - prev_mbps);
+      prev = lvl;
+    }
+    if (qoe > best_qoe) {
+      best_qoe = qoe;
+      best_first = seq[0];
+    }
+  }
+  (void)plan;
+  return best_first;
+}
+
+}  // namespace netllm::baselines

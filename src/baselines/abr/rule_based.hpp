@@ -1,0 +1,42 @@
+// Rule-based ABR baselines from the paper's evaluation (§A.3):
+//  * BBA — buffer-based rate adaptation (Huang et al.): map buffer occupancy
+//    linearly from a reservoir to a cushion onto the bitrate ladder.
+//  * MPC — model-predictive control (Yin et al.): robust throughput estimate
+//    + exhaustive QoE optimisation over a look-ahead horizon of chunks.
+#pragma once
+
+#include "envs/abr/policy.hpp"
+
+namespace netllm::baselines {
+
+class Bba final : public abr::AbrPolicy {
+ public:
+  explicit Bba(double reservoir_s = 5.0, double cushion_s = 10.0)
+      : reservoir_s_(reservoir_s), cushion_s_(cushion_s) {}
+  std::string name() const override { return "BBA"; }
+  int choose_level(const abr::Observation& obs) override;
+
+ private:
+  double reservoir_s_, cushion_s_;
+};
+
+class Mpc final : public abr::AbrPolicy {
+ public:
+  explicit Mpc(int horizon = 4, abr::QoeWeights weights = {})
+      : horizon_(horizon), weights_(weights) {}
+  std::string name() const override { return "MPC"; }
+  void begin_session() override { past_error_ = 0.0; }
+  int choose_level(const abr::Observation& obs) override;
+
+ private:
+  /// Robust-MPC throughput estimate: harmonic mean of recent throughputs,
+  /// discounted by the recent prediction error.
+  double estimate_throughput(const abr::Observation& obs);
+
+  int horizon_;
+  abr::QoeWeights weights_;
+  double past_error_ = 0.0;
+  double last_estimate_ = 0.0;
+};
+
+}  // namespace netllm::baselines

@@ -1,0 +1,201 @@
+#include "baselines/cjs/decima.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "core/stats.hpp"
+#include "tensor/optim.hpp"
+
+namespace netllm::baselines {
+
+namespace {
+using namespace netllm::tensor;
+
+Tensor concat_cols_1xk(const std::vector<Tensor>& xs) {
+  std::vector<Tensor> transposed;
+  transposed.reserve(xs.size());
+  for (const auto& x : xs) transposed.push_back(transpose(x));
+  return transpose(concat_rows(transposed));
+}
+
+Tensor exec_features(const cjs::SchedObservation& obs) {
+  return Tensor::from({static_cast<float>(obs.idle_executors) / obs.total_executors,
+                       static_cast<float>(obs.jobs_in_system) / 50.0f},
+                      {1, 2});
+}
+
+}  // namespace
+
+DecimaPolicy::DecimaPolicy(core::Rng& rng, std::int64_t embed_dim) : action_rng_(0) {
+  gnn_ = std::make_shared<nn::GraphEncoder>(cjs::SchedObservation::kNodeFeatures, embed_dim, rng);
+  stage_score_ = std::make_shared<nn::Mlp>(
+      std::vector<std::int64_t>{2 * embed_dim + 2, embed_dim, 1}, rng);
+  cap_head_ = std::make_shared<nn::Mlp>(
+      std::vector<std::int64_t>{2 * embed_dim + 2, embed_dim, cjs::kNumCapChoices}, rng);
+}
+
+void DecimaPolicy::set_stochastic(bool stochastic, std::uint64_t seed) {
+  stochastic_ = stochastic;
+  action_rng_.reseed(seed);
+}
+
+cjs::SchedAction DecimaPolicy::choose(const cjs::SchedObservation& obs) {
+  const auto enc = gnn_->forward(obs.node_features, obs.topology);
+  const auto exec = exec_features(obs);
+  std::vector<Tensor> scores;
+  scores.reserve(obs.runnable_rows.size());
+  for (int row : obs.runnable_rows) {
+    const auto node = slice_rows(enc.node_embeddings, row, 1);
+    scores.push_back(stage_score_->forward(concat_cols_1xk({node, enc.global_summary, exec})));
+  }
+  auto stage_probs = softmax_rows(transpose(concat_rows(scores)));
+  int stage_idx = 0;
+  if (stochastic_) {
+    stage_idx = static_cast<int>(action_rng_.categorical(stage_probs.data()));
+  } else {
+    for (std::int64_t j = 1; j < stage_probs.dim(1); ++j) {
+      if (stage_probs.at(j) > stage_probs.at(stage_idx)) stage_idx = static_cast<int>(j);
+    }
+  }
+  const auto chosen =
+      slice_rows(enc.node_embeddings, obs.runnable_rows[static_cast<std::size_t>(stage_idx)], 1);
+  auto cap_probs =
+      softmax_rows(cap_head_->forward(concat_cols_1xk({chosen, enc.global_summary, exec})));
+  int cap_idx = 0;
+  if (stochastic_) {
+    cap_idx = static_cast<int>(action_rng_.categorical(cap_probs.data()));
+  } else {
+    for (std::int64_t j = 1; j < cap_probs.dim(1); ++j) {
+      if (cap_probs.at(j) > cap_probs.at(cap_idx)) cap_idx = static_cast<int>(j);
+    }
+  }
+  return {stage_idx, cap_idx};
+}
+
+namespace {
+
+/// Returns-to-go per decision.
+std::vector<double> returns_to_go(const std::vector<cjs::Decision>& decisions) {
+  std::vector<double> rtg(decisions.size());
+  double g = 0.0;
+  for (std::size_t i = decisions.size(); i-- > 0;) {
+    g += decisions[i].reward;
+    rtg[i] = g;
+  }
+  return rtg;
+}
+
+/// Time-aligned baseline: the paired rollout's return-to-go interpolated at
+/// the same relative decision position. This is the input-dependent,
+/// time-based baseline the Decima paper identifies as essential — an
+/// episode-mean baseline systematically punishes early decisions (their
+/// returns-to-go are always more negative) and REINFORCE fails to learn.
+double aligned_baseline(const std::vector<double>& other_rtg, double fraction) {
+  if (other_rtg.empty()) return 0.0;
+  const double pos = fraction * static_cast<double>(other_rtg.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, other_rtg.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return other_rtg[lo] * (1.0 - frac) + other_rtg[hi] * frac;
+}
+
+}  // namespace
+
+DecimaPolicy::TrainStats DecimaPolicy::train(const DecimaTrainConfig& cfg) {
+  core::Rng rng(cfg.seed);
+  Adam opt(trainable_parameters(), cfg.lr);
+  TrainStats stats;
+  int first_n = 0, last_n = 0;
+  for (int ep = 0; ep < cfg.episodes; ++ep) {
+    // One workload instance, two stochastic rollouts (self-critical pair).
+    auto wl = cjs::cjs_default_train();
+    wl.scale = cfg.train_scale;
+    wl.seed = rng.next_u64();
+    std::array<std::vector<cjs::Decision>, 2> rollouts;
+    std::array<std::vector<double>, 2> rtg;
+    double mean_jct = 0.0;
+    for (int r = 0; r < 2; ++r) {
+      auto& decisions = rollouts[static_cast<std::size_t>(r)];
+      set_stochastic(true, rng.next_u64());
+      const auto result = cjs::run_workload(wl, *this, &decisions);
+      mean_jct += core::mean(result.jct_s) / 2.0;
+      rtg[static_cast<std::size_t>(r)] = returns_to_go(decisions);
+    }
+    set_stochastic(false);
+    if (ep < cfg.episodes / 4) {
+      stats.first_quarter_mean_jct += mean_jct;
+      ++first_n;
+    } else if (ep >= 3 * cfg.episodes / 4) {
+      stats.last_quarter_mean_jct += mean_jct;
+      ++last_n;
+    }
+    if (rollouts[0].empty() || rollouts[1].empty()) continue;
+
+    // Advantage scale: typical |return| across the pair.
+    const double scale_g = std::max(1.0, 0.5 * (std::abs(rtg[0][0]) + std::abs(rtg[1][0])));
+
+    struct Pick {
+      const cjs::Decision* d;
+      float adv;
+    };
+    std::vector<Pick> picks;
+    for (int r = 0; r < 2; ++r) {
+      const auto& mine = rtg[static_cast<std::size_t>(r)];
+      const auto& other = rtg[static_cast<std::size_t>(1 - r)];
+      const auto& ds = rollouts[static_cast<std::size_t>(r)];
+      for (std::size_t i = 0; i < ds.size(); ++i) {
+        const double fraction =
+            ds.size() > 1 ? static_cast<double>(i) / static_cast<double>(ds.size() - 1) : 0.0;
+        const double adv = (mine[i] - aligned_baseline(other, fraction)) / scale_g;
+        picks.push_back({&ds[i], static_cast<float>(adv)});
+      }
+    }
+    std::vector<std::size_t> idx = rng.permutation(picks.size());
+    const auto take =
+        std::min<std::size_t>(idx.size(), static_cast<std::size_t>(cfg.max_update_decisions));
+    opt.zero_grad();
+    std::vector<Tensor> losses;
+    for (std::size_t k = 0; k < take; ++k) {
+      const auto& d = *picks[idx[k]].d;
+      const float adv = picks[idx[k]].adv;
+      const auto enc = gnn_->forward(d.obs.node_features, d.obs.topology);
+      const auto exec = exec_features(d.obs);
+      std::vector<Tensor> scores;
+      for (int row : d.obs.runnable_rows) {
+        const auto node = slice_rows(enc.node_embeddings, row, 1);
+        scores.push_back(
+            stage_score_->forward(concat_cols_1xk({node, enc.global_summary, exec})));
+      }
+      auto stage_lp = log_softmax_rows(transpose(concat_rows(scores)));
+      const auto chosen = slice_rows(
+          enc.node_embeddings,
+          d.obs.runnable_rows[static_cast<std::size_t>(d.action.runnable_index)], 1);
+      auto cap_lp = log_softmax_rows(
+          cap_head_->forward(concat_cols_1xk({chosen, enc.global_summary, exec})));
+      const int stage_target[] = {d.action.runnable_index};
+      const int cap_target[] = {d.action.cap_choice};
+      const float w[] = {adv};
+      auto term = add(nll_weighted(stage_lp, stage_target, w),
+                      nll_weighted(cap_lp, cap_target, w));
+      // Entropy regularisation on the stage distribution.
+      auto entropy = mean_all(mul(softmax_rows(stage_lp), stage_lp));
+      losses.push_back(add(term, scale(entropy, cfg.entropy_bonus)));
+    }
+    auto loss = scale(add_n(losses), 1.0f / static_cast<float>(losses.size()));
+    loss.backward();
+    opt.clip_grad_norm(2.0);
+    opt.step();
+  }
+  if (first_n > 0) stats.first_quarter_mean_jct /= first_n;
+  if (last_n > 0) stats.last_quarter_mean_jct /= last_n;
+  return stats;
+}
+
+void DecimaPolicy::collect_params(NamedParams& out, const std::string& prefix) const {
+  gnn_->collect_params(out, prefix + "gnn.");
+  stage_score_->collect_params(out, prefix + "stage_score.");
+  cap_head_->collect_params(out, prefix + "cap_head.");
+}
+
+}  // namespace netllm::baselines

@@ -1,0 +1,58 @@
+// Decima-like CJS baseline (Mao et al., SIGCOMM'19): a graph neural network
+// over the stage DAG produces per-node embeddings; a pointer-style score
+// head picks the next runnable stage and a parallelism head picks the
+// executor cap. Trained with REINFORCE on recorded episodes (returns from
+// the simulator's jobs-in-system reward, which sums to -total JCT).
+#pragma once
+
+#include <memory>
+
+#include "core/rng.hpp"
+#include "envs/cjs/simulator.hpp"
+#include "nn/graph.hpp"
+#include "nn/layers.hpp"
+#include "nn/module.hpp"
+
+namespace netllm::baselines {
+
+struct DecimaTrainConfig {
+  int episodes = 120;
+  float lr = 1e-3f;
+  float entropy_bonus = 0.02f;
+  int max_update_decisions = 64;  // subsample long episodes for the update
+  std::uint64_t seed = 1;
+  // Training episodes are smaller instances of the Table 4 default-train
+  // distribution: shrinking `train_scale` shrinks jobs and executors
+  // together while the generator preserves the load ratio.
+  double train_scale = 0.12;
+};
+
+class DecimaPolicy final : public nn::Module, public cjs::SchedPolicy {
+ public:
+  explicit DecimaPolicy(core::Rng& rng, std::int64_t embed_dim = 16);
+
+  std::string name() const override { return "Decima"; }
+  /// Greedy (argmax) decisions for evaluation; stochastic during training.
+  cjs::SchedAction choose(const cjs::SchedObservation& obs) override;
+
+  struct TrainStats {
+    double first_quarter_mean_jct = 0.0;
+    double last_quarter_mean_jct = 0.0;
+  };
+  TrainStats train(const DecimaTrainConfig& cfg);
+
+  void collect_params(tensor::NamedParams& out, const std::string& prefix) const override;
+
+  /// Expose stochastic mode so NetLLM's RL_Collect can gather exploratory
+  /// experience with this policy (paper §A.2 uses Decima as the collector).
+  void set_stochastic(bool stochastic, std::uint64_t seed = 0);
+
+ private:
+  std::shared_ptr<nn::GraphEncoder> gnn_;
+  std::shared_ptr<nn::Mlp> stage_score_;  // [node; global; exec] -> 1
+  std::shared_ptr<nn::Mlp> cap_head_;     // [chosen node; global; exec] -> caps
+  bool stochastic_ = false;
+  core::Rng action_rng_;
+};
+
+}  // namespace netllm::baselines

@@ -1,0 +1,47 @@
+#include "baselines/cjs/rule_based.hpp"
+
+#include <limits>
+#include <map>
+
+namespace netllm::baselines {
+
+cjs::SchedAction FifoScheduler::choose(const cjs::SchedObservation& obs) {
+  // Earliest-arrived job first, full-cluster cap (FIFO jobs grab everything
+  // they can use; later jobs wait).
+  int best = 0;
+  double best_arrival = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < obs.runnable_rows.size(); ++i) {
+    const auto row = static_cast<std::size_t>(obs.runnable_rows[i]);
+    if (obs.job_arrival_of_row[row] < best_arrival) {
+      best_arrival = obs.job_arrival_of_row[row];
+      best = static_cast<int>(i);
+    }
+  }
+  return {best, cjs::kNumCapChoices - 1};
+}
+
+cjs::SchedAction FairScheduler::choose(const cjs::SchedObservation& obs) {
+  // Pick a runnable stage from the job currently holding the fewest
+  // executors, and grant only a small share — approximating Spark fair
+  // scheduling's equal slices.
+  std::map<int, double> held;  // job id -> executors held (from node features)
+  const auto f = obs.node_features.data();
+  const auto cols = cjs::SchedObservation::kNodeFeatures;
+  for (std::size_t row = 0; row < obs.job_of_row.size(); ++row) {
+    held[obs.job_of_row[row]] +=
+        static_cast<double>(f[row * static_cast<std::size_t>(cols) + 2]) * obs.total_executors;
+  }
+  int best = 0;
+  double fewest = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < obs.runnable_rows.size(); ++i) {
+    const auto row = static_cast<std::size_t>(obs.runnable_rows[i]);
+    const double h = held[obs.job_of_row[row]];
+    if (h < fewest) {
+      fewest = h;
+      best = static_cast<int>(i);
+    }
+  }
+  return {best, 1};  // 25% cap slice
+}
+
+}  // namespace netllm::baselines

@@ -1,0 +1,25 @@
+// Rule-based CJS baselines from the paper's evaluation (§A.3), mirroring
+// Spark's built-in schedulers:
+//  * FIFO — serve jobs in arrival order; a job gets as many executors as it
+//    can use before later jobs see any.
+//  * Fair — round-robin executor shares across active jobs so every job
+//    holds a roughly equal slice of the cluster.
+#pragma once
+
+#include "envs/cjs/simulator.hpp"
+
+namespace netllm::baselines {
+
+class FifoScheduler final : public cjs::SchedPolicy {
+ public:
+  std::string name() const override { return "FIFO"; }
+  cjs::SchedAction choose(const cjs::SchedObservation& obs) override;
+};
+
+class FairScheduler final : public cjs::SchedPolicy {
+ public:
+  std::string name() const override { return "Fair"; }
+  cjs::SchedAction choose(const cjs::SchedObservation& obs) override;
+};
+
+}  // namespace netllm::baselines

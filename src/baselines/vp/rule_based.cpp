@@ -1,0 +1,83 @@
+#include "baselines/vp/rule_based.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace netllm::baselines {
+
+namespace {
+
+/// Least-squares slope/intercept of y over x = 0..n-1.
+std::pair<double, double> fit_line(std::span<const double> ys) {
+  const auto n = static_cast<double>(ys.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < ys.size(); ++i) {
+    const auto x = static_cast<double>(i);
+    sx += x;
+    sy += ys[i];
+    sxx += x * x;
+    sxy += x * ys[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  if (std::abs(denom) < 1e-12) return {0.0, ys.empty() ? 0.0 : ys.back()};
+  const double slope = (n * sxy - sx * sy) / denom;
+  const double intercept = (sy - slope * sx) / n;
+  return {slope, intercept};
+}
+
+vp::Viewport clamp_viewport(vp::Viewport v) {
+  v.roll = std::clamp(v.roll, -20.0, 20.0);
+  v.pitch = std::clamp(v.pitch, -60.0, 60.0);
+  v.yaw = std::clamp(v.yaw, -160.0, 160.0);
+  return v;
+}
+
+}  // namespace
+
+std::vector<vp::Viewport> LinearRegressionVp::predict(std::span<const vp::Viewport> history,
+                                                      const tensor::Tensor&, int horizon) {
+  if (history.empty() || horizon <= 0) throw std::invalid_argument("LR: bad inputs");
+  std::vector<double> roll, pitch, yaw;
+  for (const auto& v : history) {
+    roll.push_back(v.roll);
+    pitch.push_back(v.pitch);
+    yaw.push_back(v.yaw);
+  }
+  const auto [sr, ir] = fit_line(roll);
+  const auto [sp, ip] = fit_line(pitch);
+  const auto [sy, iy] = fit_line(yaw);
+  const auto n = static_cast<double>(history.size());
+  std::vector<vp::Viewport> out;
+  out.reserve(static_cast<std::size_t>(horizon));
+  for (int k = 1; k <= horizon; ++k) {
+    const double x = n - 1 + k;
+    out.push_back(clamp_viewport({sr * x + ir, sp * x + ip, sy * x + iy}));
+  }
+  return out;
+}
+
+std::vector<vp::Viewport> VelocityVp::predict(std::span<const vp::Viewport> history,
+                                              const tensor::Tensor&, int horizon) {
+  if (history.empty() || horizon <= 0) throw std::invalid_argument("Velocity: bad inputs");
+  vp::Viewport vel{0, 0, 0};
+  const auto w = std::min<std::size_t>(static_cast<std::size_t>(window_), history.size() - 1);
+  if (w > 0) {
+    const auto& a = history[history.size() - 1 - w];
+    const auto& b = history.back();
+    vel.roll = (b.roll - a.roll) / static_cast<double>(w);
+    vel.pitch = (b.pitch - a.pitch) / static_cast<double>(w);
+    vel.yaw = (b.yaw - a.yaw) / static_cast<double>(w);
+  }
+  std::vector<vp::Viewport> out;
+  out.reserve(static_cast<std::size_t>(horizon));
+  vp::Viewport cur = history.back();
+  for (int k = 0; k < horizon; ++k) {
+    cur.roll += vel.roll;
+    cur.pitch += vel.pitch;
+    cur.yaw += vel.yaw;
+    out.push_back(clamp_viewport(cur));
+  }
+  return out;
+}
+
+}  // namespace netllm::baselines

@@ -1,0 +1,30 @@
+// Rule-based VP baselines from the paper's evaluation (§A.3):
+//  * LR — per-coordinate least-squares line over the history, extrapolated
+//    (Flare's linear-regression predictor).
+//  * Velocity — mean recent angular velocity, extrapolated (LiveObj-style).
+#pragma once
+
+#include "envs/vp/dataset.hpp"
+
+namespace netllm::baselines {
+
+class LinearRegressionVp final : public vp::VpPredictor {
+ public:
+  std::string name() const override { return "LR"; }
+  std::vector<vp::Viewport> predict(std::span<const vp::Viewport> history,
+                                    const tensor::Tensor& saliency, int horizon) override;
+};
+
+class VelocityVp final : public vp::VpPredictor {
+ public:
+  /// Velocity is estimated over the last `window` samples.
+  explicit VelocityVp(int window = 5) : window_(window) {}
+  std::string name() const override { return "Velocity"; }
+  std::vector<vp::Viewport> predict(std::span<const vp::Viewport> history,
+                                    const tensor::Tensor& saliency, int horizon) override;
+
+ private:
+  int window_;
+};
+
+}  // namespace netllm::baselines

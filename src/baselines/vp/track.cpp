@@ -1,0 +1,112 @@
+#include "baselines/vp/track.hpp"
+
+#include <stdexcept>
+
+#include "tensor/optim.hpp"
+
+namespace netllm::baselines {
+
+namespace {
+using namespace netllm::tensor;
+
+constexpr float kRollScale = 20.0f, kPitchScale = 60.0f, kYawScale = 160.0f;
+
+}  // namespace
+
+TrackModel::TrackModel(const TrackConfig& cfg, core::Rng& rng) : cfg_(cfg) {
+  const auto pixels = static_cast<std::int64_t>(vp::kSaliencySize * vp::kSaliencySize);
+  saliency_mlp_ = std::make_shared<nn::Mlp>(
+      std::vector<std::int64_t>{pixels, 32, cfg.saliency_dim}, rng);
+  lstm_ = std::make_shared<nn::Lstm>(3 + cfg.saliency_dim, cfg.hidden_dim, rng);
+  head_ = std::make_shared<nn::Linear>(cfg.hidden_dim, 3, rng);
+}
+
+Tensor TrackModel::saliency_feature(const Tensor& saliency) const {
+  return saliency_mlp_->forward(
+      reshape(saliency, {1, static_cast<std::int64_t>(saliency.numel())}));
+}
+
+Tensor TrackModel::input_row(const vp::Viewport& v, const Tensor& sal_feat) const {
+  auto coords = Tensor::from({static_cast<float>(v.roll) / kRollScale,
+                              static_cast<float>(v.pitch) / kPitchScale,
+                              static_cast<float>(v.yaw) / kYawScale},
+                             {1, 3});
+  // Column concat via the transpose trick.
+  return transpose(concat_rows({transpose(coords), transpose(sal_feat)}));
+}
+
+Tensor TrackModel::loss(const vp::VpSample& sample) const {
+  const auto sal = saliency_feature(sample.saliency);
+  // Teacher-forced sequence: history then ground-truth future inputs.
+  std::vector<Tensor> rows;
+  rows.reserve(sample.history.size() + sample.future.size() - 1);
+  for (const auto& v : sample.history) rows.push_back(input_row(v, sal));
+  for (std::size_t k = 0; k + 1 < sample.future.size(); ++k) {
+    rows.push_back(input_row(sample.future[k], sal));
+  }
+  auto hidden = lstm_->forward(concat_rows(rows));
+  // Outputs at positions hw-1 .. hw+pw-2 predict the deltas to the next step.
+  const auto hw = static_cast<std::int64_t>(sample.history.size());
+  const auto pw = static_cast<std::int64_t>(sample.future.size());
+  auto pred = head_->forward(slice_rows(hidden, hw - 1, pw));
+  std::vector<float> target;
+  target.reserve(static_cast<std::size_t>(pw * 3));
+  const vp::Viewport* prev = &sample.history.back();
+  for (const auto& f : sample.future) {
+    target.push_back(static_cast<float>(f.roll - prev->roll) / cfg_.delta_scale_deg);
+    target.push_back(static_cast<float>(f.pitch - prev->pitch) / cfg_.delta_scale_deg);
+    target.push_back(static_cast<float>(f.yaw - prev->yaw) / cfg_.delta_scale_deg);
+    prev = &f;
+  }
+  return mse_loss(pred, Tensor::from(std::move(target), {pw, 3}));
+}
+
+std::vector<vp::Viewport> TrackModel::predict(std::span<const vp::Viewport> history,
+                                              const Tensor& saliency, int horizon) {
+  if (history.empty() || horizon <= 0) throw std::invalid_argument("TRACK: bad inputs");
+  const auto sal = saliency_feature(saliency);
+  std::vector<Tensor> rows;
+  for (const auto& v : history) rows.push_back(input_row(v, sal));
+  std::vector<vp::Viewport> out;
+  out.reserve(static_cast<std::size_t>(horizon));
+  vp::Viewport cur = history.back();
+  for (int k = 0; k < horizon; ++k) {
+    // Re-run the LSTM over the grown sequence (no step API; T is small).
+    auto hidden = lstm_->forward(concat_rows(rows));
+    auto delta = head_->forward(slice_rows(hidden, hidden.dim(0) - 1, 1));
+    cur.roll += static_cast<double>(delta.at(0)) * cfg_.delta_scale_deg;
+    cur.pitch += static_cast<double>(delta.at(1)) * cfg_.delta_scale_deg;
+    cur.yaw += static_cast<double>(delta.at(2)) * cfg_.delta_scale_deg;
+    out.push_back(cur);
+    rows.push_back(input_row(cur, sal));
+  }
+  return out;
+}
+
+TrackModel::TrainStats TrackModel::train(std::span<const vp::VpSample> dataset, int steps,
+                                         float lr, std::uint64_t seed) {
+  if (dataset.empty()) throw std::invalid_argument("TRACK::train: empty dataset");
+  core::Rng rng(seed);
+  Adam opt(trainable_parameters(), lr);
+  TrainStats stats;
+  for (int step = 0; step < steps; ++step) {
+    const auto& sample =
+        dataset[static_cast<std::size_t>(rng.randint(0, static_cast<std::int64_t>(dataset.size()) - 1))];
+    opt.zero_grad();
+    auto l = loss(sample);
+    if (step == 0) stats.initial_loss = l.item();
+    stats.final_loss = l.item();
+    l.backward();
+    opt.clip_grad_norm(1.0);
+    opt.step();
+  }
+  return stats;
+}
+
+void TrackModel::collect_params(NamedParams& out, const std::string& prefix) const {
+  saliency_mlp_->collect_params(out, prefix + "saliency.");
+  lstm_->collect_params(out, prefix + "lstm.");
+  head_->collect_params(out, prefix + "head.");
+}
+
+}  // namespace netllm::baselines

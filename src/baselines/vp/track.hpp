@@ -1,0 +1,56 @@
+// TRACK-like VP baseline (Rondón et al., the paper's state-of-the-art VP
+// model): an LSTM over history + saliency-map features, decoded
+// autoregressively one future step at a time. Trained with teacher forcing
+// on normalized per-step deltas, so it can roll out to any horizon —
+// including the longer prediction windows of the unseen Table 2 settings.
+#pragma once
+
+#include <memory>
+
+#include "core/rng.hpp"
+#include "envs/vp/dataset.hpp"
+#include "nn/layers.hpp"
+#include "nn/lstm.hpp"
+#include "nn/module.hpp"
+
+namespace netllm::baselines {
+
+struct TrackConfig {
+  std::int64_t hidden_dim = 32;
+  std::int64_t saliency_dim = 8;
+  float delta_scale_deg = 5.0f;  // head outputs are deltas / this
+};
+
+class TrackModel final : public nn::Module, public vp::VpPredictor {
+ public:
+  TrackModel(const TrackConfig& cfg, core::Rng& rng);
+
+  std::string name() const override { return "TRACK"; }
+
+  std::vector<vp::Viewport> predict(std::span<const vp::Viewport> history,
+                                    const tensor::Tensor& saliency, int horizon) override;
+
+  /// Teacher-forced training loss (MSE on normalized deltas) for one sample.
+  tensor::Tensor loss(const vp::VpSample& sample) const;
+
+  struct TrainStats {
+    float initial_loss = 0.0f;
+    float final_loss = 0.0f;
+  };
+  TrainStats train(std::span<const vp::VpSample> dataset, int steps, float lr,
+                   std::uint64_t seed);
+
+  void collect_params(tensor::NamedParams& out, const std::string& prefix) const override;
+
+ private:
+  /// Build one LSTM input row [1, 3 + saliency_dim] from a viewport.
+  tensor::Tensor input_row(const vp::Viewport& v, const tensor::Tensor& sal_feat) const;
+  tensor::Tensor saliency_feature(const tensor::Tensor& saliency) const;
+
+  TrackConfig cfg_;
+  std::shared_ptr<nn::Mlp> saliency_mlp_;  // 256 -> saliency_dim
+  std::shared_ptr<nn::Lstm> lstm_;
+  std::shared_ptr<nn::Linear> head_;       // hidden -> 3 (delta / scale)
+};
+
+}  // namespace netllm::baselines

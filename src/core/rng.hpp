@@ -1,0 +1,68 @@
+// Deterministic random number generation for reproducible experiments.
+//
+// Every stochastic component in the library takes an explicit `Rng&` (or a
+// seed) so that a run is fully determined by its seeds. The generator is
+// xoshiro256**, seeded via SplitMix64, which is fast, high-quality and
+// identical across platforms (unlike std::mt19937 distributions, whose
+// output is implementation-defined for std::normal_distribution etc. —
+// we implement the distributions ourselves for bit-stable results).
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <cmath>
+#include <span>
+#include <vector>
+
+namespace netllm::core {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  /// Raw 64 random bits.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double uniform();
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t randint(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box-Muller (cached second variate).
+  double gaussian();
+
+  /// Normal with the given mean and standard deviation.
+  double gaussian(double mean, double stddev) { return mean + stddev * gaussian(); }
+
+  /// Exponential with the given rate (lambda). Mean = 1/rate.
+  double exponential(double rate);
+
+  /// True with probability p.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Index sampled from unnormalised non-negative weights.
+  /// Falls back to uniform choice if all weights are zero.
+  std::size_t weighted_choice(std::span<const double> weights);
+
+  /// Index sampled from a probability vector (assumed to sum to ~1).
+  std::size_t categorical(std::span<const float> probs);
+
+  /// Fisher-Yates shuffle of indices [0, n).
+  std::vector<std::size_t> permutation(std::size_t n);
+
+  /// Derive an independent child generator (for parallel components).
+  Rng split();
+
+ private:
+  std::uint64_t state_[4]{};
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace netllm::core

@@ -1,0 +1,38 @@
+// ASCII table / CSV rendering for the benchmark harness. Each figure bench
+// prints the same rows or series the paper reports; Table keeps that output
+// aligned and diff-friendly.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace netllm::core {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format doubles with fixed precision.
+  static std::string num(double v, int precision = 3);
+
+  /// Render as an aligned ASCII table.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (no quoting — callers use simple cell content).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Print a section banner so bench output is easy to navigate.
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace netllm::core

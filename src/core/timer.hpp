@@ -1,0 +1,43 @@
+// Wall-clock timing for the adaptation-cost experiments (Figs. 3 and 4).
+#pragma once
+
+#include <chrono>
+
+namespace netllm::core {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction / last reset.
+  double elapsed_s() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double elapsed_ms() const { return elapsed_s() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates time across disjoint intervals — used to attribute training
+/// wall time to "environment interaction" vs "optimisation" (Fig. 3).
+class StopWatch {
+ public:
+  void start() { running_ = true; t_.reset(); }
+  void stop() {
+    if (running_) total_ += t_.elapsed_s();
+    running_ = false;
+  }
+  double total_s() const { return total_; }
+
+ private:
+  Timer t_;
+  double total_ = 0.0;
+  bool running_ = false;
+};
+
+}  // namespace netllm::core

@@ -1,0 +1,67 @@
+#include "envs/abr/policy.hpp"
+
+#include <stdexcept>
+
+namespace netllm::abr {
+
+SessionStats run_session(AbrPolicy& policy, const VideoModel& video,
+                         const BandwidthTrace& trace, const SimConfig& sim,
+                         const QoeWeights& weights) {
+  StreamingSession session(video, trace, sim);
+  policy.begin_session();
+  int prev_level = -1;
+  while (!session.done()) {
+    const int level = policy.choose_level(session.observe());
+    const auto result = session.step(level);
+    const double prev_kbps =
+        prev_level < 0 ? video.bitrate_kbps(level) : video.bitrate_kbps(prev_level);
+    policy.observe_result(
+        result, qoe_chunk(weights, video.bitrate_kbps(level), prev_kbps, result.rebuffer_s));
+    prev_level = level;
+  }
+  SessionStats stats;
+  const auto chunks = static_cast<double>(session.chunks_served());
+  stats.mean_qoe = session.mean_qoe(weights);
+  stats.mean_bitrate_mbps = session.total_bitrate_mbps() / chunks;
+  stats.mean_rebuffer_s = session.total_rebuffer_s() / chunks;
+  stats.mean_change_mbps = session.total_smoothness_mbps() / chunks;
+  return stats;
+}
+
+std::vector<double> evaluate_qoe(AbrPolicy& policy, const VideoModel& video,
+                                 std::span<const BandwidthTrace> traces, const SimConfig& sim,
+                                 const QoeWeights& weights) {
+  std::vector<double> qoe;
+  qoe.reserve(traces.size());
+  for (const auto& trace : traces) {
+    qoe.push_back(run_session(policy, video, trace, sim, weights).mean_qoe);
+  }
+  return qoe;
+}
+
+AbrSetting abr_default_train() { return {"default train", "Envivio-Dash3", TracePreset::kFcc, 48, 100}; }
+AbrSetting abr_default_test() { return {"default test", "Envivio-Dash3", TracePreset::kFcc, 48, 200}; }
+
+AbrSetting abr_unseen(int which) {
+  switch (which) {
+    case 1:
+      return {"unseen setting1", "Envivio-Dash3", TracePreset::kSynth, 40, 300};
+    case 2:
+      return {"unseen setting2", "SynthVideo", TracePreset::kFcc, 40, 400};
+    case 3:
+      return {"unseen setting3", "SynthVideo", TracePreset::kSynth, 40, 500};
+    default:
+      throw std::invalid_argument("abr_unseen: which must be 1..3");
+  }
+}
+
+VideoModel video_for(const AbrSetting& setting) {
+  return setting.video_name == "SynthVideo" ? VideoModel::synth(setting.seed)
+                                            : VideoModel::envivio(setting.seed);
+}
+
+std::vector<BandwidthTrace> traces_for(const AbrSetting& setting) {
+  return generate_traces(setting.traces, setting.num_traces, setting.seed);
+}
+
+}  // namespace netllm::abr

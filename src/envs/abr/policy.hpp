@@ -1,0 +1,64 @@
+// Policy interface + evaluation driver + Table 3 experiment settings for the
+// ABR task. Rule-based baselines (BBA, MPC), the GENET RL baseline and the
+// NetLLM-adapted LLM all implement `AbrPolicy`, so every figure bench
+// evaluates them through the same loop.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "envs/abr/simulator.hpp"
+
+namespace netllm::abr {
+
+class AbrPolicy {
+ public:
+  virtual ~AbrPolicy() = default;
+  virtual std::string name() const = 0;
+  /// Called once per streaming session before the first chunk.
+  virtual void begin_session() {}
+  virtual int choose_level(const Observation& obs) = 0;
+  /// Called after each chunk with the outcome and its QoE contribution.
+  /// Return-conditioned policies (NetLLM's decision transformer) use this to
+  /// update their return-to-go; rule-based policies ignore it.
+  virtual void observe_result(const ChunkResult& result, double chunk_qoe) {
+    (void)result;
+    (void)chunk_qoe;
+  }
+};
+
+struct SessionStats {
+  double mean_qoe = 0.0;
+  double mean_bitrate_mbps = 0.0;    // per-chunk average
+  double mean_rebuffer_s = 0.0;      // per-chunk average
+  double mean_change_mbps = 0.0;     // per-chunk average
+};
+
+SessionStats run_session(AbrPolicy& policy, const VideoModel& video,
+                         const BandwidthTrace& trace, const SimConfig& sim = {},
+                         const QoeWeights& weights = {});
+
+/// Per-trace mean QoE for each trace in the set.
+std::vector<double> evaluate_qoe(AbrPolicy& policy, const VideoModel& video,
+                                 std::span<const BandwidthTrace> traces,
+                                 const SimConfig& sim = {}, const QoeWeights& weights = {});
+
+/// Table 3 rows: which video and which trace family a setting uses.
+struct AbrSetting {
+  std::string name;         // e.g. "default test"
+  std::string video_name;   // "Envivio-Dash3" or "SynthVideo"
+  TracePreset traces;
+  int num_traces;
+  std::uint64_t seed;       // trace-sampling seed (train vs test differ)
+};
+
+AbrSetting abr_default_train();
+AbrSetting abr_default_test();
+AbrSetting abr_unseen(int which);  // 1: SynthTrace, 2: SynthVideo, 3: both
+
+VideoModel video_for(const AbrSetting& setting);
+std::vector<BandwidthTrace> traces_for(const AbrSetting& setting);
+
+}  // namespace netllm::abr

@@ -1,0 +1,118 @@
+#include "envs/abr/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace netllm::abr {
+
+double qoe_chunk(const QoeWeights& w, double bitrate_kbps, double prev_bitrate_kbps,
+                 double rebuffer_s) {
+  const double bitrate_mbps = bitrate_kbps / 1000.0;
+  const double change_mbps = std::abs(bitrate_kbps - prev_bitrate_kbps) / 1000.0;
+  return bitrate_mbps - w.rebuffer_penalty * rebuffer_s - w.smooth_penalty * change_mbps;
+}
+
+StreamingSession::StreamingSession(const VideoModel& video, const BandwidthTrace& trace,
+                                   SimConfig cfg)
+    : video_(&video), trace_(&trace), cfg_(cfg) {
+  tp_history_.assign(Observation::kHistory, 0.0);
+  delay_history_.assign(Observation::kHistory, 0.0);
+}
+
+Observation StreamingSession::observe() const {
+  Observation obs;
+  obs.past_throughput_mbps = tp_history_;
+  obs.past_delay_s = delay_history_;
+  obs.num_levels = video_->num_levels();
+  obs.buffer_s = buffer_s_;
+  obs.last_level = last_level_;
+  const int chunk = std::min(next_chunk_, video_->num_chunks() - 1);
+  obs.next_chunk_sizes_mbytes.reserve(static_cast<std::size_t>(video_->num_levels()));
+  for (int l = 0; l < video_->num_levels(); ++l) {
+    obs.next_chunk_sizes_mbytes.push_back(video_->chunk_size_bytes(chunk, l) / 1e6);
+  }
+  obs.future_chunk_sizes_mbytes.reserve(
+      static_cast<std::size_t>(Observation::kHorizon * video_->num_levels()));
+  for (int h = 0; h < Observation::kHorizon; ++h) {
+    const int c = std::min(next_chunk_ + h, video_->num_chunks() - 1);
+    for (int l = 0; l < video_->num_levels(); ++l) {
+      obs.future_chunk_sizes_mbytes.push_back(video_->chunk_size_bytes(c, l) / 1e6);
+    }
+  }
+  obs.chunk_duration_s = video_->chunk_duration_s();
+  obs.chunks_remaining = video_->num_chunks() - next_chunk_;
+  obs.remaining_chunks_frac =
+      static_cast<double>(video_->num_chunks() - next_chunk_) / video_->num_chunks();
+  return obs;
+}
+
+ChunkResult StreamingSession::step(int level) {
+  if (done()) throw std::logic_error("StreamingSession::step: session finished");
+  if (level < 0 || level >= video_->num_levels()) {
+    throw std::invalid_argument("StreamingSession::step: invalid bitrate level");
+  }
+  ChunkResult result;
+  result.chunk_size_bytes = video_->chunk_size_bytes(next_chunk_, level);
+
+  // Walk the trace in small increments until the chunk is fully downloaded.
+  double remaining_bytes = result.chunk_size_bytes;
+  double t = clock_s_ + cfg_.rtt_s;  // request RTT before first byte
+  constexpr double kTick = 0.05;     // seconds of simulated transfer per step
+  while (remaining_bytes > 0.0) {
+    const double bw_bytes_per_s = trace_->bw_at(t) * 1e6 / 8.0;
+    const double transferred = bw_bytes_per_s * kTick;
+    if (transferred >= remaining_bytes) {
+      t += remaining_bytes / bw_bytes_per_s;
+      remaining_bytes = 0.0;
+    } else {
+      remaining_bytes -= transferred;
+      t += kTick;
+    }
+  }
+  result.delay_s = t - clock_s_;
+  result.throughput_mbps = result.chunk_size_bytes * 8.0 / 1e6 / std::max(result.delay_s, 1e-9);
+
+  // Buffer dynamics: playback drains while downloading.
+  result.rebuffer_s = std::max(result.delay_s - buffer_s_, 0.0);
+  if (first_chunk_ && !cfg_.startup_counts_as_rebuffer) result.rebuffer_s = 0.0;
+  buffer_s_ = std::max(buffer_s_ - result.delay_s, 0.0) + video_->chunk_duration_s();
+  clock_s_ = t;
+
+  // Buffer cap: the client pauses requests until there is room (time passes,
+  // playback drains, no rebuffering can occur during the pause).
+  if (buffer_s_ > cfg_.buffer_cap_s) {
+    const double wait = buffer_s_ - cfg_.buffer_cap_s;
+    clock_s_ += wait;
+    buffer_s_ = cfg_.buffer_cap_s;
+  }
+
+  // QoE accounting.
+  const double bitrate_kbps = video_->bitrate_kbps(level);
+  const double prev_kbps = first_chunk_ ? bitrate_kbps : video_->bitrate_kbps(last_level_);
+  sum_bitrate_mbps_ += bitrate_kbps / 1000.0;
+  sum_rebuffer_s_ += result.rebuffer_s;
+  sum_change_mbps_ += std::abs(bitrate_kbps - prev_kbps) / 1000.0;
+  first_chunk_ = false;
+
+  // Histories (oldest..newest).
+  tp_history_.erase(tp_history_.begin());
+  tp_history_.push_back(result.throughput_mbps);
+  delay_history_.erase(delay_history_.begin());
+  delay_history_.push_back(result.delay_s);
+
+  last_level_ = level;
+  ++next_chunk_;
+  result.buffer_s = buffer_s_;
+  result.done = done();
+  return result;
+}
+
+double StreamingSession::mean_qoe(const QoeWeights& w) const {
+  if (next_chunk_ == 0) return 0.0;
+  const double total = sum_bitrate_mbps_ - w.rebuffer_penalty * sum_rebuffer_s_ -
+                       w.smooth_penalty * sum_change_mbps_;
+  return total / static_cast<double>(next_chunk_);
+}
+
+}  // namespace netllm::abr

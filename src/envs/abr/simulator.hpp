@@ -1,0 +1,98 @@
+// Chunk-level ABR streaming simulator (Pensieve/GENET mechanics):
+// trace-driven download times, playback buffer with rebuffering and a cap,
+// per-chunk QoE = bitrate - 4.3*rebuffer - |bitrate change| (paper §A.6).
+//
+// The optional RTT models the Fig. 14 "real-world" client/server testbed,
+// where Mahimahi adds an 80 ms round trip on every chunk request.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "envs/abr/trace.hpp"
+#include "envs/abr/video.hpp"
+
+namespace netllm::abr {
+
+struct QoeWeights {
+  double rebuffer_penalty = 4.3;   // lambda (paper / Pensieve)
+  double smooth_penalty = 1.0;     // gamma
+};
+
+/// Per-chunk QoE contribution in the paper's units (Mbps / seconds).
+double qoe_chunk(const QoeWeights& w, double bitrate_kbps, double prev_bitrate_kbps,
+                 double rebuffer_s);
+
+struct SimConfig {
+  double buffer_cap_s = 60.0;
+  // Pensieve convention: the first chunk's wait is startup delay, not
+  // rebuffering (playback has not started yet).
+  bool startup_counts_as_rebuffer = false;
+  double rtt_s = 0.0;              // per-chunk request latency (Fig. 14: 0.08)
+};
+
+struct ChunkResult {
+  double delay_s = 0.0;            // download time incl. RTT
+  double rebuffer_s = 0.0;
+  double buffer_s = 0.0;           // after the chunk is appended
+  double chunk_size_bytes = 0.0;
+  double throughput_mbps = 0.0;    // measured over this download
+  bool done = false;
+};
+
+/// What ABR policies observe before picking the next chunk's bitrate
+/// (Table 1 row 2: time-series throughput/delay, sequence of next-chunk
+/// sizes, scalar buffer).
+struct Observation {
+  static constexpr int kHistory = 8;
+  static constexpr int kHorizon = 5;  // manifest look-ahead (for MPC)
+  std::vector<double> past_throughput_mbps;  // oldest..newest, kHistory long
+  std::vector<double> past_delay_s;
+  std::vector<double> next_chunk_sizes_mbytes;  // one per ladder rung
+  // Known manifest sizes for the next kHorizon chunks (row-major
+  // [horizon][level]); rows past the end of the video repeat the last chunk.
+  std::vector<double> future_chunk_sizes_mbytes;
+  double buffer_s = 0.0;
+  double chunk_duration_s = 4.0;
+  double remaining_chunks_frac = 1.0;
+  int chunks_remaining = 0;
+  int last_level = 0;
+  int num_levels = 0;
+};
+
+class StreamingSession {
+ public:
+  StreamingSession(const VideoModel& video, const BandwidthTrace& trace, SimConfig cfg = {});
+
+  bool done() const { return next_chunk_ >= video_->num_chunks(); }
+  int next_chunk_index() const { return next_chunk_; }
+  Observation observe() const;
+
+  /// Download the next chunk at ladder rung `level`; advances the clock.
+  ChunkResult step(int level);
+
+  /// QoE of the session so far (paper formula, averaged over chunks served).
+  double mean_qoe(const QoeWeights& w = {}) const;
+  /// QoE factor totals for the Fig. 12 breakdown.
+  double total_bitrate_mbps() const { return sum_bitrate_mbps_; }
+  double total_rebuffer_s() const { return sum_rebuffer_s_; }
+  double total_smoothness_mbps() const { return sum_change_mbps_; }
+  int chunks_served() const { return next_chunk_; }
+
+ private:
+  const VideoModel* video_;
+  const BandwidthTrace* trace_;
+  SimConfig cfg_;
+  double clock_s_ = 0.0;
+  double buffer_s_ = 0.0;
+  int next_chunk_ = 0;
+  int last_level_ = 0;
+  bool first_chunk_ = true;
+  double sum_bitrate_mbps_ = 0.0;
+  double sum_rebuffer_s_ = 0.0;
+  double sum_change_mbps_ = 0.0;
+  std::vector<double> tp_history_;
+  std::vector<double> delay_history_;
+};
+
+}  // namespace netllm::abr

@@ -1,0 +1,91 @@
+#include "envs/abr/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/rng.hpp"
+
+namespace netllm::abr {
+
+double BandwidthTrace::bw_at(double t_s) const {
+  if (bw_mbps.empty()) throw std::logic_error("BandwidthTrace: empty trace");
+  const auto n = bw_mbps.size();
+  auto idx = static_cast<std::size_t>(std::max(t_s, 0.0) / interval_s);
+  return bw_mbps[idx % n];
+}
+
+double BandwidthTrace::mean_mbps() const {
+  double s = 0.0;
+  for (double b : bw_mbps) s += b;
+  return bw_mbps.empty() ? 0.0 : s / static_cast<double>(bw_mbps.size());
+}
+
+std::string preset_name(TracePreset preset) {
+  switch (preset) {
+    case TracePreset::kFcc: return "fcc";
+    case TracePreset::kSynth: return "synthtrace";
+    case TracePreset::kBroadband: return "broadband";
+    case TracePreset::kCellular: return "cellular";
+  }
+  return "unknown";
+}
+
+namespace {
+
+struct PresetParams {
+  double lo_mbps, hi_mbps;       // level range
+  double dwell_lo_s, dwell_hi_s; // how long a level holds
+  double jitter_frac;            // Gaussian jitter as a fraction of level
+  double outage_prob;            // per-dwell chance of a near-outage level
+};
+
+PresetParams params_for(TracePreset preset) {
+  switch (preset) {
+    case TracePreset::kFcc:
+      return {0.6, 4.0, 6.0, 16.0, 0.08, 0.00};
+    case TracePreset::kSynth:
+      // Paper: "larger bandwidth range and more dynamic fluctuation patterns
+      // than FCC" — levels change every 1-4 s across a wider span.
+      return {0.2, 6.5, 1.0, 4.0, 0.18, 0.02};
+    case TracePreset::kBroadband:
+      return {2.0, 6.0, 8.0, 20.0, 0.05, 0.00};
+    case TracePreset::kCellular:
+      return {0.3, 3.0, 2.0, 8.0, 0.25, 0.08};
+  }
+  throw std::invalid_argument("params_for: unknown preset");
+}
+
+}  // namespace
+
+std::vector<BandwidthTrace> generate_traces(TracePreset preset, int count, std::uint64_t seed,
+                                            double duration_s) {
+  if (count <= 0 || duration_s <= 0) throw std::invalid_argument("generate_traces: bad args");
+  const auto p = params_for(preset);
+  core::Rng rng(seed ^ (static_cast<std::uint64_t>(preset) << 32));
+  std::vector<BandwidthTrace> traces;
+  traces.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    BandwidthTrace trace;
+    trace.name = preset_name(preset) + "-" + std::to_string(i);
+    trace.interval_s = 1.0;
+    const auto samples = static_cast<std::size_t>(duration_s / trace.interval_s);
+    double level = rng.uniform(p.lo_mbps, p.hi_mbps);
+    double dwell_left = rng.uniform(p.dwell_lo_s, p.dwell_hi_s);
+    trace.bw_mbps.reserve(samples);
+    for (std::size_t s = 0; s < samples; ++s) {
+      if (dwell_left <= 0.0) {
+        level = rng.bernoulli(p.outage_prob) ? p.lo_mbps * 0.3
+                                             : rng.uniform(p.lo_mbps, p.hi_mbps);
+        dwell_left = rng.uniform(p.dwell_lo_s, p.dwell_hi_s);
+      }
+      dwell_left -= trace.interval_s;
+      const double sample = level * (1.0 + rng.gaussian(0.0, p.jitter_frac));
+      trace.bw_mbps.push_back(std::max(sample, 0.05));
+    }
+    traces.push_back(std::move(trace));
+  }
+  return traces;
+}
+
+}  // namespace netllm::abr

@@ -1,0 +1,42 @@
+// Bandwidth traces and their synthetic generators.
+//
+// Presets stand in for the paper's datasets (DESIGN.md substitution table):
+//   kFcc       — broadband FCC-2016-like: moderate mean, slow variation
+//                (Table 3 default train/test).
+//   kSynth     — Pensieve-style synthetic: wider range, fast fluctuation
+//                (Table 3 unseen settings 1 & 3).
+//   kBroadband — stable high-bandwidth links for the Fig. 14 real-world test.
+//   kCellular  — 3G-like mobile links with deep fades and outages (Fig. 14).
+//
+// Generation uses a Markov-modulated level process: bandwidth holds a level
+// for a dwell time, then jumps; Gaussian jitter rides on top. This mirrors
+// the statistical structure ABR algorithms are sensitive to (level shifts
+// versus short-term noise) without the raw FCC CSVs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace netllm::abr {
+
+struct BandwidthTrace {
+  std::string name;
+  double interval_s = 1.0;          // sample spacing
+  std::vector<double> bw_mbps;      // piecewise-constant samples
+
+  /// Bandwidth at absolute time t (the trace loops past its end).
+  double bw_at(double t_s) const;
+  double duration_s() const { return interval_s * static_cast<double>(bw_mbps.size()); }
+  double mean_mbps() const;
+};
+
+enum class TracePreset { kFcc, kSynth, kBroadband, kCellular };
+
+std::string preset_name(TracePreset preset);
+
+/// Deterministically generate `count` traces of ~`duration_s` seconds.
+std::vector<BandwidthTrace> generate_traces(TracePreset preset, int count, std::uint64_t seed,
+                                            double duration_s = 320.0);
+
+}  // namespace netllm::abr

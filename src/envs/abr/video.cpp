@@ -1,0 +1,51 @@
+#include "envs/abr/video.hpp"
+
+#include <stdexcept>
+
+#include "core/rng.hpp"
+
+namespace netllm::abr {
+
+VideoModel::VideoModel(std::string name, int num_chunks, double chunk_duration_s,
+                       std::vector<double> bitrates_kbps, std::uint64_t seed)
+    : name_(std::move(name)),
+      num_chunks_(num_chunks),
+      chunk_duration_s_(chunk_duration_s),
+      bitrates_kbps_(std::move(bitrates_kbps)) {
+  if (num_chunks_ <= 0 || chunk_duration_s_ <= 0 || bitrates_kbps_.empty()) {
+    throw std::invalid_argument("VideoModel: invalid parameters");
+  }
+  for (std::size_t i = 1; i < bitrates_kbps_.size(); ++i) {
+    if (bitrates_kbps_[i] <= bitrates_kbps_[i - 1]) {
+      throw std::invalid_argument("VideoModel: bitrate ladder must be strictly increasing");
+    }
+  }
+  core::Rng rng(seed);
+  sizes_bytes_.resize(static_cast<std::size_t>(num_chunks_));
+  for (auto& per_chunk : sizes_bytes_) {
+    // Scene complexity is shared across ladder rungs of the same chunk —
+    // matching how real VBR encoders produce correlated per-rung sizes.
+    const double complexity = rng.uniform(0.8, 1.2);
+    per_chunk.reserve(bitrates_kbps_.size());
+    for (double kbps : bitrates_kbps_) {
+      const double nominal = kbps * 1000.0 / 8.0 * chunk_duration_s_;
+      per_chunk.push_back(nominal * complexity * rng.uniform(0.95, 1.05));
+    }
+  }
+}
+
+VideoModel VideoModel::envivio(std::uint64_t seed) {
+  return VideoModel("envivio-dash3", 48, 4.0, {300, 750, 1200, 1850, 2850, 4300}, seed);
+}
+
+VideoModel VideoModel::synth(std::uint64_t seed) {
+  // Same rung count/format, larger bitrates (paper: "shares a similar format
+  // ... but with a larger video bitrate").
+  return VideoModel("synthvideo", 48, 4.0, {400, 1000, 1700, 2700, 4500, 7000}, seed);
+}
+
+double VideoModel::chunk_size_bytes(int chunk, int level) const {
+  return sizes_bytes_.at(static_cast<std::size_t>(chunk)).at(static_cast<std::size_t>(level));
+}
+
+}  // namespace netllm::abr

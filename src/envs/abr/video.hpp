@@ -1,0 +1,40 @@
+// Video models for the ABR task: per-chunk sizes at each bitrate ladder
+// rung, with VBR noise. `envivio` mirrors the Envivio-Dash3 reference video
+// used by Pensieve/GENET (48 chunks x 4 s, 6-rung ladder up to 4300 kbps);
+// `synth` is the paper's SynthVideo generalization stressor — same format,
+// larger bitrates (Table 3, unseen settings 1 & 3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace netllm::abr {
+
+class VideoModel {
+ public:
+  VideoModel(std::string name, int num_chunks, double chunk_duration_s,
+             std::vector<double> bitrates_kbps, std::uint64_t seed);
+
+  static VideoModel envivio(std::uint64_t seed);
+  static VideoModel synth(std::uint64_t seed);
+
+  const std::string& name() const { return name_; }
+  int num_chunks() const { return num_chunks_; }
+  double chunk_duration_s() const { return chunk_duration_s_; }
+  int num_levels() const { return static_cast<int>(bitrates_kbps_.size()); }
+  const std::vector<double>& bitrates_kbps() const { return bitrates_kbps_; }
+  double bitrate_kbps(int level) const { return bitrates_kbps_.at(static_cast<std::size_t>(level)); }
+
+  /// Size in bytes of `chunk` encoded at ladder rung `level`.
+  double chunk_size_bytes(int chunk, int level) const;
+
+ private:
+  std::string name_;
+  int num_chunks_;
+  double chunk_duration_s_;
+  std::vector<double> bitrates_kbps_;
+  std::vector<std::vector<double>> sizes_bytes_;  // [chunk][level]
+};
+
+}  // namespace netllm::abr

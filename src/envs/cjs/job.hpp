@@ -1,0 +1,48 @@
+// Synthetic DAG workloads for the CJS task, standing in for TPC-H Spark jobs
+// (DESIGN.md substitution table). Each job is a DAG of stages; a stage has a
+// task count and per-task duration; stages run only after all their parents
+// finish. Knobs mirror Table 4 (number of job requests, executor budget),
+// with a `scale` factor that shrinks workloads proportionally so the LLM
+// policies stay evaluable on CPU — ratios (load per executor) are preserved.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace netllm::cjs {
+
+struct StageSpec {
+  int num_tasks = 1;
+  double task_duration_s = 1.0;
+  std::vector<int> parents;  // stage indices within the same job
+};
+
+struct JobSpec {
+  int id = 0;
+  double arrival_s = 0.0;
+  std::vector<StageSpec> stages;
+  double total_work_s() const;
+};
+
+struct WorkloadConfig {
+  std::string name = "default";
+  int num_job_requests = 200;    // Table 4 "Job Requests"
+  int executor_units_k = 50;     // Table 4 "Executor Resources (k)"
+  double scale = 0.25;           // proportional shrink for CPU budgets
+  std::uint64_t seed = 1;
+
+  int scaled_jobs() const;
+  int scaled_executors() const;  // 1k units ~ 1 executor before scaling
+};
+
+/// TPC-H-like mixture: job templates with 2-6 stages, chain/fan-in/fan-out
+/// shapes, heavy-tailed task counts and durations, Poisson arrivals.
+std::vector<JobSpec> generate_jobs(const WorkloadConfig& cfg);
+
+/// Table 4 rows.
+WorkloadConfig cjs_default_train();
+WorkloadConfig cjs_default_test();
+WorkloadConfig cjs_unseen(int which);  // 1: 200/30k, 2: 450/50k, 3: 450/30k
+
+}  // namespace netllm::cjs

@@ -1,0 +1,296 @@
+#include "envs/cjs/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+namespace netllm::cjs {
+
+namespace {
+
+constexpr double kSetupDelayS = 0.25;  // moving cost for a fresh assignment
+
+struct StageRuntime {
+  const StageSpec* spec = nullptr;
+  int unstarted = 0;
+  int running = 0;
+  int finished = 0;
+  int assigned = 0;  // executors currently bound to this stage
+  int cap = 0;       // executor cap granted by the scheduler
+  int parents_pending = 0;
+  bool done() const { return finished == spec->num_tasks; }
+};
+
+struct JobRuntime {
+  const JobSpec* spec = nullptr;
+  bool arrived = false;
+  double finish_s = -1.0;
+  int stages_done = 0;
+  std::vector<StageRuntime> stages;
+  bool done() const { return stages_done == static_cast<int>(stages.size()); }
+};
+
+struct Event {
+  double time;
+  int type;   // 0 = job arrival, 1 = task completion
+  int job;
+  int stage;
+  bool operator>(const Event& other) const { return time > other.time; }
+};
+
+class Simulation {
+ public:
+  Simulation(std::span<const JobSpec> jobs, int num_executors)
+      : total_executors_(num_executors), idle_executors_(num_executors) {
+    if (num_executors <= 0) throw std::invalid_argument("run_episode: need executors");
+    if (jobs.empty()) throw std::invalid_argument("run_episode: empty workload");
+    jobs_.reserve(jobs.size());
+    for (const auto& spec : jobs) {
+      JobRuntime jr;
+      jr.spec = &spec;
+      jr.stages.resize(spec.stages.size());
+      for (std::size_t s = 0; s < spec.stages.size(); ++s) {
+        auto& st = jr.stages[s];
+        st.spec = &spec.stages[s];
+        st.unstarted = spec.stages[s].num_tasks;
+        st.parents_pending = static_cast<int>(spec.stages[s].parents.size());
+      }
+      jobs_.push_back(std::move(jr));
+    }
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      events_.push({jobs[j].arrival_s, 0, static_cast<int>(j), 0});
+    }
+  }
+
+  EpisodeResult run(SchedPolicy& policy, std::vector<Decision>* recorder) {
+    policy.begin_episode();
+    EpisodeResult result;
+    while (!events_.empty()) {
+      // Pop all events at the same timestamp before rescheduling.
+      const double now = events_.top().time;
+      accumulate_reward(now);
+      while (!events_.empty() && events_.top().time <= now + 1e-12) {
+        apply_event(events_.top());
+        events_.pop();
+      }
+      schedule(policy, recorder, result);
+    }
+    // Credit the tail reward to the final decision.
+    if (recorder && !recorder->empty()) {
+      recorder->back().reward += pending_reward_;
+    }
+    result.total_reward += pending_reward_;
+    pending_reward_ = 0.0;
+
+    for (const auto& jr : jobs_) {
+      if (jr.finish_s < 0) throw std::logic_error("run_episode: unfinished job at drain");
+      result.jct_s.push_back(jr.finish_s - jr.spec->arrival_s);
+      result.makespan_s = std::max(result.makespan_s, jr.finish_s);
+    }
+    return result;
+  }
+
+ private:
+  void accumulate_reward(double now) {
+    // Piecewise-constant integral of jobs-in-system since the last event.
+    pending_reward_ -= (now - clock_) * jobs_in_system_;
+    unreported_reward_ -= (now - clock_) * jobs_in_system_;
+    clock_ = now;
+  }
+
+  void apply_event(const Event& ev) {
+    auto& jr = jobs_[static_cast<std::size_t>(ev.job)];
+    if (ev.type == 0) {
+      jr.arrived = true;
+      ++jobs_in_system_;
+      return;
+    }
+    // Task completion.
+    auto& st = jr.stages[static_cast<std::size_t>(ev.stage)];
+    --st.running;
+    ++st.finished;
+    if (st.unstarted > 0 && st.assigned <= st.cap) {
+      // The executor keeps pulling tasks from this stage (no setup delay).
+      --st.unstarted;
+      ++st.running;
+      events_.push({clock_ + st.spec->task_duration_s, 1, ev.job, ev.stage});
+      return;
+    }
+    // Executor released.
+    --st.assigned;
+    ++idle_executors_;
+    if (st.done() && st.running == 0) {
+      // Stage complete: release dependents.
+      ++jr.stages_done;
+      for (std::size_t s = 0; s < jr.stages.size(); ++s) {
+        for (int parent : jr.spec->stages[s].parents) {
+          if (parent == ev.stage) --jr.stages[s].parents_pending;
+        }
+      }
+      if (jr.done()) {
+        jr.finish_s = clock_;
+        --jobs_in_system_;
+      }
+    }
+  }
+
+  bool stage_runnable(const JobRuntime& jr, const StageRuntime& st) const {
+    return jr.arrived && st.parents_pending == 0 && st.unstarted > 0;
+  }
+
+  bool skipped_this_round(int j, int s) const {
+    return std::find(round_skip_.begin(), round_skip_.end(), std::pair<int, int>{j, s}) !=
+           round_skip_.end();
+  }
+
+  SchedObservation build_observation() const {
+    SchedObservation obs;
+    obs.idle_executors = idle_executors_;
+    obs.total_executors = total_executors_;
+    obs.clock_s = clock_;
+    obs.jobs_in_system = jobs_in_system_;
+
+    // Active stage rows + per-job local index maps for the topology.
+    std::vector<float> features;
+    std::vector<std::pair<int, int>> row_ids;  // (job, stage) per row
+    for (std::size_t j = 0; j < jobs_.size(); ++j) {
+      const auto& jr = jobs_[j];
+      if (!jr.arrived || jr.done()) continue;
+      const double job_total = jr.spec->total_work_s();
+      double job_remaining = 0.0;
+      for (const auto& st : jr.stages) {
+        job_remaining += (st.unstarted + st.running) * st.spec->task_duration_s;
+      }
+      for (std::size_t s = 0; s < jr.stages.size(); ++s) {
+        const auto& st = jr.stages[s];
+        if (st.done() && st.running == 0) continue;
+        row_ids.emplace_back(static_cast<int>(j), static_cast<int>(s));
+        features.push_back(static_cast<float>(st.unstarted) / 40.0f);
+        features.push_back(static_cast<float>(st.spec->task_duration_s) / 3.0f);
+        features.push_back(static_cast<float>(st.assigned) / static_cast<float>(total_executors_));
+        features.push_back(stage_runnable(jr, st) ? 1.0f : 0.0f);
+        features.push_back(static_cast<float>(job_remaining / std::max(job_total, 1e-9)));
+        features.push_back(static_cast<float>(std::log1p(clock_ - jr.spec->arrival_s) / 5.0));
+        // Absolute remaining work of the whole job — the size signal that
+        // lets learned schedulers discover shortest-job-first behaviour.
+        features.push_back(static_cast<float>(job_remaining / 100.0));
+      }
+    }
+    const auto n = static_cast<std::int64_t>(row_ids.size());
+    obs.node_features = tensor::Tensor::from(std::move(features),
+                                             {n, SchedObservation::kNodeFeatures});
+    obs.job_of_row.reserve(row_ids.size());
+    obs.job_arrival_of_row.reserve(row_ids.size());
+    for (const auto& [j, s] : row_ids) {
+      obs.job_of_row.push_back(jobs_[static_cast<std::size_t>(j)].spec->id);
+      obs.job_arrival_of_row.push_back(jobs_[static_cast<std::size_t>(j)].spec->arrival_s);
+    }
+    obs.topology.num_nodes = n;
+    obs.topology.children.assign(static_cast<std::size_t>(n), {});
+    // children[v] = dependents of v (same job, v listed among parents), so
+    // a stage's embedding summarises the downstream work it unblocks.
+    for (std::size_t row = 0; row < row_ids.size(); ++row) {
+      const auto [j, s] = row_ids[row];
+      for (int parent : jobs_[static_cast<std::size_t>(j)].spec->stages[static_cast<std::size_t>(s)].parents) {
+        // Find the row of (j, parent) if still active.
+        for (std::size_t other = 0; other < row_ids.size(); ++other) {
+          if (row_ids[other].first == j && row_ids[other].second == parent) {
+            obs.topology.children[other].push_back(static_cast<int>(row));
+            break;
+          }
+        }
+      }
+    }
+    for (std::size_t row = 0; row < row_ids.size(); ++row) {
+      const auto [j, s] = row_ids[row];
+      const auto& jr = jobs_[static_cast<std::size_t>(j)];
+      if (stage_runnable(jr, jr.stages[static_cast<std::size_t>(s)]) &&
+          !skipped_this_round(j, s)) {
+        obs.runnable_rows.push_back(static_cast<int>(row));
+      }
+    }
+    obs_row_ids_ = row_ids;
+    return obs;
+  }
+
+  void schedule(SchedPolicy& policy, std::vector<Decision>* recorder, EpisodeResult& result) {
+    // A scheduling "round" runs until executors or un-skipped runnable work
+    // are exhausted. Stages whose granted cap is already saturated are
+    // skipped for the rest of the round so caps are honoured (a stage can
+    // still be re-picked with a *larger* cap before saturation).
+    round_skip_.clear();
+    while (idle_executors_ > 0) {
+      auto obs = build_observation();
+      if (obs.runnable_rows.empty()) break;
+      policy.observe_reward(unreported_reward_);
+      unreported_reward_ = 0.0;
+      const auto action = policy.choose(obs);
+      if (action.runnable_index < 0 ||
+          action.runnable_index >= static_cast<int>(obs.runnable_rows.size())) {
+        throw std::invalid_argument("SchedPolicy returned invalid runnable_index");
+      }
+      if (action.cap_choice < 0 || action.cap_choice >= kNumCapChoices) {
+        throw std::invalid_argument("SchedPolicy returned invalid cap_choice");
+      }
+      const int row = obs.runnable_rows[static_cast<std::size_t>(action.runnable_index)];
+      const auto [j, s] = obs_row_ids_[static_cast<std::size_t>(row)];
+      auto& st = jobs_[static_cast<std::size_t>(j)].stages[static_cast<std::size_t>(s)];
+      const int cap = std::max(
+          1, static_cast<int>(std::lround(kCapFractions[action.cap_choice] * total_executors_)));
+      st.cap = std::max(st.cap, cap);
+      const int grant = std::min({st.cap - st.assigned, idle_executors_, st.unstarted});
+      if (grant <= 0) {
+        // Saturated under its cap: take it out of this round's menu.
+        round_skip_.emplace_back(j, s);
+        continue;
+      }
+      for (int g = 0; g < grant; ++g) {
+        --idle_executors_;
+        ++st.assigned;
+        --st.unstarted;
+        ++st.running;
+        events_.push({clock_ + st.spec->task_duration_s + kSetupDelayS, 1, j, s});
+      }
+      // Credit accumulated reward to the *previous* decision, start a fresh
+      // accumulator for this one.
+      if (recorder) {
+        if (!recorder->empty()) recorder->back().reward += pending_reward_;
+        Decision d;
+        d.obs = std::move(obs);
+        d.action = action;
+        recorder->push_back(std::move(d));
+      }
+      result.total_reward += pending_reward_;
+      pending_reward_ = 0.0;
+      ++result.num_decisions;
+    }
+  }
+
+  std::vector<JobRuntime> jobs_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  int total_executors_;
+  int idle_executors_;
+  int jobs_in_system_ = 0;
+  double clock_ = 0.0;
+  double pending_reward_ = 0.0;
+  double unreported_reward_ = 0.0;  // reward since the last choose() call
+  std::vector<std::pair<int, int>> round_skip_;
+  mutable std::vector<std::pair<int, int>> obs_row_ids_;
+};
+
+}  // namespace
+
+EpisodeResult run_episode(std::span<const JobSpec> jobs, int num_executors, SchedPolicy& policy,
+                          std::vector<Decision>* recorder) {
+  Simulation sim(jobs, num_executors);
+  return sim.run(policy, recorder);
+}
+
+EpisodeResult run_workload(const WorkloadConfig& cfg, SchedPolicy& policy,
+                           std::vector<Decision>* recorder) {
+  const auto jobs = generate_jobs(cfg);
+  return run_episode(jobs, cfg.scaled_executors(), policy, recorder);
+}
+
+}  // namespace netllm::cjs

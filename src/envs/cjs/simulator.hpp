@@ -1,0 +1,86 @@
+// Event-driven cluster scheduling simulator for the CJS task.
+//
+// Mechanics follow Decima's abstraction of a Spark cluster: jobs arrive over
+// time, each a DAG of stages; a stage becomes runnable when its parents
+// finish; the scheduler is invoked whenever executors are idle and runnable
+// work exists, and answers with (which runnable stage, executor cap) — the
+// paper's two CJS networking-head outputs (Table 1). Executors assigned to a
+// stage keep pulling its tasks until the stage drains or its cap is hit.
+// A small setup delay on freshly assigned executors models Decima's moving
+// cost. Reward between decisions is -(elapsed x jobs-in-system), whose sum
+// is (up to a constant) the negative total job completion time.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "envs/cjs/job.hpp"
+#include "nn/graph.hpp"
+#include "tensor/tensor.hpp"
+
+namespace netllm::cjs {
+
+/// Executor-cap menu presented to policies, as fractions of the cluster.
+inline constexpr double kCapFractions[] = {0.1, 0.25, 0.5, 1.0};
+inline constexpr int kNumCapChoices = 4;
+
+struct SchedObservation {
+  // One row per *active* stage (job arrived, stage unfinished), including
+  // stages whose dependencies are still pending (DAG context for the GNN).
+  tensor::Tensor node_features;      // [N, kNodeFeatures]
+  nn::DagTopology topology;          // children[v] = dependents of v
+  std::vector<int> runnable_rows;    // rows selectable by the scheduler
+  std::vector<int> job_of_row;       // job id per node row
+  std::vector<double> job_arrival_of_row;  // arrival time per node row (s)
+  int idle_executors = 0;
+  int total_executors = 0;
+  double clock_s = 0.0;
+  int jobs_in_system = 0;
+
+  static constexpr int kNodeFeatures = 7;
+};
+
+struct SchedAction {
+  int runnable_index = 0;  // index into SchedObservation::runnable_rows
+  int cap_choice = 0;      // index into kCapFractions
+};
+
+class SchedPolicy {
+ public:
+  virtual ~SchedPolicy() = default;
+  virtual std::string name() const = 0;
+  virtual void begin_episode() {}
+  virtual SchedAction choose(const SchedObservation& obs) = 0;
+  /// Reward accumulated since this policy's previous decision (delivered
+  /// just before the next `choose`). Return-conditioned policies (NetLLM's
+  /// decision transformer) use it to update their return-to-go.
+  virtual void observe_reward(double reward) { (void)reward; }
+};
+
+struct Decision {
+  SchedObservation obs;
+  SchedAction action;
+  double reward = 0.0;  // integrated until the next decision (or episode end)
+};
+
+struct EpisodeResult {
+  std::vector<double> jct_s;      // per job, completion - arrival
+  double makespan_s = 0.0;
+  double total_reward = 0.0;
+  int num_decisions = 0;
+};
+
+/// Simulate one workload to completion under `policy`. When `recorder` is
+/// non-null every decision (observation, action, credited reward) is
+/// appended — this is how `RL_Collect` builds the DD-LRNA experience pool.
+EpisodeResult run_episode(std::span<const JobSpec> jobs, int num_executors, SchedPolicy& policy,
+                          std::vector<Decision>* recorder = nullptr);
+
+/// Convenience: generate the workload for `cfg` and run it.
+EpisodeResult run_workload(const WorkloadConfig& cfg, SchedPolicy& policy,
+                           std::vector<Decision>* recorder = nullptr);
+
+}  // namespace netllm::cjs

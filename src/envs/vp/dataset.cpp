@@ -1,0 +1,53 @@
+#include "envs/vp/dataset.hpp"
+
+#include <stdexcept>
+
+namespace netllm::vp {
+
+VpSetting vp_default_train() { return {"default train", VpDataset::kJin2022, 2.0, 4.0, 30, 1000}; }
+VpSetting vp_default_test() { return {"default test", VpDataset::kJin2022, 2.0, 4.0, 12, 2000}; }
+
+VpSetting vp_unseen(int which) {
+  switch (which) {
+    case 1:
+      return {"unseen setting1", VpDataset::kJin2022, 4.0, 6.0, 12, 3000};
+    case 2:
+      return {"unseen setting2", VpDataset::kWu2017, 2.0, 4.0, 8, 4000};
+    case 3:
+      return {"unseen setting3", VpDataset::kWu2017, 4.0, 6.0, 8, 5000};
+    default:
+      throw std::invalid_argument("vp_unseen: which must be 1..3");
+  }
+}
+
+std::vector<VpSample> build_dataset(const VpSetting& setting, int max_samples) {
+  const auto traces = generate_traces(setting.dataset, setting.num_traces, setting.seed);
+  const auto hw = static_cast<int>(setting.hw_s * kSampleHz);
+  const auto pw = static_cast<int>(setting.pw_s * kSampleHz);
+  const auto stride = static_cast<int>(kSampleHz);  // one window per second
+  std::vector<VpSample> samples;
+  for (const auto& trace : traces) {
+    const auto len = static_cast<int>(trace.samples.size());
+    for (int t = hw; t + pw <= len; t += stride) {
+      VpSample s;
+      s.history.assign(trace.samples.begin() + (t - hw), trace.samples.begin() + t);
+      s.future.assign(trace.samples.begin() + t, trace.samples.begin() + t + pw);
+      s.saliency = render_saliency(trace, t, setting.seed);
+      samples.push_back(std::move(s));
+      if (max_samples > 0 && static_cast<int>(samples.size()) >= max_samples) return samples;
+    }
+  }
+  return samples;
+}
+
+std::vector<double> evaluate_mae(VpPredictor& predictor, std::span<const VpSample> samples) {
+  std::vector<double> mae;
+  mae.reserve(samples.size());
+  for (const auto& s : samples) {
+    const auto pred = predictor.predict(s.history, s.saliency, static_cast<int>(s.future.size()));
+    mae.push_back(viewport_mae(pred, s.future));
+  }
+  return mae;
+}
+
+}  // namespace netllm::vp

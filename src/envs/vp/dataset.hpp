@@ -1,0 +1,52 @@
+// Windowed SL dataset + predictor interface + Table 2 settings for the VP
+// task. Windows pair `hw` seconds of history (and the saliency image at the
+// prediction instant) with `pw` seconds of future viewports at 5 Hz.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "envs/vp/viewport.hpp"
+#include "tensor/tensor.hpp"
+
+namespace netllm::vp {
+
+struct VpSample {
+  std::vector<Viewport> history;   // hw * 5 samples, oldest first
+  std::vector<Viewport> future;    // pw * 5 samples
+  tensor::Tensor saliency;         // [16,16] at the prediction instant
+};
+
+struct VpSetting {
+  std::string name;       // Table 2 row label
+  VpDataset dataset;
+  double hw_s;            // historical window
+  double pw_s;            // prediction window
+  int num_traces;
+  std::uint64_t seed;
+};
+
+VpSetting vp_default_train();
+VpSetting vp_default_test();
+VpSetting vp_unseen(int which);  // 1: hw4/pw6 Jin, 2: Wu hw2/pw4, 3: Wu hw4/pw6
+
+/// Slice every trace of the setting into windows (stride 1 s).
+std::vector<VpSample> build_dataset(const VpSetting& setting, int max_samples = 0);
+
+/// Common interface for all VP methods (LR, Velocity, TRACK, NetLLM).
+class VpPredictor {
+ public:
+  virtual ~VpPredictor() = default;
+  virtual std::string name() const = 0;
+  /// Predict `horizon` future viewports. `saliency` may be ignored by
+  /// rule-based methods.
+  virtual std::vector<Viewport> predict(std::span<const Viewport> history,
+                                        const tensor::Tensor& saliency, int horizon) = 0;
+};
+
+/// Per-sample MAE for each sample in the set.
+std::vector<double> evaluate_mae(VpPredictor& predictor, std::span<const VpSample> samples);
+
+}  // namespace netllm::vp

@@ -1,0 +1,127 @@
+#include "envs/vp/viewport.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/rng.hpp"
+
+namespace netllm::vp {
+
+std::string dataset_name(VpDataset dataset) {
+  return dataset == VpDataset::kJin2022 ? "Jin2022" : "Wu2017";
+}
+
+namespace {
+
+struct DynamicsParams {
+  double duration_s;
+  double hotspot_speed;    // hotspot random-walk step (deg / sample)
+  double chase_gain;       // how fast the gaze closes on the hotspot
+  double inertia;          // velocity smoothing
+  double noise_deg;        // sensor/micro-movement noise
+  double saccade_prob;     // per-sample probability of a hotspot jump
+};
+
+DynamicsParams params_for(VpDataset dataset) {
+  switch (dataset) {
+    case VpDataset::kJin2022:
+      return {60.0, 1.2, 0.10, 0.85, 0.5, 0.004};
+    case VpDataset::kWu2017:
+      return {242.0, 2.0, 0.14, 0.75, 0.9, 0.012};
+  }
+  throw std::invalid_argument("params_for: unknown dataset");
+}
+
+/// Reflect x into [-bound, bound].
+double reflect(double x, double bound) {
+  while (x > bound || x < -bound) {
+    if (x > bound) x = 2 * bound - x;
+    if (x < -bound) x = -2 * bound - x;
+  }
+  return x;
+}
+
+}  // namespace
+
+std::vector<ViewportTrace> generate_traces(VpDataset dataset, int count, std::uint64_t seed) {
+  if (count <= 0) throw std::invalid_argument("generate_traces: count must be positive");
+  const auto p = params_for(dataset);
+  core::Rng rng(seed ^ (static_cast<std::uint64_t>(dataset) << 40));
+  std::vector<ViewportTrace> traces;
+  traces.reserve(static_cast<std::size_t>(count));
+  const auto samples = static_cast<int>(p.duration_s * kSampleHz);
+  for (int i = 0; i < count; ++i) {
+    ViewportTrace trace;
+    trace.name = dataset_name(dataset) + "-" + std::to_string(i);
+    trace.samples.reserve(static_cast<std::size_t>(samples));
+    trace.hotspot.reserve(static_cast<std::size_t>(samples));
+    Viewport hotspot{0.0, rng.uniform(-30, 30), rng.uniform(-120, 120)};
+    Viewport gaze = hotspot;
+    Viewport velocity{};
+    for (int t = 0; t < samples; ++t) {
+      // Hotspot: bounded random walk with occasional saccade jumps.
+      if (rng.bernoulli(p.saccade_prob)) {
+        hotspot.yaw = rng.uniform(-150, 150);
+        hotspot.pitch = rng.uniform(-50, 50);
+      } else {
+        hotspot.yaw = reflect(hotspot.yaw + rng.gaussian(0, p.hotspot_speed), 150.0);
+        hotspot.pitch = reflect(hotspot.pitch + rng.gaussian(0, p.hotspot_speed * 0.5), 50.0);
+      }
+      // Gaze chases the hotspot with inertia.
+      velocity.yaw = p.inertia * velocity.yaw + p.chase_gain * (hotspot.yaw - gaze.yaw);
+      velocity.pitch = p.inertia * velocity.pitch + p.chase_gain * (hotspot.pitch - gaze.pitch);
+      velocity.roll = p.inertia * velocity.roll + p.chase_gain * (0.3 * velocity.yaw - gaze.roll);
+      gaze.yaw = reflect(gaze.yaw + velocity.yaw + rng.gaussian(0, p.noise_deg), 160.0);
+      gaze.pitch = reflect(gaze.pitch + velocity.pitch + rng.gaussian(0, p.noise_deg), 60.0);
+      gaze.roll = reflect(gaze.roll + velocity.roll + rng.gaussian(0, p.noise_deg * 0.5), 20.0);
+      trace.samples.push_back(gaze);
+      trace.hotspot.push_back(hotspot);
+    }
+    traces.push_back(std::move(trace));
+  }
+  return traces;
+}
+
+tensor::Tensor render_saliency(const ViewportTrace& trace, int t, std::uint64_t seed) {
+  if (t < 0 || t >= static_cast<int>(trace.samples.size())) {
+    throw std::invalid_argument("render_saliency: sample index out of range");
+  }
+  core::Rng rng(seed ^ static_cast<std::uint64_t>(t) * 0x9e3779b9ULL);
+  const auto& hs = trace.hotspot[static_cast<std::size_t>(t)];
+  // Map (yaw, pitch) onto the grid.
+  const double cx = (hs.yaw + 160.0) / 320.0 * (kSaliencySize - 1);
+  const double cy = (hs.pitch + 60.0) / 120.0 * (kSaliencySize - 1);
+  // A weaker distractor blob makes the image non-trivial to read.
+  const double dx = rng.uniform(0, kSaliencySize - 1);
+  const double dy = rng.uniform(0, kSaliencySize - 1);
+  std::vector<float> pixels(kSaliencySize * kSaliencySize);
+  for (int y = 0; y < kSaliencySize; ++y) {
+    for (int x = 0; x < kSaliencySize; ++x) {
+      const double main =
+          std::exp(-((x - cx) * (x - cx) + (y - cy) * (y - cy)) / (2.0 * 2.0 * 2.0));
+      const double distract =
+          0.4 * std::exp(-((x - dx) * (x - dx) + (y - dy) * (y - dy)) / (2.0 * 1.5 * 1.5));
+      const double noise = 0.05 * rng.uniform();
+      pixels[static_cast<std::size_t>(y * kSaliencySize + x)] =
+          static_cast<float>(std::clamp(main + distract + noise, 0.0, 1.0));
+    }
+  }
+  return tensor::Tensor::from(std::move(pixels), {kSaliencySize, kSaliencySize});
+}
+
+double viewport_mae(std::span<const Viewport> predicted, std::span<const Viewport> actual) {
+  if (predicted.size() != actual.size() || predicted.empty()) {
+    throw std::invalid_argument("viewport_mae: horizon mismatch or empty");
+  }
+  double total = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    total += (std::abs(predicted[i].roll - actual[i].roll) +
+              std::abs(predicted[i].pitch - actual[i].pitch) +
+              std::abs(predicted[i].yaw - actual[i].yaw)) /
+             3.0;
+  }
+  return total / static_cast<double>(predicted.size());
+}
+
+}  // namespace netllm::vp

@@ -1,0 +1,51 @@
+// Viewport traces for the VP task.
+//
+// A viewport is (roll, pitch, yaw) in degrees, sampled at 5 Hz (paper §A.1).
+// The synthetic generator stands in for the Jin2022 / Wu2017 head-motion
+// datasets: the viewer's gaze chases a slowly wandering attention hotspot
+// (with lag, inertia and occasional saccades), so (a) trajectories have the
+// smooth-but-bursty statistics of real head motion and (b) a saliency image
+// centred on the hotspot genuinely carries information about *future*
+// viewports — the cross-modal signal TRACK and NetLLM exploit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace netllm::vp {
+
+struct Viewport {
+  double roll = 0.0;   // degrees, small range
+  double pitch = 0.0;  // degrees in [-60, 60]
+  double yaw = 0.0;    // degrees in [-160, 160] (reflected, no wrap)
+};
+
+constexpr double kSampleHz = 5.0;
+constexpr int kSaliencySize = 16;  // saliency maps are 16x16 grayscale
+
+struct ViewportTrace {
+  std::string name;
+  std::vector<Viewport> samples;           // 5 Hz
+  std::vector<Viewport> hotspot;           // attention target per sample
+};
+
+/// Dataset presets (Table 2): Jin2022-like short 60 s traces with moderate
+/// dynamics; Wu2017-like longer traces with faster motion and more saccades.
+enum class VpDataset { kJin2022, kWu2017 };
+
+std::string dataset_name(VpDataset dataset);
+
+std::vector<ViewportTrace> generate_traces(VpDataset dataset, int count, std::uint64_t seed);
+
+/// Render the saliency map for sample `t` of a trace: a bright Gaussian blob
+/// at the hotspot plus a weaker distractor, values in [0, 1], [16,16].
+tensor::Tensor render_saliency(const ViewportTrace& trace, int t, std::uint64_t seed);
+
+/// Paper §A.6: MAE = mean over horizon of mean |pred - actual| across the
+/// three coordinates (degrees).
+double viewport_mae(std::span<const Viewport> predicted, std::span<const Viewport> actual);
+
+}  // namespace netllm::vp

@@ -1,0 +1,141 @@
+#include "llm/corpus.hpp"
+
+#include <algorithm>
+#include <array>
+#include <sstream>
+
+namespace netllm::llm {
+
+CorpusGenerator::CorpusGenerator(const CorpusConfig& cfg, std::uint64_t seed)
+    : cfg_(cfg), seed_(seed) {}
+
+std::vector<std::string> CorpusGenerator::generate() const {
+  core::Rng rng(seed_);
+  std::vector<std::string> docs;
+  docs.reserve(static_cast<std::size_t>(cfg_.num_documents));
+  for (int i = 0; i < cfg_.num_documents; ++i) docs.push_back(sample_document(rng));
+  return docs;
+}
+
+std::string CorpusGenerator::sample_document(core::Rng& rng) const {
+  std::string doc;
+  switch (cfg_.kind) {
+    case CorpusKind::kTextOnly:
+      doc = prose(rng);
+      break;
+    case CorpusKind::kMultimodal: {
+      const double w[] = {2, 2, 3, 1, 1, 3};
+      switch (rng.weighted_choice(w)) {
+        case 0: doc = motif_repetition(rng); break;
+        case 1: doc = arithmetic_sequence(rng); break;
+        case 2: doc = random_walk(rng); break;
+        case 3: doc = copy_task(rng); break;
+        case 4: doc = prose(rng); break;
+        default: doc = image_grid(rng); break;
+      }
+      break;
+    }
+    case CorpusKind::kPatternRich:
+    default: {
+      const double w[] = {2, 3, 4, 2, 1};
+      switch (rng.weighted_choice(w)) {
+        case 0: doc = motif_repetition(rng); break;
+        case 1: doc = arithmetic_sequence(rng); break;
+        case 2: doc = random_walk(rng); break;
+        case 3: doc = copy_task(rng); break;
+        default: doc = prose(rng); break;
+      }
+      break;
+    }
+  }
+  if (static_cast<int>(doc.size()) > cfg_.max_chars) doc.resize(static_cast<std::size_t>(cfg_.max_chars));
+  return doc;
+}
+
+std::string CorpusGenerator::motif_repetition(core::Rng& rng) const {
+  // e.g. "xq7 xq7 xq7 xq7 ..." — teaches induction-head style copying.
+  const auto motif_len = rng.randint(2, 5);
+  std::string motif;
+  const std::string pool = "abcdefghijklmnopqrstuvwxyz0123456789";
+  for (std::int64_t i = 0; i < motif_len; ++i) {
+    motif.push_back(pool[static_cast<std::size_t>(rng.randint(0, static_cast<std::int64_t>(pool.size()) - 1))]);
+  }
+  std::string doc;
+  while (static_cast<int>(doc.size()) < cfg_.max_chars) {
+    doc += motif;
+    doc.push_back(' ');
+  }
+  return doc;
+}
+
+std::string CorpusGenerator::arithmetic_sequence(core::Rng& rng) const {
+  // e.g. "12 15 18 21 24 ..." — linear extrapolation patterns.
+  std::int64_t value = rng.randint(0, 60);
+  const std::int64_t step = rng.randint(-9, 9);
+  std::ostringstream ss;
+  while (static_cast<int>(ss.str().size()) < cfg_.max_chars) {
+    ss << value << ' ';
+    value += step;
+    if (value < 0) value = 0;
+    if (value > 99) value = 99;
+  }
+  return ss.str();
+}
+
+std::string CorpusGenerator::random_walk(core::Rng& rng) const {
+  // Quantised mean-reverting walk — the statistical shape of bandwidth and
+  // head-motion traces the adaptation tasks feed the LLM.
+  double value = rng.uniform(20, 80);
+  const double vol = rng.uniform(1.0, 6.0);
+  std::ostringstream ss;
+  while (static_cast<int>(ss.str().size()) < cfg_.max_chars) {
+    ss << static_cast<int>(value) << ' ';
+    value += rng.gaussian(0.0, vol) + 0.05 * (50.0 - value);
+    value = std::clamp(value, 0.0, 99.0);
+  }
+  return ss.str();
+}
+
+std::string CorpusGenerator::copy_task(core::Rng& rng) const {
+  // "copy: k3f9 = k3f9" — exact-recall behaviour.
+  const std::string pool = "abcdefghijklmnopqrstuvwxyz0123456789";
+  std::string payload;
+  const auto len = rng.randint(3, 10);
+  for (std::int64_t i = 0; i < len; ++i) {
+    payload.push_back(pool[static_cast<std::size_t>(rng.randint(0, static_cast<std::int64_t>(pool.size()) - 1))]);
+  }
+  return "copy: " + payload + " = " + payload + "\n";
+}
+
+std::string CorpusGenerator::prose(core::Rng& rng) const {
+  static const std::array<const char*, 12> kWords = {
+      "the",  "network", "stream",  "packet", "buffer", "client",
+      "video", "server",  "schedule", "rate",   "delay",  "queue"};
+  std::string doc;
+  while (static_cast<int>(doc.size()) < cfg_.max_chars) {
+    doc += kWords[static_cast<std::size_t>(rng.randint(0, static_cast<std::int64_t>(kWords.size()) - 1))];
+    doc.push_back(rng.bernoulli(0.15) ? '.' : ' ');
+  }
+  return doc;
+}
+
+std::string CorpusGenerator::image_grid(core::Rng& rng) const {
+  // Serialized low-res "image": rows of digit intensities with a bright blob
+  // — teaches 2D-structure-in-1D patterns ("llava-lite" multimodal corpus).
+  const int side = 6;
+  const double cx = rng.uniform(0, side);
+  const double cy = rng.uniform(0, side);
+  std::ostringstream ss;
+  ss << "img ";
+  for (int y = 0; y < side; ++y) {
+    for (int x = 0; x < side; ++x) {
+      const double d2 = (x - cx) * (x - cx) + (y - cy) * (y - cy);
+      const int intensity = std::clamp(static_cast<int>(9.0 * std::exp(-d2 / 4.0)), 0, 9);
+      ss << intensity;
+    }
+    ss << ' ';
+  }
+  return ss.str();
+}
+
+}  // namespace netllm::llm

@@ -1,0 +1,92 @@
+#include "llm/minigpt.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace netllm::llm {
+
+namespace {
+using namespace netllm::tensor;
+}  // namespace
+
+MiniGpt::MiniGpt(const MiniGptConfig& cfg, core::Rng& rng) : cfg_(cfg) {
+  if (cfg.vocab <= 0 || cfg.max_seq <= 0) throw std::invalid_argument("MiniGpt: bad config");
+  tok_embed_ = std::make_shared<nn::Embedding>(cfg.vocab, cfg.d_model, rng);
+  pos_embed_ = Tensor::randn({cfg.max_seq, cfg.d_model}, rng, 0.02f, true);
+  for (std::int64_t i = 0; i < cfg.n_layers; ++i) {
+    blocks_.push_back(std::make_shared<nn::TransformerBlock>(cfg.d_model, cfg.n_heads, cfg.d_ff,
+                                                             /*causal=*/true, rng));
+  }
+  final_ln_ = std::make_shared<nn::LayerNorm>(cfg.d_model);
+  lm_head_ = std::make_shared<nn::Linear>(cfg.d_model, cfg.vocab, rng, /*bias=*/false);
+}
+
+Tensor MiniGpt::run_blocks(const Tensor& x) const {
+  Tensor h = x;
+  for (const auto& block : blocks_) h = block->forward(h);
+  return final_ln_->forward(h);
+}
+
+Tensor MiniGpt::forward_tokens(std::span<const int> ids) const {
+  const auto t = static_cast<std::int64_t>(ids.size());
+  if (t == 0 || t > cfg_.max_seq) throw std::invalid_argument("MiniGpt: sequence length out of range");
+  auto x = add(tok_embed_->forward(ids), slice_rows(pos_embed_, 0, t));
+  return lm_head_->forward(run_blocks(x));
+}
+
+Tensor MiniGpt::lm_loss(std::span<const int> ids) const {
+  if (ids.size() < 2) throw std::invalid_argument("MiniGpt::lm_loss: need >= 2 tokens");
+  auto logits = forward_tokens(ids.subspan(0, ids.size() - 1));
+  std::vector<int> targets(ids.begin() + 1, ids.end());
+  return cross_entropy_rows(logits, targets);
+}
+
+std::vector<int> MiniGpt::generate(std::vector<int> prompt, int max_new, int stop_token) const {
+  std::vector<int> out;
+  for (int step = 0; step < max_new; ++step) {
+    if (static_cast<std::int64_t>(prompt.size()) >= cfg_.max_seq) break;
+    auto logits = forward_tokens(prompt);
+    const auto v = cfg_.vocab;
+    const auto last = logits.data().subspan(static_cast<std::size_t>((logits.dim(0) - 1) * v),
+                                            static_cast<std::size_t>(v));
+    int best = 0;
+    for (std::int64_t j = 1; j < v; ++j) {
+      if (last[static_cast<std::size_t>(j)] > last[static_cast<std::size_t>(best)]) {
+        best = static_cast<int>(j);
+      }
+    }
+    if (best == stop_token) break;
+    out.push_back(best);
+    prompt.push_back(best);
+  }
+  return out;
+}
+
+Tensor MiniGpt::forward_embeddings(const Tensor& embeds) const {
+  if (embeds.rank() != 2 || embeds.dim(1) != cfg_.d_model) {
+    throw std::invalid_argument("MiniGpt::forward_embeddings: expected [T, d_model]");
+  }
+  const auto t = embeds.dim(0);
+  if (t > cfg_.max_seq) throw std::invalid_argument("MiniGpt::forward_embeddings: sequence too long");
+  return run_blocks(add(embeds, slice_rows(pos_embed_, 0, t)));
+}
+
+std::vector<Tensor> MiniGpt::enable_lora(std::int64_t rank, float alpha, core::Rng& rng) {
+  lora_params_.clear();
+  for (const auto& block : blocks_) {
+    for (auto& t : block->enable_lora(rank, alpha, rng)) lora_params_.push_back(t);
+  }
+  return lora_params_;
+}
+
+void MiniGpt::collect_params(NamedParams& out, const std::string& prefix) const {
+  tok_embed_->collect_params(out, prefix + "tok_embed.");
+  out.emplace_back(prefix + "pos_embed", pos_embed_);
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    blocks_[i]->collect_params(out, prefix + "block" + std::to_string(i) + ".");
+  }
+  final_ln_->collect_params(out, prefix + "final_ln.");
+  lm_head_->collect_params(out, prefix + "lm_head.");
+}
+
+}  // namespace netllm::llm

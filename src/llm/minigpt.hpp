@@ -1,0 +1,80 @@
+// MiniGPT: the from-scratch GPT-style LLM substrate standing in for
+// Llama2/OPT/Mistral/LLaVa (see DESIGN.md substitution table).
+//
+// It exposes exactly the two surfaces NetLLM needs (paper Fig. 5):
+//  * the token path (tokenizer -> vocabulary -> blocks -> LM head) used for
+//    pre-training and for the prompt-learning / token-prediction baselines
+//    of Fig. 2, and
+//  * the embedding path (`forward_embeddings`) that accepts token-like
+//    embedding vectors produced by the multimodal encoder and returns
+//    high-level features for the networking heads — the LM head is bypassed
+//    entirely, which is how NetLLM guarantees single-inference valid answers.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "nn/layers.hpp"
+#include "nn/module.hpp"
+#include "nn/transformer.hpp"
+
+namespace netllm::llm {
+
+struct MiniGptConfig {
+  std::string name = "minigpt";
+  std::int64_t vocab = 64;
+  std::int64_t d_model = 64;
+  std::int64_t n_heads = 4;
+  std::int64_t n_layers = 4;
+  std::int64_t d_ff = 160;
+  std::int64_t max_seq = 96;
+};
+
+class MiniGpt final : public nn::Module {
+ public:
+  MiniGpt(const MiniGptConfig& cfg, core::Rng& rng);
+
+  // ---- token path ----
+  /// Full forward: ids -> next-token logits [T, vocab].
+  tensor::Tensor forward_tokens(std::span<const int> ids) const;
+  /// Mean next-token cross entropy over a document (teacher forcing).
+  tensor::Tensor lm_loss(std::span<const int> ids) const;
+  /// Greedy autoregressive decoding; re-runs the full forward per new token
+  /// (no KV cache — the per-answer latency this produces is the phenomenon
+  /// Fig. 2 right measures). Stops at `stop_token` or `max_new` tokens.
+  std::vector<int> generate(std::vector<int> prompt, int max_new, int stop_token) const;
+
+  // ---- embedding path (NetLLM) ----
+  /// embeds: [T, d_model] token-like vectors from the multimodal encoder.
+  /// Adds the backbone's positional embeddings, runs the blocks and the
+  /// final layer norm; returns features [T, d_model].
+  tensor::Tensor forward_embeddings(const tensor::Tensor& embeds) const;
+
+  // ---- adaptation hooks ----
+  /// Freeze every backbone parameter (embeddings, blocks, LM head).
+  void freeze_backbone() { freeze(); }
+  /// Inject LoRA adapters into every block; returns the trainable low-rank
+  /// tensors. Call after `freeze_backbone()` for the DD-LRNA recipe.
+  std::vector<tensor::Tensor> enable_lora(std::int64_t rank, float alpha, core::Rng& rng);
+  const std::vector<tensor::Tensor>& lora_parameters() const { return lora_params_; }
+
+  void collect_params(tensor::NamedParams& out, const std::string& prefix) const override;
+
+  const MiniGptConfig& config() const { return cfg_; }
+
+ private:
+  tensor::Tensor run_blocks(const tensor::Tensor& x) const;
+
+  MiniGptConfig cfg_;
+  std::shared_ptr<nn::Embedding> tok_embed_;
+  tensor::Tensor pos_embed_;  // [max_seq, d_model]
+  std::vector<std::shared_ptr<nn::TransformerBlock>> blocks_;
+  std::shared_ptr<nn::LayerNorm> final_ln_;
+  std::shared_ptr<nn::Linear> lm_head_;
+  std::vector<tensor::Tensor> lora_params_;
+};
+
+}  // namespace netllm::llm

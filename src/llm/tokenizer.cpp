@@ -1,0 +1,50 @@
+#include "llm/tokenizer.hpp"
+
+namespace netllm::llm {
+
+Tokenizer::Tokenizer() {
+  alphabet_ =
+      "abcdefghijklmnopqrstuvwxyz"
+      "0123456789"
+      " .,:;()[]{}<>=+-*/%_#\n";
+  char_map_.assign(256, -1);
+  for (std::size_t i = 0; i < alphabet_.size(); ++i) {
+    char_map_[static_cast<unsigned char>(alphabet_[i])] = static_cast<int>(i) + 3;
+  }
+}
+
+std::vector<int> Tokenizer::encode(const std::string& text, bool add_bos, bool add_eos) const {
+  std::vector<int> ids;
+  ids.reserve(text.size() + 2);
+  if (add_bos) ids.push_back(kBos);
+  for (char c : text) {
+    // Lowercase fold so prompts are case-insensitive.
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+    const int id = char_map_[static_cast<unsigned char>(c)];
+    ids.push_back(id >= 0 ? id : char_map_[static_cast<unsigned char>(' ')]);
+  }
+  if (add_eos) ids.push_back(kEos);
+  return ids;
+}
+
+std::string Tokenizer::decode(const std::vector<int>& ids) const {
+  std::string out;
+  out.reserve(ids.size());
+  for (int id : ids) {
+    if (auto c = id_to_char(id)) out.push_back(*c);
+  }
+  return out;
+}
+
+std::optional<int> Tokenizer::char_to_id(char c) const {
+  const int id = char_map_[static_cast<unsigned char>(c)];
+  if (id < 0) return std::nullopt;
+  return id;
+}
+
+std::optional<char> Tokenizer::id_to_char(int id) const {
+  if (id < 3 || id >= vocab_size()) return std::nullopt;
+  return alphabet_[static_cast<std::size_t>(id - 3)];
+}
+
+}  // namespace netllm::llm

@@ -1,0 +1,41 @@
+// Character-level tokenizer + vocabulary for the MiniGPT LLM substrate.
+//
+// The paper's challenge-2 analysis (Fig. 2 middle/right) hinges on the
+// sub-word nature of LLM tokens: a numeric answer spans many tokens, so
+// token-by-token decoding is slow and sometimes produces unparseable text.
+// A character vocabulary reproduces exactly that failure mode — every digit,
+// sign and separator of an answer is its own autoregressive step.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace netllm::llm {
+
+class Tokenizer {
+ public:
+  Tokenizer();
+
+  static constexpr int kPad = 0;
+  static constexpr int kBos = 1;
+  static constexpr int kEos = 2;
+
+  int vocab_size() const { return static_cast<int>(alphabet_.size()) + 3; }
+
+  /// Characters outside the alphabet are mapped to ' '.
+  std::vector<int> encode(const std::string& text, bool add_bos = false,
+                          bool add_eos = false) const;
+  std::string decode(const std::vector<int>& ids) const;
+
+  /// Token id for a single character, if in the alphabet.
+  std::optional<int> char_to_id(char c) const;
+  /// Character for a token id; special tokens return std::nullopt.
+  std::optional<char> id_to_char(int id) const;
+
+ private:
+  std::string alphabet_;
+  std::vector<int> char_map_;  // 256 entries, -1 = unknown
+};
+
+}  // namespace netllm::llm

@@ -1,0 +1,135 @@
+#include "llm/zoo.hpp"
+
+#include <filesystem>
+#include <stdexcept>
+
+#include "core/timer.hpp"
+#include "tensor/optim.hpp"
+
+namespace netllm::llm {
+
+namespace {
+
+ZooEntry make_entry(std::string name, std::string display, double params_b, std::int64_t d_model,
+                    std::int64_t n_heads, std::int64_t n_layers, std::int64_t d_ff,
+                    CorpusKind corpus, int steps) {
+  ZooEntry e;
+  e.name = std::move(name);
+  e.display = std::move(display);
+  e.simulated_params_b = params_b;
+  e.cfg.name = e.name;
+  e.cfg.vocab = Tokenizer().vocab_size();
+  e.cfg.d_model = d_model;
+  e.cfg.n_heads = n_heads;
+  e.cfg.n_layers = n_layers;
+  e.cfg.d_ff = d_ff;
+  e.cfg.max_seq = 112;
+  e.corpus = corpus;
+  e.pretrain_steps = steps;
+  return e;
+}
+
+}  // namespace
+
+ZooEntry zoo_entry(const std::string& name) {
+  // The d_model / n_layers ladder mirrors the OPT family's relative scale;
+  // pre-training steps scale with capacity so bigger models also "know" more,
+  // matching the paper's observation that sub-1B models lack the common
+  // knowledge to adapt well (Fig. 16).
+  if (name == "llama2-lite") {
+    return make_entry(name, "Llama2-7B (lite)", 7.0, 64, 4, 4, 160, CorpusKind::kPatternRich, 2000);
+  }
+  if (name == "mistral-lite") {
+    return make_entry(name, "Mistral-7B (lite)", 7.0, 64, 4, 4, 160, CorpusKind::kPatternRich, 1400);
+  }
+  if (name == "llava-lite") {
+    return make_entry(name, "LLaVa-7B (lite)", 7.0, 64, 4, 4, 160, CorpusKind::kMultimodal, 1200);
+  }
+  if (name == "opt-lite-0.35b") {
+    return make_entry(name, "OPT-0.35B (lite)", 0.35, 16, 2, 1, 32, CorpusKind::kPatternRich, 300);
+  }
+  if (name == "opt-lite-1.3b") {
+    return make_entry(name, "OPT-1.3B (lite)", 1.3, 32, 2, 2, 64, CorpusKind::kPatternRich, 800);
+  }
+  if (name == "opt-lite-2.7b") {
+    return make_entry(name, "OPT-2.7B (lite)", 2.7, 48, 4, 3, 96, CorpusKind::kPatternRich, 1200);
+  }
+  if (name == "opt-lite-6.7b") {
+    return make_entry(name, "OPT-6.7B (lite)", 6.7, 64, 4, 4, 128, CorpusKind::kPatternRich, 1200);
+  }
+  throw std::invalid_argument("zoo_entry: unknown model '" + name + "'");
+}
+
+std::vector<std::string> zoo_names() {
+  return {"llama2-lite",   "mistral-lite",  "llava-lite",    "opt-lite-0.35b",
+          "opt-lite-1.3b", "opt-lite-2.7b", "opt-lite-6.7b"};
+}
+
+PretrainStats pretrain_lm(MiniGpt& model, const Tokenizer& tokenizer,
+                          const CorpusGenerator& corpus, const PretrainConfig& cfg) {
+  core::Rng rng(cfg.seed);
+  tensor::Adam opt(model.trainable_parameters(), cfg.lr);
+  PretrainStats stats;
+  core::Timer timer;
+  const auto max_tokens = static_cast<std::size_t>(model.config().max_seq);
+  for (int step = 0; step < cfg.steps; ++step) {
+    opt.zero_grad();
+    float step_loss = 0.0f;
+    for (int d = 0; d < cfg.docs_per_step; ++d) {
+      auto ids = tokenizer.encode(corpus.sample_document(rng), /*add_bos=*/true,
+                                  /*add_eos=*/true);
+      if (ids.size() > max_tokens) ids.resize(max_tokens);
+      if (ids.size() < 2) continue;
+      auto loss = model.lm_loss(ids);
+      step_loss += loss.item();
+      // Scale so the effective loss is the mean over documents.
+      tensor::scale(loss, 1.0f / static_cast<float>(cfg.docs_per_step)).backward();
+    }
+    opt.clip_grad_norm(1.0);
+    opt.step();
+    if (step == 0) stats.initial_loss = step_loss / static_cast<float>(cfg.docs_per_step);
+    stats.final_loss = step_loss / static_cast<float>(cfg.docs_per_step);
+  }
+  stats.seconds = timer.elapsed_s();
+  return stats;
+}
+
+std::shared_ptr<MiniGpt> build_pretrained(const std::string& zoo_name, std::uint64_t seed,
+                                          const std::string& cache_dir, bool pretrained) {
+  const auto entry = zoo_entry(zoo_name);
+  core::Rng init_rng(seed);
+  auto model = std::make_shared<MiniGpt>(entry.cfg, init_rng);
+  if (!pretrained) return model;  // random backbone for the Fig. 13 ablation
+
+  const auto cache_path = std::filesystem::path(cache_dir) /
+                          (zoo_name + "_seed" + std::to_string(seed) + ".bin");
+  if (std::filesystem::exists(cache_path)) {
+    try {
+      model->load(cache_path.string());
+      return model;
+    } catch (const std::exception&) {
+      // Stale/corrupt cache: fall through and re-pre-train.
+    }
+  }
+  Tokenizer tokenizer;
+  CorpusConfig corpus_cfg;
+  corpus_cfg.kind = entry.corpus;
+  corpus_cfg.max_chars = static_cast<int>(entry.cfg.max_seq) - 2;
+  CorpusGenerator corpus(corpus_cfg, seed ^ 0xabcdef);
+  PretrainConfig pt;
+  pt.steps = entry.pretrain_steps;
+  pt.seed = seed + 1;
+  pretrain_lm(*model, tokenizer, corpus, pt);
+  std::error_code ec;
+  std::filesystem::create_directories(cache_dir, ec);
+  if (!ec) {
+    try {
+      model->save(cache_path.string());
+    } catch (const std::exception&) {
+      // Cache write failures are non-fatal (e.g. read-only directory).
+    }
+  }
+  return model;
+}
+
+}  // namespace netllm::llm

@@ -1,0 +1,56 @@
+// Model zoo: named MiniGPT configurations standing in for the LLMs the
+// paper evaluates (Llama2-7B by default; OPT at several sizes for Fig. 16;
+// Mistral and the multimodal LLaVa for Fig. 15), plus the pre-training loop
+// and an on-disk snapshot cache so benches don't re-pre-train.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "llm/corpus.hpp"
+#include "llm/minigpt.hpp"
+#include "llm/tokenizer.hpp"
+
+namespace netllm::llm {
+
+struct ZooEntry {
+  std::string name;             // e.g. "llama2-lite"
+  std::string display;          // e.g. "Llama2-7B (lite)"
+  double simulated_params_b;    // the scale the entry stands in for
+  MiniGptConfig cfg;            // vocab filled in from the tokenizer
+  CorpusKind corpus = CorpusKind::kPatternRich;
+  int pretrain_steps = 1500;
+};
+
+/// Known entries: llama2-lite, mistral-lite, llava-lite, opt-lite-0.35b,
+/// opt-lite-1.3b, opt-lite-2.7b, opt-lite-6.7b. Throws on unknown names.
+ZooEntry zoo_entry(const std::string& name);
+std::vector<std::string> zoo_names();
+
+struct PretrainConfig {
+  int steps = 1500;
+  float lr = 1e-3f;
+  int docs_per_step = 2;
+  std::uint64_t seed = 7;
+};
+
+struct PretrainStats {
+  float initial_loss = 0.0f;
+  float final_loss = 0.0f;
+  double seconds = 0.0;
+};
+
+/// Language-model pre-training on a synthetic corpus (Adam, grad clipping).
+PretrainStats pretrain_lm(MiniGpt& model, const Tokenizer& tokenizer,
+                          const CorpusGenerator& corpus, const PretrainConfig& cfg);
+
+/// Build a zoo model and pre-train it, or load a cached snapshot from
+/// `cache_dir` when one exists (saving a fresh one otherwise). Pass
+/// `pretrained = false` for the Fig. 13 "no pre-trained knowledge" ablation
+/// (random weights, never cached).
+std::shared_ptr<MiniGpt> build_pretrained(const std::string& zoo_name, std::uint64_t seed,
+                                          const std::string& cache_dir = ".netllm_cache",
+                                          bool pretrained = true);
+
+}  // namespace netllm::llm

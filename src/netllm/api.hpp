@@ -1,0 +1,97 @@
+// The paper's integration surface (Fig. 9): three APIs that plug NetLLM
+// into an existing SL/RL codebase — `Adapt` fine-tunes the LLM on a dataset
+// and returns a snapshot, `Test` evaluates the adapted LLM on environments
+// generated from simulation settings, and `RL_Collect` builds the
+// experience dataset for RL tasks using an existing policy.
+//
+// These are thin facades over the task adapters; examples/ uses them to
+// show the end-to-end flow in a few lines.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/stats.hpp"
+#include "netllm/abr_adapter.hpp"
+#include "netllm/cjs_adapter.hpp"
+#include "netllm/vp_adapter.hpp"
+
+namespace netllm::adapt::api {
+
+struct AdaptOptions {
+  int steps = 400;
+  float lr = 1e-3f;
+  std::uint64_t seed = 7;
+  std::string snapshot_path;  // optional: where to save the adapted weights
+};
+
+// ---- VP (SL pipeline, Eq. 1) ----
+
+inline std::shared_ptr<VpAdapter> Adapt(std::shared_ptr<llm::MiniGpt> llm,
+                                        std::span<const vp::VpSample> dataset,
+                                        const VpAdapterConfig& cfg, const AdaptOptions& opts,
+                                        core::Rng& rng) {
+  auto adapter = std::make_shared<VpAdapter>(std::move(llm), cfg, rng);
+  adapter->adapt(dataset, opts.steps, opts.lr, opts.seed);
+  if (!opts.snapshot_path.empty()) adapter->save(opts.snapshot_path);
+  return adapter;
+}
+
+/// Mean MAE of any VP predictor on the environments of a Table 2 setting.
+inline double Test(vp::VpPredictor& model, const vp::VpSetting& setting, int max_samples = 0) {
+  const auto samples = vp::build_dataset(setting, max_samples);
+  return core::mean(vp::evaluate_mae(model, samples));
+}
+
+// ---- ABR (data-driven RL pipeline, Eqs. 2-4) ----
+
+inline std::vector<AbrTrajectory> RL_Collect(abr::AbrPolicy& policy,
+                                             const abr::AbrSetting& setting, int epochs,
+                                             double epsilon, std::uint64_t seed) {
+  const auto video = abr::video_for(setting);
+  const auto traces = abr::traces_for(setting);
+  return collect_abr_experience(policy, video, traces, epochs, epsilon, seed);
+}
+
+inline std::shared_ptr<AbrAdapter> Adapt(std::shared_ptr<llm::MiniGpt> llm,
+                                         std::span<const AbrTrajectory> pool,
+                                         const AbrAdapterConfig& cfg, const AdaptOptions& opts,
+                                         core::Rng& rng) {
+  auto adapter = std::make_shared<AbrAdapter>(std::move(llm), cfg, rng);
+  adapter->adapt(pool, opts.steps, opts.lr, opts.seed);
+  if (!opts.snapshot_path.empty()) adapter->save(opts.snapshot_path);
+  return adapter;
+}
+
+/// Mean QoE of any ABR policy on the environments of a Table 3 setting.
+inline double Test(abr::AbrPolicy& policy, const abr::AbrSetting& setting) {
+  const auto video = abr::video_for(setting);
+  const auto traces = abr::traces_for(setting);
+  return core::mean(abr::evaluate_qoe(policy, video, traces));
+}
+
+// ---- CJS (data-driven RL pipeline, Eqs. 2-4) ----
+
+inline std::vector<CjsTrajectory> RL_Collect(cjs::SchedPolicy& policy,
+                                             const cjs::WorkloadConfig& base, int episodes,
+                                             std::uint64_t seed) {
+  return collect_cjs_experience(policy, base, episodes, seed);
+}
+
+inline std::shared_ptr<CjsAdapter> Adapt(std::shared_ptr<llm::MiniGpt> llm,
+                                         std::span<const CjsTrajectory> pool,
+                                         const CjsAdapterConfig& cfg, const AdaptOptions& opts,
+                                         core::Rng& rng) {
+  auto adapter = std::make_shared<CjsAdapter>(std::move(llm), cfg, rng);
+  adapter->adapt(pool, opts.steps, opts.lr, opts.seed);
+  if (!opts.snapshot_path.empty()) adapter->save(opts.snapshot_path);
+  return adapter;
+}
+
+/// Mean JCT of any scheduler on a Table 4 workload setting.
+inline double Test(cjs::SchedPolicy& policy, const cjs::WorkloadConfig& setting) {
+  const auto result = cjs::run_workload(setting, policy);
+  return core::mean(result.jct_s);
+}
+
+}  // namespace netllm::adapt::api

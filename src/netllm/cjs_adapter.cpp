@@ -1,0 +1,241 @@
+#include "netllm/cjs_adapter.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/timer.hpp"
+#include "tensor/optim.hpp"
+
+namespace netllm::adapt {
+
+namespace {
+using namespace netllm::tensor;
+}  // namespace
+
+std::vector<CjsTrajectory> collect_cjs_experience(cjs::SchedPolicy& collector,
+                                                  const cjs::WorkloadConfig& base, int episodes,
+                                                  std::uint64_t seed) {
+  core::Rng rng(seed);
+  std::vector<CjsTrajectory> pool;
+  pool.reserve(static_cast<std::size_t>(episodes));
+  for (int ep = 0; ep < episodes; ++ep) {
+    auto cfg = base;
+    cfg.seed = rng.next_u64();
+    CjsTrajectory traj;
+    cjs::run_workload(cfg, collector, &traj);
+    pool.push_back(std::move(traj));
+  }
+  return pool;
+}
+
+CjsAdapter::CjsAdapter(std::shared_ptr<llm::MiniGpt> llm, const CjsAdapterConfig& cfg,
+                       core::Rng& rng)
+    : llm_(std::move(llm)), cfg_(cfg) {
+  if (!llm_) throw std::invalid_argument("CjsAdapter: null LLM");
+  const auto d = llm_->config().d_model;
+  rtg_encoder_ = std::make_shared<ScalarEncoder>(1, d, rng);
+  graph_encoder_ =
+      std::make_shared<GraphTokenEncoder>(cjs::SchedObservation::kNodeFeatures, d, rng);
+  exec_encoder_ = std::make_shared<ScalarEncoder>(2, d, rng);
+  stage_token_proj_ = std::make_shared<nn::Linear>(graph_encoder_->gnn_dim(), d, rng);
+  stage_token_norm_ = std::make_shared<nn::LayerNorm>(d);
+  cap_encoder_ = std::make_shared<ActionEncoder>(cjs::kNumCapChoices, d, rng);
+  stage_head_ = std::make_shared<PointerHead>(d, graph_encoder_->gnn_dim(), rng);
+  cap_head_ = std::make_shared<CategoricalHead>(d, cjs::kNumCapChoices, rng);
+  llm_->freeze_backbone();
+  if (cfg_.use_lora) lora_ = llm_->enable_lora(cfg_.lora_rank, cfg_.lora_alpha, rng);
+  if (cfg_.context_window * kTokensPerStep > llm_->config().max_seq) {
+    throw std::invalid_argument("CjsAdapter: context window exceeds LLM max_seq");
+  }
+}
+
+tensor::Tensor CjsAdapter::exec_scalars(const cjs::SchedObservation& obs) const {
+  const float vals[] = {static_cast<float>(obs.idle_executors) / obs.total_executors,
+                        static_cast<float>(obs.jobs_in_system) / 50.0f};
+  return exec_encoder_->forward(vals);
+}
+
+CjsAdapter::WindowTokens CjsAdapter::build_window(std::span<const StepContext> steps,
+                                                  bool open_last) const {
+  if (steps.empty()) throw std::invalid_argument("CjsAdapter::build_window: empty window");
+  WindowTokens out;
+  std::vector<Tensor> tokens;
+  tokens.reserve(steps.size() * kTokensPerStep);
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    const auto& step = steps[i];
+    const float r[] = {step.rtg / return_scale_};
+    tokens.push_back(rtg_encoder_->forward(r));
+    auto graph = graph_encoder_->forward(step.obs.node_features, step.obs.topology);
+    tokens.push_back(graph.global_token);
+    tokens.push_back(exec_scalars(step.obs));
+    out.predict_positions.push_back(static_cast<std::int64_t>(tokens.size()) - 1);
+    // Candidate embeddings for the pointer head: the runnable stages.
+    std::vector<Tensor> cand_rows;
+    cand_rows.reserve(step.obs.runnable_rows.size());
+    for (int row : step.obs.runnable_rows) {
+      cand_rows.push_back(slice_rows(graph.node_embeddings, row, 1));
+    }
+    out.candidates.push_back(concat_rows(cand_rows));
+    if (!(open_last && i + 1 == steps.size())) {
+      const int chosen_row =
+          step.obs.runnable_rows[static_cast<std::size_t>(step.action.runnable_index)];
+      auto stage_tok = stage_token_norm_->forward(
+          stage_token_proj_->forward(slice_rows(graph.node_embeddings, chosen_row, 1)));
+      tokens.push_back(stage_tok);
+      tokens.push_back(cap_encoder_->forward(step.action.cap_choice));
+    }
+  }
+  out.sequence = concat_rows(tokens);
+  return out;
+}
+
+void CjsAdapter::begin_episode() {
+  rtg_now_ = target_return_;
+  context_.clear();
+}
+
+void CjsAdapter::observe_reward(double reward) { rtg_now_ += static_cast<float>(reward); }
+
+cjs::SchedAction CjsAdapter::choose(const cjs::SchedObservation& obs) {
+  StepContext step;
+  step.obs = obs;
+  step.rtg = rtg_now_;
+  context_.push_back(std::move(step));
+  while (static_cast<int>(context_.size()) > cfg_.context_window) context_.pop_front();
+  const std::vector<StepContext> steps(context_.begin(), context_.end());
+  auto window = build_window(steps, /*open_last=*/true);
+  auto features = llm_->forward_embeddings(window.sequence);
+  auto feature = slice_rows(features, window.predict_positions.back(), 1);
+  cjs::SchedAction action;
+  action.runnable_index = stage_head_->argmax(feature, window.candidates.back());
+  action.cap_choice = cap_head_->argmax(feature);
+  context_.back().action = action;
+  return action;
+}
+
+CjsAdapter::AdaptStats CjsAdapter::adapt(std::span<const CjsTrajectory> pool, int steps,
+                                         float lr, std::uint64_t seed) {
+  if (pool.empty()) throw std::invalid_argument("CjsAdapter::adapt: empty pool");
+  core::Rng rng(seed);
+  // Returns-to-go per decision; fit the normalisation scale and target.
+  std::vector<std::vector<float>> rtg(pool.size());
+  double mean_abs_return = 0.0;
+  float best_return = -1e30f;
+  int counted = 0;
+  for (std::size_t t = 0; t < pool.size(); ++t) {
+    rtg[t].resize(pool[t].size());
+    float g = 0.0f;
+    for (std::size_t i = pool[t].size(); i-- > 0;) {
+      g += static_cast<float>(pool[t][i].reward);
+      rtg[t][i] = g;
+    }
+    if (!pool[t].empty()) {
+      mean_abs_return += std::abs(rtg[t][0]);
+      best_return = std::max(best_return, rtg[t][0]);
+      ++counted;
+    }
+  }
+  if (counted == 0) throw std::invalid_argument("CjsAdapter::adapt: empty trajectories");
+  return_scale_ = std::max(1.0f, static_cast<float>(mean_abs_return / counted));
+  target_return_ = best_return * cfg_.target_return_boost;
+
+  // Return-weighted trajectory sampling (see AbrAdapter::adapt): favour
+  // high-return episodes while RTG conditioning keeps the contrast signal.
+  std::vector<double> sample_weights(pool.size(), 1.0);
+  {
+    float g_min = 1e30f, g_max = -1e30f;
+    for (std::size_t t = 0; t < pool.size(); ++t) {
+      if (pool[t].empty()) continue;
+      g_min = std::min(g_min, rtg[t][0]);
+      g_max = std::max(g_max, rtg[t][0]);
+    }
+    const float temp = std::max((g_max - g_min) / 8.0f, 1e-3f);
+    for (std::size_t t = 0; t < pool.size(); ++t) {
+      sample_weights[t] =
+          pool[t].empty() ? 0.0 : std::exp(static_cast<double>((rtg[t][0] - g_max) / temp));
+    }
+  }
+
+  Adam opt(adapt_parameters(), lr);
+  AdaptStats stats;
+  core::Timer timer;
+  const auto w = static_cast<std::size_t>(cfg_.context_window);
+  for (int step = 0; step < steps; ++step) {
+    opt.set_lr(lr * (1.0f - 0.7f * static_cast<float>(step) / static_cast<float>(steps)));
+    const auto traj_idx = rng.weighted_choice(sample_weights);
+    const auto& traj = pool[traj_idx];
+    if (traj.empty()) continue;
+    const auto span_len = std::min(w, traj.size());
+    const auto start = static_cast<std::size_t>(
+        rng.randint(0, static_cast<std::int64_t>(traj.size() - span_len)));
+    std::vector<StepContext> window_steps;
+    window_steps.reserve(span_len);
+    std::vector<cjs::SchedAction> targets;
+    targets.reserve(span_len);
+    for (std::size_t i = 0; i < span_len; ++i) {
+      StepContext sc;
+      sc.obs = traj[start + i].obs;
+      sc.action = traj[start + i].action;
+      sc.rtg = rtg[traj_idx][start + i];
+      targets.push_back(sc.action);
+      // Action-context dropout (see AbrAdapter::adapt): perturb the context
+      // action tokens so the model reads the DAG state instead of copying.
+      if (rng.bernoulli(0.25)) {
+        sc.action.runnable_index = static_cast<int>(rng.randint(
+            0, static_cast<std::int64_t>(sc.obs.runnable_rows.size()) - 1));
+        sc.action.cap_choice = static_cast<int>(rng.randint(0, cjs::kNumCapChoices - 1));
+      }
+      window_steps.push_back(std::move(sc));
+    }
+    opt.zero_grad();
+    auto window = build_window(window_steps, /*open_last=*/false);
+    auto features = llm_->forward_embeddings(window.sequence);
+    std::vector<Tensor> losses;
+    std::vector<Tensor> cap_rows;
+    std::vector<int> cap_targets;
+    for (std::size_t i = 0; i < window_steps.size(); ++i) {
+      auto feature = slice_rows(features, window.predict_positions[i], 1);
+      auto stage_logits = stage_head_->logits(feature, window.candidates[i]);
+      const int stage_target[] = {targets[i].runnable_index};
+      losses.push_back(cross_entropy_rows(stage_logits, stage_target));
+      cap_rows.push_back(feature);
+      cap_targets.push_back(targets[i].cap_choice);
+    }
+    auto cap_logits = cap_head_->logits(concat_rows(cap_rows));
+    losses.push_back(cross_entropy_rows(cap_logits, cap_targets));
+    auto loss = scale(add_n(losses), 1.0f / static_cast<float>(losses.size()));
+    if (step == 0) stats.initial_loss = loss.item();
+    stats.final_loss = loss.item();
+    loss.backward();
+    opt.clip_grad_norm(1.0);
+    opt.step();
+  }
+  stats.seconds = timer.elapsed_s();
+  return stats;
+}
+
+
+std::vector<Tensor> CjsAdapter::adapt_parameters() const {
+  auto params = trainable_parameters();
+  if (cfg_.train_backbone) {
+    llm_->unfreeze();
+    for (auto& p : llm_->trainable_parameters()) params.push_back(p);
+  }
+  return params;
+}
+void CjsAdapter::collect_params(NamedParams& out, const std::string& prefix) const {
+  rtg_encoder_->collect_params(out, prefix + "rtg_encoder.");
+  graph_encoder_->collect_params(out, prefix + "graph_encoder.");
+  exec_encoder_->collect_params(out, prefix + "exec_encoder.");
+  stage_token_proj_->collect_params(out, prefix + "stage_token_proj.");
+  stage_token_norm_->collect_params(out, prefix + "stage_token_norm.");
+  cap_encoder_->collect_params(out, prefix + "cap_encoder.");
+  stage_head_->collect_params(out, prefix + "stage_head.");
+  cap_head_->collect_params(out, prefix + "cap_head.");
+  for (std::size_t i = 0; i < lora_.size(); ++i) {
+    out.emplace_back(prefix + "lora." + std::to_string(i), lora_[i]);
+  }
+}
+
+}  // namespace netllm::adapt

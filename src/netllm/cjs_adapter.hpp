@@ -1,0 +1,116 @@
+// NetLLM adapter for cluster job scheduling — the paper's centralized RL
+// use case, trained with the DD-LRNA offline pipeline on experience
+// collected by Decima (paper §A.2).
+//
+// Per-timestep token group (Eq. 2, modalities processed separately):
+//   [ return-to-go | DAG global token (GNN) | executor scalars |
+//     chosen-stage embedding | executor-cap embedding ]
+// Two networking heads (Table 1): a pointer head that scores the currently
+// runnable stages (so answers are always valid stages) and a categorical
+// head over the executor-cap menu; both read the feature at the last state
+// token of the step. Context window w = 20 per the paper.
+#pragma once
+
+#include <deque>
+#include <memory>
+
+#include "core/rng.hpp"
+#include "envs/cjs/simulator.hpp"
+#include "llm/minigpt.hpp"
+#include "netllm/encoders.hpp"
+#include "netllm/heads.hpp"
+#include "nn/module.hpp"
+
+namespace netllm::adapt {
+
+using CjsTrajectory = std::vector<cjs::Decision>;
+
+/// RL_Collect for CJS: run the collector policy over `episodes` workload
+/// instances derived from `base` (fresh seeds per episode).
+std::vector<CjsTrajectory> collect_cjs_experience(cjs::SchedPolicy& collector,
+                                                  const cjs::WorkloadConfig& base, int episodes,
+                                                  std::uint64_t seed);
+
+struct CjsAdapterConfig {
+  std::int64_t lora_rank = 8;   // scaled-down analogue of the paper's r = 128
+  float lora_alpha = 16.0f;
+  bool use_lora = true;
+  // Train the LLM backbone too: full-parameter fine-tuning (Fig. 4) or the
+  // Fig. 13 train-from-scratch ablation. Default is the frozen-backbone
+  // DD-LRNA recipe.
+  bool train_backbone = false;
+  int context_window = 20;      // paper §A.2: w = 20 for CJS
+  float target_return_boost = 1.0f;
+};
+
+class CjsAdapter final : public nn::Module, public cjs::SchedPolicy {
+ public:
+  CjsAdapter(std::shared_ptr<llm::MiniGpt> llm, const CjsAdapterConfig& cfg, core::Rng& rng);
+
+  std::string name() const override { return "NetLLM"; }
+  void begin_episode() override;
+  cjs::SchedAction choose(const cjs::SchedObservation& obs) override;
+  void observe_reward(double reward) override;
+
+  struct AdaptStats {
+    float initial_loss = 0.0f;
+    float final_loss = 0.0f;
+    double seconds = 0.0;
+  };
+  AdaptStats adapt(std::span<const CjsTrajectory> pool, int steps, float lr,
+                   std::uint64_t seed);
+
+  void collect_params(tensor::NamedParams& out, const std::string& prefix) const override;
+
+  const llm::MiniGpt& llm() const { return *llm_; }
+
+  /// Return-conditioning target used at inference. `adapt` sets it to the
+  /// best pool return; callers may retarget (e.g. a quantile) without
+  /// retraining — standard decision-transformer practice.
+  float target_return() const { return target_return_; }
+  void set_target_return(float target) { target_return_ = target; }
+  float return_scale() const { return return_scale_; }
+  void set_return_scale(float scale) { return_scale_ = scale; }
+
+ /// Parameters the Adapt API optimises: encoder + head + LoRA, plus the
+  /// backbone when cfg.train_backbone is set.
+  std::vector<tensor::Tensor> adapt_parameters() const;
+
+ private:
+  static constexpr int kTokensPerStep = 5;
+
+  struct StepContext {
+    cjs::SchedObservation obs;  // tensor handles share storage; copies are cheap
+    cjs::SchedAction action;
+    float rtg = 0.0f;
+  };
+
+  struct WindowTokens {
+    tensor::Tensor sequence;                       // [tokens, d_model]
+    std::vector<std::int64_t> predict_positions;   // exec-token row per step
+    std::vector<tensor::Tensor> candidates;        // runnable node embeddings per step
+  };
+  /// Token sequence for a window of decisions; the final step's action
+  /// tokens are omitted when `open_last` (inference).
+  WindowTokens build_window(std::span<const StepContext> steps, bool open_last) const;
+  tensor::Tensor exec_scalars(const cjs::SchedObservation& obs) const;
+
+  std::shared_ptr<llm::MiniGpt> llm_;
+  CjsAdapterConfig cfg_;
+  std::shared_ptr<ScalarEncoder> rtg_encoder_;
+  std::shared_ptr<GraphTokenEncoder> graph_encoder_;
+  std::shared_ptr<ScalarEncoder> exec_encoder_;
+  std::shared_ptr<nn::Linear> stage_token_proj_;   // gnn_dim -> d_model
+  std::shared_ptr<nn::LayerNorm> stage_token_norm_;
+  std::shared_ptr<ActionEncoder> cap_encoder_;
+  std::shared_ptr<PointerHead> stage_head_;
+  std::shared_ptr<CategoricalHead> cap_head_;
+  std::vector<tensor::Tensor> lora_;
+
+  float return_scale_ = 2000.0f;  // fitted to the pool during adapt()
+  float target_return_ = 0.0f;
+  float rtg_now_ = 0.0f;
+  std::deque<StepContext> context_;
+};
+
+}  // namespace netllm::adapt

@@ -1,0 +1,47 @@
+#include "netllm/costs.hpp"
+
+#include "core/rng.hpp"
+#include "core/timer.hpp"
+
+namespace netllm::adapt {
+
+MemoryFootprint measure_footprint(std::int64_t total_params,
+                                  std::span<const tensor::Tensor> trainables) {
+  MemoryFootprint fp;
+  fp.total_params = total_params;
+  for (const auto& t : trainables) fp.trainable_params += t.numel();
+  constexpr std::int64_t kF = sizeof(float);
+  fp.param_bytes = total_params * kF;
+  fp.grad_bytes = fp.trainable_params * kF;
+  fp.optimizer_bytes = 2 * fp.trainable_params * kF;  // Adam first+second moments
+  return fp;
+}
+
+OnlineRlTimings run_online_rl_abr(AbrAdapter& adapter, const abr::VideoModel& video,
+                                  std::span<const abr::BandwidthTrace> traces, int iterations,
+                                  float lr, std::uint64_t seed) {
+  core::Rng rng(seed);
+  OnlineRlTimings timings;
+  timings.iterations = iterations;
+  core::StopWatch interact, optimize;
+  for (int it = 0; it < iterations; ++it) {
+    const auto& trace =
+        traces[static_cast<std::size_t>(rng.randint(0, static_cast<std::int64_t>(traces.size()) - 1))];
+    // Interaction: one on-policy episode with the current (large) policy —
+    // this is the phase the paper shows dominating standard-RL fine-tuning
+    // and the one DD-LRNA's collect-once pipeline eliminates.
+    interact.start();
+    auto episode = collect_abr_experience(adapter, video, {&trace, 1}, /*epochs=*/1,
+                                          /*epsilon=*/0.1, rng.next_u64());
+    interact.stop();
+    // Optimization: gradient steps on the fresh episode.
+    optimize.start();
+    adapter.adapt(episode, /*steps=*/2, lr, rng.next_u64());
+    optimize.stop();
+  }
+  timings.interaction_s = interact.total_s();
+  timings.optimization_s = optimize.total_s();
+  return timings;
+}
+
+}  // namespace netllm::adapt

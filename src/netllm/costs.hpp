@@ -1,0 +1,52 @@
+// Adaptation-cost instrumentation for the paper's Fig. 3 (standard online RL
+// vs DD-LRNA training-time split) and Fig. 4 (full-parameter fine-tune vs
+// low-rank adaptation memory/time), plus the §5.4 inference-overhead
+// profile.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "envs/abr/policy.hpp"
+#include "netllm/abr_adapter.hpp"
+#include "nn/module.hpp"
+
+namespace netllm::adapt {
+
+/// Static footprint of one training configuration: parameter, gradient and
+/// Adam-moment bytes for the trainable set (what dominates "GPU memory" in
+/// Fig. 4), plus the trainable fraction.
+struct MemoryFootprint {
+  std::int64_t total_params = 0;
+  std::int64_t trainable_params = 0;
+  std::int64_t param_bytes = 0;      // all parameters (loaded model)
+  std::int64_t grad_bytes = 0;       // trainable gradients
+  std::int64_t optimizer_bytes = 0;  // Adam m+v for trainables
+  double trainable_fraction() const {
+    return total_params > 0 ? static_cast<double>(trainable_params) / total_params : 0.0;
+  }
+  std::int64_t training_state_bytes() const { return grad_bytes + optimizer_bytes; }
+};
+
+/// Footprint for training `trainables` inside a model of `total_params`.
+MemoryFootprint measure_footprint(std::int64_t total_params,
+                                  std::span<const tensor::Tensor> trainables);
+
+/// Wall-time split of fine-tuning the NetLLM ABR policy with *standard
+/// online RL* (REINFORCE-style): every iteration interacts with the
+/// environment to collect one fresh episode (interaction_s — the cost
+/// DD-LRNA's offline pipeline removes, Fig. 3), then runs a policy-gradient
+/// update on it (optimization_s).
+struct OnlineRlTimings {
+  double interaction_s = 0.0;
+  double optimization_s = 0.0;
+  int iterations = 0;
+  double total_s() const { return interaction_s + optimization_s; }
+};
+
+OnlineRlTimings run_online_rl_abr(AbrAdapter& adapter, const abr::VideoModel& video,
+                                  std::span<const abr::BandwidthTrace> traces, int iterations,
+                                  float lr, std::uint64_t seed);
+
+}  // namespace netllm::adapt

@@ -1,0 +1,79 @@
+#include "netllm/heads.hpp"
+
+#include <stdexcept>
+
+namespace netllm::adapt {
+
+namespace {
+using namespace netllm::tensor;
+}  // namespace
+
+RegressionHead::RegressionHead(std::int64_t d_model, std::int64_t outputs, core::Rng& rng) {
+  fc_ = std::make_shared<nn::Linear>(d_model, outputs, rng);
+}
+
+Tensor RegressionHead::forward(const Tensor& features) const { return fc_->forward(features); }
+
+void RegressionHead::collect_params(NamedParams& out, const std::string& prefix) const {
+  fc_->collect_params(out, prefix + "fc.");
+}
+
+CategoricalHead::CategoricalHead(std::int64_t d_model, std::int64_t num_classes,
+                                 core::Rng& rng) {
+  fc_ = std::make_shared<nn::Linear>(d_model, num_classes, rng);
+}
+
+Tensor CategoricalHead::logits(const Tensor& features) const { return fc_->forward(features); }
+
+int CategoricalHead::argmax(const Tensor& features) const {
+  auto l = logits(features);
+  if (l.dim(0) != 1) throw std::invalid_argument("CategoricalHead::argmax: single row expected");
+  int best = 0;
+  for (std::int64_t j = 1; j < l.dim(1); ++j) {
+    if (l.at(j) > l.at(best)) best = static_cast<int>(j);
+  }
+  return best;
+}
+
+void CategoricalHead::collect_params(NamedParams& out, const std::string& prefix) const {
+  fc_->collect_params(out, prefix + "fc.");
+}
+
+PointerHead::PointerHead(std::int64_t d_model, std::int64_t candidate_dim, core::Rng& rng,
+                         std::int64_t hidden) {
+  feat_proj_ = std::make_shared<nn::Linear>(d_model, hidden, rng);
+  cand_proj_ = std::make_shared<nn::Linear>(candidate_dim, hidden, rng);
+  scorer_ = std::make_shared<nn::Mlp>(std::vector<std::int64_t>{hidden, hidden, 1}, rng);
+}
+
+Tensor PointerHead::logits(const Tensor& feature, const Tensor& candidates) const {
+  if (feature.rank() != 2 || feature.dim(0) != 1) {
+    throw std::invalid_argument("PointerHead: feature must be [1, d_model]");
+  }
+  const auto n = candidates.dim(0);
+  auto f = feat_proj_->forward(feature);             // [1, hidden]
+  auto c = cand_proj_->forward(candidates);          // [n, hidden]
+  // Broadcast-add the feature onto every candidate row, then score.
+  std::vector<Tensor> rows;
+  rows.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) rows.push_back(f);
+  auto joint = tanh_t(add(c, concat_rows(rows)));     // [n, hidden]
+  return transpose(scorer_->forward(joint));          // [1, n]
+}
+
+int PointerHead::argmax(const Tensor& feature, const Tensor& candidates) const {
+  auto l = logits(feature, candidates);
+  int best = 0;
+  for (std::int64_t j = 1; j < l.dim(1); ++j) {
+    if (l.at(j) > l.at(best)) best = static_cast<int>(j);
+  }
+  return best;
+}
+
+void PointerHead::collect_params(NamedParams& out, const std::string& prefix) const {
+  feat_proj_->collect_params(out, prefix + "feat_proj.");
+  cand_proj_->collect_params(out, prefix + "cand_proj.");
+  scorer_->collect_params(out, prefix + "scorer.");
+}
+
+}  // namespace netllm::adapt

@@ -1,0 +1,149 @@
+#include "netllm/prompt_vp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/rng.hpp"
+#include "tensor/optim.hpp"
+
+namespace netllm::adapt {
+
+namespace {
+
+int round_deg(double v) { return static_cast<int>(std::lround(v)); }
+
+}  // namespace
+
+std::string render_vp_prompt(std::span<const vp::Viewport> history, int horizon) {
+  std::ostringstream ss;
+  ss << "past viewports:";
+  for (const auto& v : history) {
+    ss << " (" << round_deg(v.roll) << "," << round_deg(v.pitch) << "," << round_deg(v.yaw)
+       << ")";
+  }
+  ss << " predict next " << horizon << ":";
+  return ss.str();
+}
+
+std::string render_vp_answer(std::span<const vp::Viewport> future) {
+  std::ostringstream ss;
+  for (std::size_t i = 0; i < future.size(); ++i) {
+    if (i) ss << ' ';
+    ss << '(' << round_deg(future[i].roll) << ',' << round_deg(future[i].pitch) << ','
+       << round_deg(future[i].yaw) << ')';
+  }
+  return ss.str();
+}
+
+std::optional<std::vector<vp::Viewport>> parse_vp_answer(const std::string& text, int horizon) {
+  std::vector<vp::Viewport> out;
+  std::size_t pos = 0;
+  auto skip_spaces = [&] {
+    while (pos < text.size() && text[pos] == ' ') ++pos;
+  };
+  auto parse_int = [&](double& value) -> bool {
+    skip_spaces();
+    const std::size_t start = pos;
+    if (pos < text.size() && (text[pos] == '-' || text[pos] == '+')) ++pos;
+    while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') ++pos;
+    if (pos == start || (pos - start == 1 && !(text[start] >= '0' && text[start] <= '9'))) {
+      return false;
+    }
+    value = std::stod(text.substr(start, pos - start));
+    return true;
+  };
+  for (int k = 0; k < horizon; ++k) {
+    skip_spaces();
+    if (pos >= text.size() || text[pos] != '(') return std::nullopt;
+    ++pos;
+    vp::Viewport v;
+    if (!parse_int(v.roll)) return std::nullopt;
+    skip_spaces();
+    if (pos >= text.size() || text[pos] != ',') return std::nullopt;
+    ++pos;
+    if (!parse_int(v.pitch)) return std::nullopt;
+    skip_spaces();
+    if (pos >= text.size() || text[pos] != ',') return std::nullopt;
+    ++pos;
+    if (!parse_int(v.yaw)) return std::nullopt;
+    skip_spaces();
+    if (pos >= text.size() || text[pos] != ')') return std::nullopt;
+    ++pos;
+    // Physical validity: coordinates must lie in the device's legal ranges.
+    if (std::abs(v.roll) > 20.5 || std::abs(v.pitch) > 60.5 || std::abs(v.yaw) > 160.5) {
+      return std::nullopt;
+    }
+    out.push_back(v);
+  }
+  return out;
+}
+
+PromptVpModel::PromptVpModel(std::shared_ptr<llm::MiniGpt> llm) : llm_(std::move(llm)) {
+  if (!llm_) throw std::invalid_argument("PromptVpModel: null LLM");
+}
+
+PromptVpModel::FineTuneStats PromptVpModel::fine_tune(std::span<const vp::VpSample> dataset,
+                                                      int steps, float lr, std::uint64_t seed) {
+  if (dataset.empty()) throw std::invalid_argument("PromptVpModel::fine_tune: empty dataset");
+  core::Rng rng(seed);
+  tensor::Adam opt(llm_->trainable_parameters(), lr);
+  FineTuneStats stats;
+  const auto max_tokens = static_cast<std::size_t>(llm_->config().max_seq);
+  for (int step = 0; step < steps; ++step) {
+    const auto& sample =
+        dataset[static_cast<std::size_t>(rng.randint(0, static_cast<std::int64_t>(dataset.size()) - 1))];
+    // Short windows so prompt+answer fit the context: last few history
+    // samples, first few future samples.
+    const auto hist_take = std::min<std::size_t>(sample.history.size(), 3);
+    const auto fut_take = std::min<std::size_t>(sample.future.size(), 2);
+    const auto prompt = render_vp_prompt(
+        {sample.history.data() + sample.history.size() - hist_take, hist_take},
+        static_cast<int>(fut_take));
+    const auto answer = render_vp_answer({sample.future.data(), fut_take});
+    auto prompt_ids = tokenizer_.encode(prompt, /*add_bos=*/true);
+    auto full_ids = prompt_ids;
+    for (int id : tokenizer_.encode(" " + answer, false, true)) full_ids.push_back(id);
+    if (full_ids.size() > max_tokens) continue;  // over-long sample: skip
+    // LM loss on the answer region only.
+    auto logits = llm_->forward_tokens({full_ids.data(), full_ids.size() - 1});
+    std::vector<int> targets(full_ids.begin() + 1, full_ids.end());
+    for (std::size_t i = 0; i + 1 < prompt_ids.size(); ++i) targets[i] = -1;
+    opt.zero_grad();
+    auto loss = tensor::cross_entropy_rows(logits, targets);
+    if (step == 0) stats.initial_loss = loss.item();
+    stats.final_loss = loss.item();
+    loss.backward();
+    opt.clip_grad_norm(1.0);
+    opt.step();
+  }
+  return stats;
+}
+
+std::vector<vp::Viewport> PromptVpModel::predict(std::span<const vp::Viewport> history,
+                                                 const tensor::Tensor&, int horizon) {
+  const auto hist_take = std::min<std::size_t>(history.size(), 3);
+  const auto ask = std::min(horizon, 2);
+  const auto prompt =
+      render_vp_prompt({history.data() + history.size() - hist_take, hist_take}, ask);
+  auto ids = tokenizer_.encode(prompt, /*add_bos=*/true);
+  const int budget = std::min<int>(12 * ask + 8,
+                                   static_cast<int>(llm_->config().max_seq - ids.size()) - 1);
+  const auto generated = llm_->generate(ids, std::max(budget, 0), llm::Tokenizer::kEos);
+  last_tokens_ = static_cast<int>(generated.size());
+  const auto text = tokenizer_.decode(generated);
+  auto parsed = parse_vp_answer(text, ask);
+  last_valid_ = parsed.has_value();
+  std::vector<vp::Viewport> out;
+  if (parsed) {
+    out = *parsed;
+  } else {
+    out.assign(static_cast<std::size_t>(ask), history.back());
+  }
+  // Extend to the requested horizon by holding the last prediction.
+  while (static_cast<int>(out.size()) < horizon) out.push_back(out.back());
+  return out;
+}
+
+}  // namespace netllm::adapt

@@ -1,0 +1,62 @@
+// Prompt-learning / token-prediction baseline for the VP task (paper §3,
+// Fig. 2 and §A.1, Fig. 17): viewport history is rendered into a textual
+// prompt, the LLM is fine-tuned with the standard LM loss on prompt+answer
+// text, and answers are decoded token by token and parsed back into
+// numbers. This is the strawman NetLLM's multimodal encoder + networking
+// head replace — it is slower (many autoregressive inferences per answer)
+// and sometimes produces unparseable (invalid) answers.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "envs/vp/dataset.hpp"
+#include "llm/minigpt.hpp"
+#include "llm/tokenizer.hpp"
+
+namespace netllm::adapt {
+
+/// "past viewports: (r,p,y) ... ; predict the next H viewports:" with
+/// integer-degree coordinates.
+std::string render_vp_prompt(std::span<const vp::Viewport> history, int horizon);
+std::string render_vp_answer(std::span<const vp::Viewport> future);
+
+/// Strict parser: expects exactly `horizon` "(r,p,y)" groups of integers in
+/// range; returns nullopt for anything malformed (the paper's notion of an
+/// *invalid* answer).
+std::optional<std::vector<vp::Viewport>> parse_vp_answer(const std::string& text, int horizon);
+
+class PromptVpModel final : public vp::VpPredictor {
+ public:
+  explicit PromptVpModel(std::shared_ptr<llm::MiniGpt> llm);
+
+  std::string name() const override { return "PromptLearning"; }
+
+  struct FineTuneStats {
+    float initial_loss = 0.0f;
+    float final_loss = 0.0f;
+  };
+  /// LM fine-tuning on prompt+answer documents (loss on answer tokens only,
+  /// as in prompt-learning frameworks like OpenPrompt).
+  FineTuneStats fine_tune(std::span<const vp::VpSample> dataset, int steps, float lr,
+                          std::uint64_t seed);
+
+  /// Token-based prediction. Falls back to repeating the last history
+  /// viewport when the generated answer is invalid; `last_answer_valid()`
+  /// and `last_generation_tokens()` expose what happened for the Fig. 2
+  /// validity/latency measurements.
+  std::vector<vp::Viewport> predict(std::span<const vp::Viewport> history,
+                                    const tensor::Tensor& saliency, int horizon) override;
+
+  bool last_answer_valid() const { return last_valid_; }
+  int last_generation_tokens() const { return last_tokens_; }
+
+ private:
+  std::shared_ptr<llm::MiniGpt> llm_;
+  llm::Tokenizer tokenizer_;
+  bool last_valid_ = false;
+  int last_tokens_ = 0;
+};
+
+}  // namespace netllm::adapt

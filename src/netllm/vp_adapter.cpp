@@ -1,0 +1,133 @@
+#include "netllm/vp_adapter.hpp"
+
+#include <stdexcept>
+
+#include "core/timer.hpp"
+#include "tensor/optim.hpp"
+
+namespace netllm::adapt {
+
+namespace {
+using namespace netllm::tensor;
+
+constexpr float kRollScale = 20.0f, kPitchScale = 60.0f, kYawScale = 160.0f;
+
+}  // namespace
+
+VpAdapter::VpAdapter(std::shared_ptr<llm::MiniGpt> llm, const VpAdapterConfig& cfg,
+                     core::Rng& rng)
+    : llm_(std::move(llm)), cfg_(cfg) {
+  if (!llm_) throw std::invalid_argument("VpAdapter: null LLM");
+  const auto d = llm_->config().d_model;
+  image_encoder_ = std::make_shared<ImageEncoder>(d, rng);
+  viewport_encoder_ = std::make_shared<ScalarEncoder>(3, d, rng);
+  head_ = std::make_shared<RegressionHead>(d, 3, rng);
+  llm_->freeze_backbone();
+  if (cfg_.use_lora) lora_ = llm_->enable_lora(cfg_.lora_rank, cfg_.lora_alpha, rng);
+}
+
+Tensor VpAdapter::viewport_token(const vp::Viewport& v) const {
+  const float coords[] = {static_cast<float>(v.roll) / kRollScale,
+                          static_cast<float>(v.pitch) / kPitchScale,
+                          static_cast<float>(v.yaw) / kYawScale};
+  return viewport_encoder_->forward(coords);
+}
+
+Tensor VpAdapter::build_sequence(std::span<const vp::Viewport> history,
+                                 std::span<const vp::Viewport> future_teacher,
+                                 const Tensor& saliency) const {
+  std::vector<Tensor> tokens;
+  tokens.reserve(1 + history.size() + future_teacher.size());
+  tokens.push_back(image_encoder_->forward(saliency));
+  for (const auto& v : history) tokens.push_back(viewport_token(v));
+  for (const auto& v : future_teacher) tokens.push_back(viewport_token(v));
+  return concat_rows(tokens);
+}
+
+Tensor VpAdapter::loss(const vp::VpSample& sample) const {
+  if (sample.history.empty() || sample.future.empty()) {
+    throw std::invalid_argument("VpAdapter::loss: empty sample");
+  }
+  // Teacher forcing: feed history plus all-but-last future viewports; the
+  // features at positions hw-1 .. hw+pw-2 (offset by the image token)
+  // predict the per-step normalized deltas.
+  const auto hw = static_cast<std::int64_t>(sample.history.size());
+  const auto pw = static_cast<std::int64_t>(sample.future.size());
+  auto seq = build_sequence(sample.history,
+                            {sample.future.data(), sample.future.size() - 1}, sample.saliency);
+  auto features = llm_->forward_embeddings(seq);
+  auto pred = head_->forward(slice_rows(features, hw, pw));  // image token shifts by 1
+  std::vector<float> target;
+  target.reserve(static_cast<std::size_t>(pw * 3));
+  const vp::Viewport* prev = &sample.history.back();
+  for (const auto& f : sample.future) {
+    target.push_back(static_cast<float>(f.roll - prev->roll) / cfg_.delta_scale_deg);
+    target.push_back(static_cast<float>(f.pitch - prev->pitch) / cfg_.delta_scale_deg);
+    target.push_back(static_cast<float>(f.yaw - prev->yaw) / cfg_.delta_scale_deg);
+    prev = &f;
+  }
+  return mse_loss(pred, Tensor::from(std::move(target), {pw, 3}));
+}
+
+std::vector<vp::Viewport> VpAdapter::predict(std::span<const vp::Viewport> history,
+                                             const Tensor& saliency, int horizon) {
+  if (history.empty() || horizon <= 0) throw std::invalid_argument("VpAdapter: bad inputs");
+  std::vector<vp::Viewport> rollout;
+  rollout.reserve(static_cast<std::size_t>(horizon));
+  vp::Viewport cur = history.back();
+  std::vector<vp::Viewport> generated;
+  for (int k = 0; k < horizon; ++k) {
+    auto seq = build_sequence(history, generated, saliency);
+    auto features = llm_->forward_embeddings(seq);
+    auto delta = head_->forward(slice_rows(features, features.dim(0) - 1, 1));
+    cur.roll += static_cast<double>(delta.at(0)) * cfg_.delta_scale_deg;
+    cur.pitch += static_cast<double>(delta.at(1)) * cfg_.delta_scale_deg;
+    cur.yaw += static_cast<double>(delta.at(2)) * cfg_.delta_scale_deg;
+    rollout.push_back(cur);
+    generated.push_back(cur);
+  }
+  return rollout;
+}
+
+VpAdapter::AdaptStats VpAdapter::adapt(std::span<const vp::VpSample> dataset, int steps,
+                                       float lr, std::uint64_t seed) {
+  if (dataset.empty()) throw std::invalid_argument("VpAdapter::adapt: empty dataset");
+  core::Rng rng(seed);
+  Adam opt(adapt_parameters(), lr);
+  AdaptStats stats;
+  core::Timer timer;
+  for (int step = 0; step < steps; ++step) {
+    opt.set_lr(lr * (1.0f - 0.7f * static_cast<float>(step) / static_cast<float>(steps)));
+    const auto& sample =
+        dataset[static_cast<std::size_t>(rng.randint(0, static_cast<std::int64_t>(dataset.size()) - 1))];
+    opt.zero_grad();
+    auto l = loss(sample);
+    if (step == 0) stats.initial_loss = l.item();
+    stats.final_loss = l.item();
+    l.backward();
+    opt.clip_grad_norm(1.0);
+    opt.step();
+  }
+  stats.seconds = timer.elapsed_s();
+  return stats;
+}
+
+
+std::vector<Tensor> VpAdapter::adapt_parameters() const {
+  auto params = trainable_parameters();
+  if (cfg_.train_backbone) {
+    llm_->unfreeze();
+    for (auto& p : llm_->trainable_parameters()) params.push_back(p);
+  }
+  return params;
+}
+void VpAdapter::collect_params(NamedParams& out, const std::string& prefix) const {
+  image_encoder_->collect_params(out, prefix + "image_encoder.");
+  viewport_encoder_->collect_params(out, prefix + "viewport_encoder.");
+  head_->collect_params(out, prefix + "head.");
+  for (std::size_t i = 0; i < lora_.size(); ++i) {
+    out.emplace_back(prefix + "lora." + std::to_string(i), lora_[i]);
+  }
+}
+
+}  // namespace netllm::adapt

@@ -1,0 +1,85 @@
+// NetLLM adapter for viewport prediction — the paper's SL use case.
+//
+// Pipeline (Fig. 5 top path): the multimodal encoder turns the saliency
+// image (ViT) and each historical viewport (FC) into token embeddings; the
+// frozen LLM (with trainable LoRA matrices) processes them; the VP head's
+// three neurons emit the next viewport as a normalized delta. Longer
+// horizons roll the head forward autoregressively — each rollout step is
+// one LLM inference that always yields a valid coordinate triple, unlike
+// token-based decoding (Fig. 2).
+#pragma once
+
+#include <memory>
+
+#include "core/rng.hpp"
+#include "envs/vp/dataset.hpp"
+#include "llm/minigpt.hpp"
+#include "netllm/encoders.hpp"
+#include "netllm/heads.hpp"
+#include "nn/module.hpp"
+
+namespace netllm::adapt {
+
+struct VpAdapterConfig {
+  // The paper uses r = 32 on d_model = 4096 (§A.2); the lite zoo backbones
+  // are 16-64 wide, so the default keeps a comparable rank/width ratio.
+  std::int64_t lora_rank = 4;
+  float lora_alpha = 8.0f;
+  bool use_lora = true;
+  // Train the LLM backbone too: full-parameter fine-tuning (Fig. 4) or the
+  // Fig. 13 train-from-scratch ablation. Default is the frozen-backbone
+  // DD-LRNA recipe.
+  bool train_backbone = false;         // false = the Fig. 13 "w/o domain knowledge" arm
+  float delta_scale_deg = 5.0f;
+};
+
+class VpAdapter final : public nn::Module, public vp::VpPredictor {
+ public:
+  /// Takes (shared) ownership of the LLM, freezes its backbone and injects
+  /// LoRA adapters. Build one adapter per MiniGpt instance.
+  VpAdapter(std::shared_ptr<llm::MiniGpt> llm, const VpAdapterConfig& cfg, core::Rng& rng);
+
+  std::string name() const override { return "NetLLM"; }
+
+  std::vector<vp::Viewport> predict(std::span<const vp::Viewport> history,
+                                    const tensor::Tensor& saliency, int horizon) override;
+
+  /// Teacher-forced SL loss for one sample (Eq. 1 with MSE).
+  tensor::Tensor loss(const vp::VpSample& sample) const;
+
+  struct AdaptStats {
+    float initial_loss = 0.0f;
+    float final_loss = 0.0f;
+    double seconds = 0.0;
+  };
+  /// The `Adapt` API (Fig. 9): fine-tune encoder + head + LoRA over the
+  /// dataset; the LLM backbone stays frozen throughout.
+  AdaptStats adapt(std::span<const vp::VpSample> dataset, int steps, float lr,
+                   std::uint64_t seed);
+
+  /// Trainable parameters only (encoder + head + LoRA). The frozen backbone
+  /// is intentionally excluded so snapshots are per-task adaptation deltas.
+  void collect_params(tensor::NamedParams& out, const std::string& prefix) const override;
+
+  const llm::MiniGpt& llm() const { return *llm_; }
+
+ /// Parameters the Adapt API optimises: encoder + head + LoRA, plus the
+  /// backbone when cfg.train_backbone is set.
+  std::vector<tensor::Tensor> adapt_parameters() const;
+
+ private:
+  tensor::Tensor viewport_token(const vp::Viewport& v) const;
+  /// Token sequence [1 + |history| + extra] for teacher forcing / rollout.
+  tensor::Tensor build_sequence(std::span<const vp::Viewport> history,
+                                std::span<const vp::Viewport> future_teacher,
+                                const tensor::Tensor& saliency) const;
+
+  std::shared_ptr<llm::MiniGpt> llm_;
+  VpAdapterConfig cfg_;
+  std::shared_ptr<ImageEncoder> image_encoder_;
+  std::shared_ptr<ScalarEncoder> viewport_encoder_;
+  std::shared_ptr<RegressionHead> head_;
+  std::vector<tensor::Tensor> lora_;
+};
+
+}  // namespace netllm::adapt

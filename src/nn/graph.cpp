@@ -1,0 +1,95 @@
+#include "nn/graph.hpp"
+
+#include <stdexcept>
+
+namespace netllm::nn {
+
+namespace {
+using namespace netllm::tensor;
+}  // namespace
+
+std::vector<int> topological_order(const DagTopology& topo) {
+  const auto n = topo.num_nodes;
+  if (static_cast<std::int64_t>(topo.children.size()) != n) {
+    throw std::invalid_argument("topological_order: children size mismatch");
+  }
+  // Kahn's algorithm on child -> parent edges (children must come first).
+  std::vector<int> pending(static_cast<std::size_t>(n), 0);
+  std::vector<std::vector<int>> parents_of(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    for (int c : topo.children[static_cast<std::size_t>(v)]) {
+      if (c < 0 || c >= n) throw std::invalid_argument("topological_order: child out of range");
+      parents_of[static_cast<std::size_t>(c)].push_back(v);
+      ++pending[static_cast<std::size_t>(v)];
+    }
+  }
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(n));
+  std::vector<int> frontier;
+  for (int v = 0; v < n; ++v) {
+    if (pending[static_cast<std::size_t>(v)] == 0) frontier.push_back(v);
+  }
+  while (!frontier.empty()) {
+    const int v = frontier.back();
+    frontier.pop_back();
+    order.push_back(v);
+    for (int p : parents_of[static_cast<std::size_t>(v)]) {
+      if (--pending[static_cast<std::size_t>(p)] == 0) frontier.push_back(p);
+    }
+  }
+  if (static_cast<std::int64_t>(order.size()) != n) {
+    throw std::invalid_argument("topological_order: graph has a cycle");
+  }
+  return order;
+}
+
+GraphEncoder::GraphEncoder(std::int64_t feature_dim, std::int64_t embed_dim, core::Rng& rng)
+    : feature_dim_(feature_dim), embed_dim_(embed_dim) {
+  f_ = std::make_shared<Mlp>(std::vector<std::int64_t>{embed_dim, embed_dim, embed_dim}, rng);
+  g_ = std::make_shared<Mlp>(
+      std::vector<std::int64_t>{feature_dim + embed_dim, embed_dim, embed_dim}, rng);
+  global_ = std::make_shared<Mlp>(std::vector<std::int64_t>{embed_dim, embed_dim}, rng);
+}
+
+GraphEncoder::Output GraphEncoder::forward(const Tensor& features,
+                                           const DagTopology& topo) const {
+  if (features.rank() != 2 || features.dim(1) != feature_dim_) {
+    throw std::invalid_argument("GraphEncoder: expected [N, feature_dim] features");
+  }
+  if (features.dim(0) != topo.num_nodes) {
+    throw std::invalid_argument("GraphEncoder: feature row count != num_nodes");
+  }
+  const auto order = topological_order(topo);
+  std::vector<Tensor> embed(static_cast<std::size_t>(topo.num_nodes));
+  const auto zero_msg = Tensor::zeros({1, embed_dim_});
+  for (int v : order) {
+    const auto& children = topo.children[static_cast<std::size_t>(v)];
+    Tensor msg;
+    if (children.empty()) {
+      msg = zero_msg;
+    } else {
+      std::vector<Tensor> transformed;
+      transformed.reserve(children.size());
+      for (int c : children) {
+        transformed.push_back(f_->forward(embed[static_cast<std::size_t>(c)]));
+      }
+      msg = transformed.size() == 1 ? transformed[0] : add_n(transformed);
+    }
+    const auto xv = slice_rows(features, v, 1);
+    // [1, feature_dim + embed_dim] via column concat (transpose trick).
+    const auto joint = transpose(concat_rows({transpose(xv), transpose(msg)}));
+    embed[static_cast<std::size_t>(v)] = g_->forward(joint);
+  }
+  Output out;
+  out.node_embeddings = concat_rows(embed);
+  out.global_summary = global_->forward(mean_over_rows(out.node_embeddings));
+  return out;
+}
+
+void GraphEncoder::collect_params(NamedParams& out, const std::string& prefix) const {
+  f_->collect_params(out, prefix + "f.");
+  g_->collect_params(out, prefix + "g.");
+  global_->collect_params(out, prefix + "global.");
+}
+
+}  // namespace netllm::nn

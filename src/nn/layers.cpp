@@ -1,0 +1,130 @@
+#include "nn/layers.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace netllm::nn {
+
+namespace {
+using namespace netllm::tensor;
+}  // namespace
+
+Linear::Linear(std::int64_t in, std::int64_t out, core::Rng& rng, bool bias) {
+  if (in <= 0 || out <= 0) throw std::invalid_argument("Linear: non-positive dims");
+  const float bound = std::sqrt(6.0f / static_cast<float>(in + out));
+  weight_ = Tensor::rand_uniform({in, out}, rng, bound, /*requires_grad=*/true);
+  if (bias) bias_ = Tensor::zeros({out}, /*requires_grad=*/true);
+}
+
+Tensor Linear::forward(const Tensor& x) const {
+  auto y = matmul(x, weight_);
+  if (bias_.defined()) y = add_bias(y, bias_);
+  return y;
+}
+
+void Linear::collect_params(NamedParams& out, const std::string& prefix) const {
+  out.emplace_back(prefix + "weight", weight_);
+  if (bias_.defined()) out.emplace_back(prefix + "bias", bias_);
+}
+
+LoRALinear::LoRALinear(std::shared_ptr<Linear> base, std::int64_t rank, float alpha,
+                       core::Rng& rng)
+    : base_(std::move(base)) {
+  if (!base_) throw std::invalid_argument("LoRALinear: null base");
+  if (rank <= 0) throw std::invalid_argument("LoRALinear: rank must be positive");
+  const auto in = base_->in_features();
+  const auto out = base_->out_features();
+  // Standard LoRA init: A ~ N(0, 0.02), B = 0 -> delta starts at zero.
+  a_ = Tensor::randn({in, rank}, rng, 0.02f, /*requires_grad=*/true);
+  b_ = Tensor::zeros({rank, out}, /*requires_grad=*/true);
+  scaling_ = alpha / static_cast<float>(rank);
+}
+
+Tensor LoRALinear::forward(const Tensor& x) const {
+  auto y = base_->forward(x);
+  auto delta = matmul(matmul(x, a_), b_);
+  return add(y, scale(delta, scaling_));
+}
+
+void LoRALinear::collect_params(NamedParams& out, const std::string& prefix) const {
+  base_->collect_params(out, prefix + "base.");
+  out.emplace_back(prefix + "lora_a", a_);
+  out.emplace_back(prefix + "lora_b", b_);
+}
+
+LayerNorm::LayerNorm(std::int64_t dim) {
+  if (dim <= 0) throw std::invalid_argument("LayerNorm: non-positive dim");
+  gamma_ = Tensor::full({dim}, 1.0f, /*requires_grad=*/true);
+  beta_ = Tensor::zeros({dim}, /*requires_grad=*/true);
+}
+
+Tensor LayerNorm::forward(const Tensor& x) const { return layer_norm_rows(x, gamma_, beta_); }
+
+void LayerNorm::collect_params(NamedParams& out, const std::string& prefix) const {
+  out.emplace_back(prefix + "gamma", gamma_);
+  out.emplace_back(prefix + "beta", beta_);
+}
+
+Embedding::Embedding(std::int64_t vocab, std::int64_t dim, core::Rng& rng) {
+  if (vocab <= 0 || dim <= 0) throw std::invalid_argument("Embedding: non-positive dims");
+  weight_ = Tensor::randn({vocab, dim}, rng, 0.02f, /*requires_grad=*/true);
+}
+
+Tensor Embedding::forward(std::span<const int> ids) const { return embedding(weight_, ids); }
+
+void Embedding::collect_params(NamedParams& out, const std::string& prefix) const {
+  out.emplace_back(prefix + "weight", weight_);
+}
+
+Conv1d::Conv1d(std::int64_t cin, std::int64_t cout, std::int64_t kernel, core::Rng& rng) {
+  if (cin <= 0 || cout <= 0 || kernel <= 0) {
+    throw std::invalid_argument("Conv1d: non-positive dims");
+  }
+  const float bound = std::sqrt(6.0f / static_cast<float>(cin * kernel + cout * kernel));
+  weight_ = Tensor::rand_uniform({cout, cin, kernel}, rng, bound, /*requires_grad=*/true);
+  bias_ = Tensor::zeros({cout}, /*requires_grad=*/true);
+  pad_ = static_cast<int>(kernel / 2);
+}
+
+Tensor Conv1d::forward(const Tensor& x) const { return conv1d(x, weight_, bias_, pad_); }
+
+void Conv1d::collect_params(NamedParams& out, const std::string& prefix) const {
+  out.emplace_back(prefix + "weight", weight_);
+  out.emplace_back(prefix + "bias", bias_);
+}
+
+Tensor apply_activation(const Tensor& x, Activation act) {
+  switch (act) {
+    case Activation::kRelu:
+      return relu(x);
+    case Activation::kGelu:
+      return gelu(x);
+    case Activation::kTanh:
+      return tanh_t(x);
+  }
+  throw std::logic_error("apply_activation: unknown activation");
+}
+
+Mlp::Mlp(std::vector<std::int64_t> dims, core::Rng& rng, Activation act) : act_(act) {
+  if (dims.size() < 2) throw std::invalid_argument("Mlp: need at least [in, out]");
+  for (std::size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.push_back(std::make_shared<Linear>(dims[i], dims[i + 1], rng));
+  }
+}
+
+Tensor Mlp::forward(const Tensor& x) const {
+  Tensor h = x;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i]->forward(h);
+    if (i + 1 < layers_.size()) h = apply_activation(h, act_);
+  }
+  return h;
+}
+
+void Mlp::collect_params(NamedParams& out, const std::string& prefix) const {
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i]->collect_params(out, prefix + "fc" + std::to_string(i) + ".");
+  }
+}
+
+}  // namespace netllm::nn

@@ -1,0 +1,105 @@
+// Basic trainable layers: Linear, LoRALinear, LayerNorm, Embedding, Conv1d,
+// MLP. These are the building blocks for the LLM, the multimodal encoder,
+// the networking heads and every learning-based baseline.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "nn/module.hpp"
+#include "tensor/tensor.hpp"
+
+namespace netllm::nn {
+
+using tensor::Tensor;
+
+/// y = x W + b, x: [m,in] -> [m,out]. Xavier-uniform init.
+class Linear final : public Module {
+ public:
+  Linear(std::int64_t in, std::int64_t out, core::Rng& rng, bool bias = true);
+
+  Tensor forward(const Tensor& x) const;
+  void collect_params(tensor::NamedParams& out, const std::string& prefix) const override;
+
+  std::int64_t in_features() const { return weight_.dim(0); }
+  std::int64_t out_features() const { return weight_.dim(1); }
+  const Tensor& weight() const { return weight_; }
+
+ private:
+  Tensor weight_;  // [in,out]
+  Tensor bias_;    // [out] (undefined when bias = false)
+};
+
+/// LoRA-augmented linear layer (paper §4.3): y = x W0 + (alpha/r) (x A) B.
+/// W0 is the frozen pre-trained weight; only A [in,r] and B [r,out] train.
+/// B starts at zero so adaptation begins exactly at the pre-trained function.
+class LoRALinear final : public Module {
+ public:
+  /// Wraps an existing (already initialised, typically pre-trained) Linear.
+  LoRALinear(std::shared_ptr<Linear> base, std::int64_t rank, float alpha, core::Rng& rng);
+
+  Tensor forward(const Tensor& x) const;
+  void collect_params(tensor::NamedParams& out, const std::string& prefix) const override;
+
+  /// Only the low-rank matrices (what DD-LRNA trains on the backbone).
+  std::vector<Tensor> lora_parameters() const { return {a_, b_}; }
+  std::int64_t rank() const { return a_.dim(1); }
+
+ private:
+  std::shared_ptr<Linear> base_;
+  Tensor a_, b_;
+  float scaling_;
+};
+
+class LayerNorm final : public Module {
+ public:
+  explicit LayerNorm(std::int64_t dim);
+  Tensor forward(const Tensor& x) const;
+  void collect_params(tensor::NamedParams& out, const std::string& prefix) const override;
+
+ private:
+  Tensor gamma_, beta_;
+};
+
+class Embedding final : public Module {
+ public:
+  Embedding(std::int64_t vocab, std::int64_t dim, core::Rng& rng);
+  Tensor forward(std::span<const int> ids) const;
+  void collect_params(tensor::NamedParams& out, const std::string& prefix) const override;
+  const Tensor& weight() const { return weight_; }
+
+ private:
+  Tensor weight_;  // [V,D]
+};
+
+/// 1D convolution with 'same' zero padding, x: [Cin,T] -> [Cout,T].
+class Conv1d final : public Module {
+ public:
+  Conv1d(std::int64_t cin, std::int64_t cout, std::int64_t kernel, core::Rng& rng);
+  Tensor forward(const Tensor& x) const;
+  void collect_params(tensor::NamedParams& out, const std::string& prefix) const override;
+
+ private:
+  Tensor weight_;  // [Cout,Cin,K]
+  Tensor bias_;    // [Cout]
+  int pad_;
+};
+
+enum class Activation { kRelu, kGelu, kTanh };
+
+/// Feed-forward stack: Linear -> act -> ... -> Linear (no final activation).
+class Mlp final : public Module {
+ public:
+  Mlp(std::vector<std::int64_t> dims, core::Rng& rng, Activation act = Activation::kRelu);
+  Tensor forward(const Tensor& x) const;
+  void collect_params(tensor::NamedParams& out, const std::string& prefix) const override;
+
+ private:
+  std::vector<std::shared_ptr<Linear>> layers_;
+  Activation act_;
+};
+
+Tensor apply_activation(const Tensor& x, Activation act);
+
+}  // namespace netllm::nn

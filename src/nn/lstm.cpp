@@ -1,0 +1,61 @@
+#include "nn/lstm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace netllm::nn {
+
+namespace {
+using namespace netllm::tensor;
+}  // namespace
+
+Lstm::Lstm(std::int64_t input_dim, std::int64_t hidden_dim, core::Rng& rng)
+    : input_dim_(input_dim), hidden_dim_(hidden_dim) {
+  if (input_dim <= 0 || hidden_dim <= 0) throw std::invalid_argument("Lstm: non-positive dims");
+  const float bound = std::sqrt(6.0f / static_cast<float>(input_dim + 4 * hidden_dim));
+  wx_ = Tensor::rand_uniform({input_dim, 4 * hidden_dim}, rng, bound, true);
+  const float bound_h = std::sqrt(6.0f / static_cast<float>(5 * hidden_dim));
+  wh_ = Tensor::rand_uniform({hidden_dim, 4 * hidden_dim}, rng, bound_h, true);
+  // Forget-gate bias starts at 1 so early training keeps long-range memory.
+  std::vector<float> bias(static_cast<std::size_t>(4 * hidden_dim), 0.0f);
+  for (std::int64_t i = hidden_dim; i < 2 * hidden_dim; ++i) {
+    bias[static_cast<std::size_t>(i)] = 1.0f;
+  }
+  b_ = Tensor::from(std::move(bias), {4 * hidden_dim}, true);
+}
+
+Tensor Lstm::forward(const Tensor& x) const {
+  if (x.rank() != 2 || x.dim(1) != input_dim_) {
+    throw std::invalid_argument("Lstm: expected [T, input_dim] input");
+  }
+  const auto t_len = x.dim(0);
+  Tensor h = Tensor::zeros({1, hidden_dim_});
+  Tensor c = Tensor::zeros({1, hidden_dim_});
+  std::vector<Tensor> outputs;
+  outputs.reserve(static_cast<std::size_t>(t_len));
+  for (std::int64_t t = 0; t < t_len; ++t) {
+    const auto xt = slice_rows(x, t, 1);
+    auto gates = add_bias(add(matmul(xt, wx_), matmul(h, wh_)), b_);  // [1, 4H]
+    const auto i = sigmoid_t(slice_cols(gates, 0, hidden_dim_));
+    const auto f = sigmoid_t(slice_cols(gates, hidden_dim_, hidden_dim_));
+    const auto g = tanh_t(slice_cols(gates, 2 * hidden_dim_, hidden_dim_));
+    const auto o = sigmoid_t(slice_cols(gates, 3 * hidden_dim_, hidden_dim_));
+    c = add(mul(f, c), mul(i, g));
+    h = mul(o, tanh_t(c));
+    outputs.push_back(h);
+  }
+  return concat_rows(outputs);
+}
+
+Tensor Lstm::last_hidden(const Tensor& x) const {
+  auto all = forward(x);
+  return slice_rows(all, all.dim(0) - 1, 1);
+}
+
+void Lstm::collect_params(NamedParams& out, const std::string& prefix) const {
+  out.emplace_back(prefix + "wx", wx_);
+  out.emplace_back(prefix + "wh", wh_);
+  out.emplace_back(prefix + "b", b_);
+}
+
+}  // namespace netllm::nn

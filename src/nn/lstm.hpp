@@ -1,0 +1,33 @@
+// A single-layer LSTM over [T, in] sequences. Used by the TRACK viewport-
+// prediction baseline (the paper's state-of-the-art VP model is LSTM-based).
+#pragma once
+
+#include <memory>
+
+#include "core/rng.hpp"
+#include "nn/layers.hpp"
+#include "nn/module.hpp"
+
+namespace netllm::nn {
+
+class Lstm final : public Module {
+ public:
+  Lstm(std::int64_t input_dim, std::int64_t hidden_dim, core::Rng& rng);
+
+  /// Runs the recurrence from zero state; returns all hidden states [T, H].
+  Tensor forward(const Tensor& x) const;
+  /// Convenience: the final hidden state only, as [1, H].
+  Tensor last_hidden(const Tensor& x) const;
+
+  void collect_params(tensor::NamedParams& out, const std::string& prefix) const override;
+
+  std::int64_t hidden_dim() const { return hidden_dim_; }
+
+ private:
+  std::int64_t input_dim_, hidden_dim_;
+  Tensor wx_;  // [in, 4H] gate order: i, f, g, o
+  Tensor wh_;  // [H, 4H]
+  Tensor b_;   // [4H] (forget-gate slice initialised to 1)
+};
+
+}  // namespace netllm::nn

@@ -1,0 +1,71 @@
+// Module base: a named-parameter registry over the autograd tensors.
+//
+// Freezing (clearing requires_grad on the underlying leaves) is how NetLLM
+// keeps the pre-trained LLM backbone fixed while the multimodal encoder,
+// networking heads and LoRA matrices train (paper §4, Fig. 8).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/serialize.hpp"
+#include "tensor/tensor.hpp"
+
+namespace netllm::nn {
+
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// Append this module's (qualified-name, tensor) pairs to `out`.
+  virtual void collect_params(tensor::NamedParams& out, const std::string& prefix) const = 0;
+
+  tensor::NamedParams named_parameters(const std::string& prefix = "") const {
+    tensor::NamedParams out;
+    collect_params(out, prefix);
+    return out;
+  }
+
+  /// All parameter tensors (frozen and trainable).
+  std::vector<tensor::Tensor> parameters() const {
+    std::vector<tensor::Tensor> out;
+    for (auto& [name, t] : named_parameters()) out.push_back(t);
+    return out;
+  }
+
+  /// Only tensors with requires_grad set — what an optimizer should train.
+  std::vector<tensor::Tensor> trainable_parameters() const {
+    std::vector<tensor::Tensor> out;
+    for (auto& [name, t] : named_parameters()) {
+      if (t.requires_grad()) out.push_back(t);
+    }
+    return out;
+  }
+
+  std::int64_t param_count() const {
+    std::int64_t n = 0;
+    for (const auto& p : parameters()) n += p.numel();
+    return n;
+  }
+
+  std::int64_t trainable_param_count() const {
+    std::int64_t n = 0;
+    for (const auto& p : trainable_parameters()) n += p.numel();
+    return n;
+  }
+
+  /// Stop gradients flowing into this module's parameters.
+  void freeze() { set_requires_grad(false); }
+  void unfreeze() { set_requires_grad(true); }
+
+  void save(const std::string& path) const { tensor::save_params(path, named_parameters()); }
+  void load(const std::string& path) const { tensor::load_params(path, named_parameters()); }
+
+ private:
+  void set_requires_grad(bool value) {
+    for (auto& p : parameters()) p.node()->requires_grad = value;
+  }
+};
+
+}  // namespace netllm::nn

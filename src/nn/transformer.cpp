@@ -1,0 +1,138 @@
+#include "nn/transformer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace netllm::nn {
+
+namespace {
+using namespace netllm::tensor;
+
+/// Concatenate [T, d_i] tensors along columns via transpose + concat_rows.
+Tensor concat_cols(const std::vector<Tensor>& xs) {
+  std::vector<Tensor> transposed;
+  transposed.reserve(xs.size());
+  for (const auto& x : xs) transposed.push_back(transpose(x));
+  return transpose(concat_rows(transposed));
+}
+
+}  // namespace
+
+MultiHeadAttention::MultiHeadAttention(std::int64_t d_model, std::int64_t n_heads, bool causal,
+                                       core::Rng& rng)
+    : d_model_(d_model), n_heads_(n_heads), d_head_(d_model / n_heads), causal_(causal) {
+  if (d_model % n_heads != 0) {
+    throw std::invalid_argument("MultiHeadAttention: d_model must be divisible by n_heads");
+  }
+  wq_ = std::make_shared<Linear>(d_model, d_model, rng);
+  wk_ = std::make_shared<Linear>(d_model, d_model, rng);
+  wv_ = std::make_shared<Linear>(d_model, d_model, rng);
+  wo_ = std::make_shared<Linear>(d_model, d_model, rng);
+}
+
+Tensor MultiHeadAttention::project(const std::shared_ptr<Linear>& base,
+                                   const std::shared_ptr<LoRALinear>& lora,
+                                   const Tensor& x) const {
+  return lora ? lora->forward(x) : base->forward(x);
+}
+
+Tensor MultiHeadAttention::forward(const Tensor& x) const {
+  if (x.rank() != 2 || x.dim(1) != d_model_) {
+    throw std::invalid_argument("MultiHeadAttention: expected [T, d_model] input");
+  }
+  const auto q = project(wq_, lq_, x);
+  const auto k = project(wk_, lk_, x);
+  const auto v = project(wv_, lv_, x);
+  const float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(d_head_));
+
+  std::vector<Tensor> heads;
+  heads.reserve(static_cast<std::size_t>(n_heads_));
+  for (std::int64_t h = 0; h < n_heads_; ++h) {
+    const auto qh = slice_cols(q, h * d_head_, d_head_);
+    const auto kh = slice_cols(k, h * d_head_, d_head_);
+    const auto vh = slice_cols(v, h * d_head_, d_head_);
+    auto scores = scale(matmul(qh, transpose(kh)), inv_sqrt);
+    auto attn = causal_ ? causal_masked_softmax(scores) : softmax_rows(scores);
+    heads.push_back(matmul(attn, vh));
+  }
+  return project(wo_, lo_, concat_cols(heads));
+}
+
+void MultiHeadAttention::collect_params(NamedParams& out, const std::string& prefix) const {
+  // When LoRA wraps a projection, the LoRALinear reports both the (frozen)
+  // base weights and its low-rank matrices; otherwise report the base alone.
+  auto emit = [&](const char* name, const std::shared_ptr<Linear>& base,
+                  const std::shared_ptr<LoRALinear>& lora) {
+    if (lora) {
+      lora->collect_params(out, prefix + name + std::string("."));
+    } else {
+      base->collect_params(out, prefix + name + std::string("."));
+    }
+  };
+  emit("wq", wq_, lq_);
+  emit("wk", wk_, lk_);
+  emit("wv", wv_, lv_);
+  emit("wo", wo_, lo_);
+}
+
+std::vector<Tensor> MultiHeadAttention::enable_lora(std::int64_t rank, float alpha,
+                                                    core::Rng& rng) {
+  lq_ = std::make_shared<LoRALinear>(wq_, rank, alpha, rng);
+  lk_ = std::make_shared<LoRALinear>(wk_, rank, alpha, rng);
+  lv_ = std::make_shared<LoRALinear>(wv_, rank, alpha, rng);
+  lo_ = std::make_shared<LoRALinear>(wo_, rank, alpha, rng);
+  std::vector<Tensor> lora;
+  for (const auto& l : {lq_, lk_, lv_, lo_}) {
+    for (auto& t : l->lora_parameters()) lora.push_back(t);
+  }
+  return lora;
+}
+
+TransformerBlock::TransformerBlock(std::int64_t d_model, std::int64_t n_heads, std::int64_t d_ff,
+                                   bool causal, core::Rng& rng) {
+  ln1_ = std::make_shared<LayerNorm>(d_model);
+  ln2_ = std::make_shared<LayerNorm>(d_model);
+  attn_ = std::make_shared<MultiHeadAttention>(d_model, n_heads, causal, rng);
+  fc1_ = std::make_shared<Linear>(d_model, d_ff, rng);
+  fc2_ = std::make_shared<Linear>(d_ff, d_model, rng);
+}
+
+Tensor TransformerBlock::ff(const Tensor& x) const {
+  auto h = lfc1_ ? lfc1_->forward(x) : fc1_->forward(x);
+  h = gelu(h);
+  return lfc2_ ? lfc2_->forward(h) : fc2_->forward(h);
+}
+
+Tensor TransformerBlock::forward(const Tensor& x) const {
+  auto h = add(x, attn_->forward(ln1_->forward(x)));
+  return add(h, ff(ln2_->forward(h)));
+}
+
+void TransformerBlock::collect_params(NamedParams& out, const std::string& prefix) const {
+  ln1_->collect_params(out, prefix + "ln1.");
+  attn_->collect_params(out, prefix + "attn.");
+  ln2_->collect_params(out, prefix + "ln2.");
+  if (lfc1_) {
+    lfc1_->collect_params(out, prefix + "fc1.");
+  } else {
+    fc1_->collect_params(out, prefix + "fc1.");
+  }
+  if (lfc2_) {
+    lfc2_->collect_params(out, prefix + "fc2.");
+  } else {
+    fc2_->collect_params(out, prefix + "fc2.");
+  }
+}
+
+std::vector<Tensor> TransformerBlock::enable_lora(std::int64_t rank, float alpha,
+                                                  core::Rng& rng) {
+  auto lora = attn_->enable_lora(rank, alpha, rng);
+  lfc1_ = std::make_shared<LoRALinear>(fc1_, rank, alpha, rng);
+  lfc2_ = std::make_shared<LoRALinear>(fc2_, rank, alpha, rng);
+  for (const auto& l : {lfc1_, lfc2_}) {
+    for (auto& t : l->lora_parameters()) lora.push_back(t);
+  }
+  return lora;
+}
+
+}  // namespace netllm::nn

@@ -1,0 +1,59 @@
+// Multi-head attention and pre-LN transformer blocks — the backbone of both
+// the MiniGPT LLM substrate and the ViT-lite image encoder.
+//
+// Each block's projection layers can be wrapped with LoRA adapters after
+// construction (`enable_lora`), which freezes nothing by itself — callers
+// freeze the backbone and train only the returned low-rank matrices, which
+// is exactly the DD-LRNA recipe (paper §4.3).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "nn/layers.hpp"
+#include "nn/module.hpp"
+
+namespace netllm::nn {
+
+/// Multi-head self-attention over a [T, D] sequence.
+class MultiHeadAttention final : public Module {
+ public:
+  MultiHeadAttention(std::int64_t d_model, std::int64_t n_heads, bool causal, core::Rng& rng);
+
+  Tensor forward(const Tensor& x) const;
+  void collect_params(tensor::NamedParams& out, const std::string& prefix) const override;
+
+  /// Wrap q/k/v/o projections with LoRA; returns the new low-rank tensors.
+  std::vector<Tensor> enable_lora(std::int64_t rank, float alpha, core::Rng& rng);
+
+ private:
+  Tensor project(const std::shared_ptr<Linear>& base, const std::shared_ptr<LoRALinear>& lora,
+                 const Tensor& x) const;
+
+  std::int64_t d_model_, n_heads_, d_head_;
+  bool causal_;
+  std::shared_ptr<Linear> wq_, wk_, wv_, wo_;
+  std::shared_ptr<LoRALinear> lq_, lk_, lv_, lo_;
+};
+
+/// Pre-LN transformer block: x + MHA(LN(x)), then x + MLP(LN(x)).
+class TransformerBlock final : public Module {
+ public:
+  TransformerBlock(std::int64_t d_model, std::int64_t n_heads, std::int64_t d_ff, bool causal,
+                   core::Rng& rng);
+
+  Tensor forward(const Tensor& x) const;
+  void collect_params(tensor::NamedParams& out, const std::string& prefix) const override;
+  std::vector<Tensor> enable_lora(std::int64_t rank, float alpha, core::Rng& rng);
+
+ private:
+  Tensor ff(const Tensor& x) const;
+
+  std::shared_ptr<LayerNorm> ln1_, ln2_;
+  std::shared_ptr<MultiHeadAttention> attn_;
+  std::shared_ptr<Linear> fc1_, fc2_;
+  std::shared_ptr<LoRALinear> lfc1_, lfc2_;
+};
+
+}  // namespace netllm::nn

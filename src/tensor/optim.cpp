@@ -1,0 +1,85 @@
+#include "tensor/optim.hpp"
+
+#include <cmath>
+
+namespace netllm::tensor {
+
+void Optimizer::zero_grad() {
+  for (auto& p : params_) p.zero_grad();
+}
+
+double Optimizer::clip_grad_norm(double max_norm) {
+  double sq = 0.0;
+  for (auto& p : params_) {
+    for (float g : p.grad()) sq += static_cast<double>(g) * g;
+  }
+  const double norm = std::sqrt(sq);
+  if (norm > max_norm && norm > 0.0) {
+    const auto scale = static_cast<float>(max_norm / norm);
+    for (auto& p : params_) {
+      auto& grad = p.node()->grad;
+      for (auto& g : grad) g *= scale;
+    }
+  }
+  return norm;
+}
+
+std::int64_t Optimizer::param_count() const {
+  std::int64_t n = 0;
+  for (const auto& p : params_) n += p.numel();
+  return n;
+}
+
+void Sgd::step() {
+  for (auto& p : params_) {
+    auto value = p.mutable_data();
+    const auto grad = p.grad();
+    for (std::size_t i = 0; i < value.size(); ++i) value[i] -= lr_ * grad[i];
+  }
+}
+
+Adam::Adam(std::vector<Tensor> params, float lr, float beta1, float beta2, float eps,
+           float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.emplace_back(static_cast<std::size_t>(p.numel()), 0.0f);
+    v_.emplace_back(static_cast<std::size_t>(p.numel()), 0.0f);
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    auto value = params_[k].mutable_data();
+    const auto grad = params_[k].grad();
+    auto& m = m_[k];
+    auto& v = v_[k];
+    for (std::size_t i = 0; i < value.size(); ++i) {
+      float g = grad[i];
+      if (weight_decay_ != 0.0f) g += weight_decay_ * value[i];
+      m[i] = beta1_ * m[i] + (1.0f - beta1_) * g;
+      v[i] = beta2_ * v[i] + (1.0f - beta2_) * g * g;
+      const float mhat = m[i] / bc1;
+      const float vhat = v[i] / bc2;
+      value[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+std::int64_t Adam::state_bytes() const {
+  std::int64_t n = 0;
+  for (const auto& m : m_) n += static_cast<std::int64_t>(m.size());
+  for (const auto& v : v_) n += static_cast<std::int64_t>(v.size());
+  return n * static_cast<std::int64_t>(sizeof(float));
+}
+
+}  // namespace netllm::tensor

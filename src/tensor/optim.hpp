@@ -1,0 +1,62 @@
+// Optimizers over leaf tensors (parameters). Both update `value` in place
+// from the accumulated `grad`; call `zero_grad()` after each step.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace netllm::tensor {
+
+/// Abstract optimizer over a fixed parameter list.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Tensor> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  virtual void step() = 0;
+  void zero_grad();
+
+  /// Global-norm gradient clipping; returns the pre-clip norm.
+  double clip_grad_norm(double max_norm);
+
+  const std::vector<Tensor>& params() const { return params_; }
+  /// Total number of optimised scalars.
+  std::int64_t param_count() const;
+  /// Bytes held by this optimizer's state (e.g. Adam moments).
+  virtual std::int64_t state_bytes() const = 0;
+
+ protected:
+  std::vector<Tensor> params_;
+};
+
+class Sgd final : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor> params, float lr) : Optimizer(std::move(params)), lr_(lr) {}
+  void step() override;
+  std::int64_t state_bytes() const override { return 0; }
+
+ private:
+  float lr_;
+};
+
+class Adam final : public Optimizer {
+ public:
+  Adam(std::vector<Tensor> params, float lr, float beta1 = 0.9f, float beta2 = 0.999f,
+       float eps = 1e-8f, float weight_decay = 0.0f);
+  void step() override;
+  std::int64_t state_bytes() const override;
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_, beta1_, beta2_, eps_, weight_decay_;
+  std::int64_t t_ = 0;
+  std::vector<std::vector<float>> m_, v_;
+};
+
+}  // namespace netllm::tensor

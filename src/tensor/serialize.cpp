@@ -1,0 +1,89 @@
+#include "tensor/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace netllm::tensor {
+
+namespace {
+
+constexpr char kMagic[4] = {'N', 'L', 'L', 'M'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ofstream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::ifstream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!is) throw std::runtime_error("load_params: truncated file");
+  return v;
+}
+
+}  // namespace
+
+void save_params(const std::string& path, const NamedParams& params) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("save_params: cannot open " + path);
+  os.write(kMagic, sizeof(kMagic));
+  write_pod(os, kVersion);
+  write_pod(os, static_cast<std::uint32_t>(params.size()));
+  for (const auto& [name, t] : params) {
+    write_pod(os, static_cast<std::uint32_t>(name.size()));
+    os.write(name.data(), static_cast<std::streamsize>(name.size()));
+    write_pod(os, static_cast<std::uint32_t>(t.rank()));
+    for (auto d : t.shape()) write_pod(os, d);
+    os.write(reinterpret_cast<const char*>(t.data().data()),
+             static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  }
+  if (!os) throw std::runtime_error("save_params: write failed for " + path);
+}
+
+void load_params(const std::string& path, const NamedParams& params) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("load_params: cannot open " + path);
+  char magic[4];
+  is.read(magic, sizeof(magic));
+  if (!is || std::string(magic, 4) != std::string(kMagic, 4)) {
+    throw std::runtime_error("load_params: bad magic in " + path);
+  }
+  const auto version = read_pod<std::uint32_t>(is);
+  if (version != kVersion) throw std::runtime_error("load_params: unsupported version");
+  const auto count = read_pod<std::uint32_t>(is);
+
+  std::unordered_map<std::string, Tensor> by_name;
+  for (const auto& [name, t] : params) by_name.emplace(name, t);
+
+  std::size_t matched = 0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const auto name_len = read_pod<std::uint32_t>(is);
+    std::string name(name_len, '\0');
+    is.read(name.data(), name_len);
+    const auto rank = read_pod<std::uint32_t>(is);
+    Shape shape(rank);
+    for (auto& d : shape) d = read_pod<std::int64_t>(is);
+    const auto numel = shape_numel(shape);
+    std::vector<float> data(static_cast<std::size_t>(numel));
+    is.read(reinterpret_cast<char*>(data.data()),
+            static_cast<std::streamsize>(numel * sizeof(float)));
+    if (!is) throw std::runtime_error("load_params: truncated tensor data");
+    auto it = by_name.find(name);
+    if (it == by_name.end()) continue;  // extra entries are tolerated
+    if (it->second.shape() != shape) {
+      throw std::runtime_error("load_params: shape mismatch for '" + name + "'");
+    }
+    auto dst = it->second.mutable_data();
+    std::copy(data.begin(), data.end(), dst.begin());
+    ++matched;
+  }
+  if (matched != params.size()) {
+    throw std::runtime_error("load_params: missing parameters in " + path);
+  }
+}
+
+}  // namespace netllm::tensor

@@ -1,0 +1,27 @@
+// Named-parameter snapshots: save/load a model's weights to a simple binary
+// container. Used by the `Adapt` API to return LLM snapshots (Fig. 9) and by
+// the benches to reuse trained baselines across experiments.
+//
+// Format (little-endian):
+//   magic "NLLM" | u32 version | u32 count |
+//   repeat count times: u32 name_len | name bytes | u32 rank | i64 dims[rank]
+//                       | f32 data[numel]
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace netllm::tensor {
+
+using NamedParams = std::vector<std::pair<std::string, Tensor>>;
+
+void save_params(const std::string& path, const NamedParams& params);
+
+/// Loads values *into* the given tensors (matched by name; shapes must
+/// agree). Throws std::runtime_error on any mismatch or missing entry.
+void load_params(const std::string& path, const NamedParams& params);
+
+}  // namespace netllm::tensor

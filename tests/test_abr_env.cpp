@@ -1,0 +1,227 @@
+// Tests for the ABR environment: video models, trace generators, streaming
+// simulator dynamics, QoE accounting and the Table 3 settings.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/stats.hpp"
+#include "envs/abr/policy.hpp"
+#include "envs/abr/simulator.hpp"
+#include "envs/abr/trace.hpp"
+#include "envs/abr/video.hpp"
+
+namespace abr = netllm::abr;
+
+namespace {
+
+abr::BandwidthTrace constant_trace(double mbps, double duration_s = 600.0) {
+  abr::BandwidthTrace t;
+  t.name = "const";
+  t.interval_s = 1.0;
+  t.bw_mbps.assign(static_cast<std::size_t>(duration_s), mbps);
+  return t;
+}
+
+class FixedLevelPolicy final : public abr::AbrPolicy {
+ public:
+  explicit FixedLevelPolicy(int level) : level_(level) {}
+  std::string name() const override { return "fixed"; }
+  int choose_level(const abr::Observation&) override { return level_; }
+
+ private:
+  int level_;
+};
+
+}  // namespace
+
+TEST(Video, EnvivioLadderMatchesPensieve) {
+  auto v = abr::VideoModel::envivio(1);
+  EXPECT_EQ(v.num_chunks(), 48);
+  EXPECT_DOUBLE_EQ(v.chunk_duration_s(), 4.0);
+  ASSERT_EQ(v.num_levels(), 6);
+  EXPECT_DOUBLE_EQ(v.bitrate_kbps(0), 300.0);
+  EXPECT_DOUBLE_EQ(v.bitrate_kbps(5), 4300.0);
+}
+
+TEST(Video, SynthVideoHasLargerBitrates) {
+  auto envivio = abr::VideoModel::envivio(1);
+  auto synth = abr::VideoModel::synth(1);
+  EXPECT_EQ(synth.num_levels(), envivio.num_levels());
+  EXPECT_GT(synth.bitrate_kbps(5), envivio.bitrate_kbps(5));
+}
+
+TEST(Video, ChunkSizesScaleWithBitrateAndStayNearNominal) {
+  auto v = abr::VideoModel::envivio(7);
+  for (int c = 0; c < v.num_chunks(); ++c) {
+    for (int l = 1; l < v.num_levels(); ++l) {
+      EXPECT_GT(v.chunk_size_bytes(c, l), v.chunk_size_bytes(c, l - 1));
+    }
+    const double nominal = v.bitrate_kbps(3) * 1000.0 / 8.0 * v.chunk_duration_s();
+    EXPECT_NEAR(v.chunk_size_bytes(c, 3), nominal, nominal * 0.3);
+  }
+}
+
+TEST(Trace, GeneratorsDeterministicAndPositive) {
+  auto a = abr::generate_traces(abr::TracePreset::kFcc, 3, 42);
+  auto b = abr::generate_traces(abr::TracePreset::kFcc, 3, 42);
+  ASSERT_EQ(a.size(), 3u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].bw_mbps.size(), b[i].bw_mbps.size());
+    for (std::size_t s = 0; s < a[i].bw_mbps.size(); ++s) {
+      EXPECT_DOUBLE_EQ(a[i].bw_mbps[s], b[i].bw_mbps[s]);
+      EXPECT_GT(a[i].bw_mbps[s], 0.0);
+    }
+  }
+}
+
+TEST(Trace, SynthHasWiderRangeAndFasterChanges) {
+  // Level-change frequency proxy: mean absolute successive difference.
+  auto roughness = [](const std::vector<abr::BandwidthTrace>& traces) {
+    double total = 0.0;
+    int n = 0;
+    for (const auto& t : traces) {
+      for (std::size_t i = 1; i < t.bw_mbps.size(); ++i) {
+        total += std::abs(t.bw_mbps[i] - t.bw_mbps[i - 1]);
+        ++n;
+      }
+    }
+    return total / n;
+  };
+  auto fcc = abr::generate_traces(abr::TracePreset::kFcc, 10, 1);
+  auto synth = abr::generate_traces(abr::TracePreset::kSynth, 10, 1);
+  EXPECT_GT(roughness(synth), 1.5 * roughness(fcc));
+}
+
+TEST(Trace, BwAtLoopsPastEnd) {
+  auto t = constant_trace(2.0, 10.0);
+  t.bw_mbps[0] = 9.0;
+  EXPECT_DOUBLE_EQ(t.bw_at(0.5), 9.0);
+  EXPECT_DOUBLE_EQ(t.bw_at(10.5), 9.0);  // wrapped
+  EXPECT_DOUBLE_EQ(t.bw_at(3.5), 2.0);
+}
+
+TEST(Qoe, ChunkFormulaMatchesPaper) {
+  abr::QoeWeights w;  // lambda = 4.3, gamma = 1
+  // 2850 kbps, previous 750 kbps, 0.5 s rebuffer:
+  const double qoe = abr::qoe_chunk(w, 2850, 750, 0.5);
+  EXPECT_NEAR(qoe, 2.85 - 4.3 * 0.5 - 2.1, 1e-9);
+}
+
+TEST(Simulator, FastLinkNoRebuffering) {
+  auto video = abr::VideoModel::envivio(3);
+  auto trace = constant_trace(50.0);
+  abr::StreamingSession s(video, trace);
+  while (!s.done()) {
+    auto r = s.step(5);
+    EXPECT_DOUBLE_EQ(r.rebuffer_s, 0.0) << "chunk " << s.next_chunk_index();
+  }
+  EXPECT_EQ(s.chunks_served(), 48);
+}
+
+TEST(Simulator, SlowLinkRebuffersOnHighBitrate) {
+  auto video = abr::VideoModel::envivio(3);
+  auto trace = constant_trace(0.5);  // 0.5 Mbps cannot carry 4.3 Mbps video
+  abr::StreamingSession s(video, trace);
+  double rebuf = 0.0;
+  while (!s.done()) rebuf += s.step(5).rebuffer_s;
+  EXPECT_GT(rebuf, 10.0);
+}
+
+TEST(Simulator, DownloadDelayMatchesBandwidth) {
+  auto video = abr::VideoModel::envivio(3);
+  auto trace = constant_trace(4.0);
+  abr::StreamingSession s(video, trace);
+  auto r = s.step(2);  // 1200 kbps x 4 s chunk over 4 Mbps link
+  const double expected = r.chunk_size_bytes * 8.0 / (4.0 * 1e6);
+  EXPECT_NEAR(r.delay_s, expected, 0.06);
+  EXPECT_NEAR(r.throughput_mbps, 4.0, 0.2);
+}
+
+TEST(Simulator, RttAddsLatency) {
+  auto video = abr::VideoModel::envivio(3);
+  auto trace = constant_trace(4.0);
+  abr::SimConfig with_rtt;
+  with_rtt.rtt_s = 0.08;
+  abr::StreamingSession a(video, trace);
+  abr::StreamingSession b(video, trace, with_rtt);
+  const double d0 = a.step(2).delay_s;
+  const double d1 = b.step(2).delay_s;
+  EXPECT_NEAR(d1 - d0, 0.08, 0.02);
+}
+
+TEST(Simulator, BufferIsCapped) {
+  auto video = abr::VideoModel::envivio(3);
+  auto trace = constant_trace(100.0);
+  abr::SimConfig cfg;
+  cfg.buffer_cap_s = 20.0;
+  abr::StreamingSession s(video, trace, cfg);
+  while (!s.done()) {
+    auto r = s.step(0);
+    EXPECT_LE(r.buffer_s, 20.0 + 1e-9);
+  }
+}
+
+TEST(Simulator, ObservationShapesAndContent) {
+  auto video = abr::VideoModel::envivio(3);
+  auto trace = constant_trace(4.0);
+  abr::StreamingSession s(video, trace);
+  auto obs = s.observe();
+  EXPECT_EQ(obs.past_throughput_mbps.size(), static_cast<std::size_t>(abr::Observation::kHistory));
+  EXPECT_EQ(obs.next_chunk_sizes_mbytes.size(), 6u);
+  EXPECT_EQ(obs.num_levels, 6);
+  EXPECT_DOUBLE_EQ(obs.remaining_chunks_frac, 1.0);
+  s.step(3);
+  obs = s.observe();
+  EXPECT_EQ(obs.last_level, 3);
+  EXPECT_GT(obs.past_throughput_mbps.back(), 0.0);
+  EXPECT_LT(obs.remaining_chunks_frac, 1.0);
+}
+
+TEST(Simulator, InvalidActionsThrow) {
+  auto video = abr::VideoModel::envivio(3);
+  auto trace = constant_trace(4.0);
+  abr::StreamingSession s(video, trace);
+  EXPECT_THROW(s.step(-1), std::invalid_argument);
+  EXPECT_THROW(s.step(6), std::invalid_argument);
+}
+
+TEST(Simulator, QoeAccountingConsistent) {
+  auto video = abr::VideoModel::envivio(3);
+  auto trace = constant_trace(10.0);
+  FixedLevelPolicy policy(4);
+  auto stats = abr::run_session(policy, video, trace);
+  // Constant level: no switches, fast link: no rebuffer -> QoE = bitrate.
+  EXPECT_NEAR(stats.mean_change_mbps, 0.0, 1e-9);
+  EXPECT_NEAR(stats.mean_rebuffer_s, 0.0, 1e-9);
+  EXPECT_NEAR(stats.mean_qoe, 2.85, 1e-6);
+}
+
+TEST(Settings, Table3RowsMatchPaper) {
+  EXPECT_EQ(abr::abr_default_test().video_name, "Envivio-Dash3");
+  EXPECT_EQ(abr::abr_default_test().traces, abr::TracePreset::kFcc);
+  EXPECT_EQ(abr::abr_unseen(1).video_name, "Envivio-Dash3");
+  EXPECT_EQ(abr::abr_unseen(1).traces, abr::TracePreset::kSynth);
+  EXPECT_EQ(abr::abr_unseen(2).video_name, "SynthVideo");
+  EXPECT_EQ(abr::abr_unseen(2).traces, abr::TracePreset::kFcc);
+  EXPECT_EQ(abr::abr_unseen(3).video_name, "SynthVideo");
+  EXPECT_EQ(abr::abr_unseen(3).traces, abr::TracePreset::kSynth);
+  EXPECT_THROW(abr::abr_unseen(0), std::invalid_argument);
+  // Train and test trace sets differ (different sampling seeds).
+  EXPECT_NE(abr::abr_default_train().seed, abr::abr_default_test().seed);
+}
+
+TEST(Settings, EvaluateQoeProducesPerTraceScores) {
+  auto setting = abr::abr_default_test();
+  setting.num_traces = 5;
+  auto video = abr::video_for(setting);
+  auto traces = abr::traces_for(setting);
+  FixedLevelPolicy low(0), high(5);
+  auto qoe_low = abr::evaluate_qoe(low, video, traces);
+  auto qoe_high = abr::evaluate_qoe(high, video, traces);
+  ASSERT_EQ(qoe_low.size(), 5u);
+  // Always-lowest avoids rebuffering entirely on FCC-like traces; its QoE is
+  // exactly the lowest rung. Always-highest rebuffers at times.
+  for (double q : qoe_low) EXPECT_NEAR(q, 0.3, 1e-6);
+  EXPECT_GT(netllm::core::mean(qoe_low), -5.0);
+  EXPECT_LT(netllm::core::mean(qoe_high), 4.3);
+}

@@ -1,0 +1,297 @@
+// Gradient correctness: every differentiable op is validated against central
+// finite differences. This is the safety net the whole training stack rests
+// on — a silent autograd bug would invalidate every experiment downstream.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "core/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace nt = netllm::tensor;
+using netllm::core::Rng;
+
+namespace {
+
+// Compares analytic gradients of `loss_fn(inputs)` (scalar output) against
+// central differences for every element of every input tensor.
+void check_gradients(const std::vector<nt::Tensor>& inputs,
+                     const std::function<nt::Tensor()>& loss_fn, float eps = 1e-3f,
+                     float tol = 2e-2f) {
+  // Analytic pass.
+  for (const auto& in : inputs) in.zero_grad();
+  auto loss = loss_fn();
+  ASSERT_EQ(loss.numel(), 1);
+  loss.backward();
+  std::vector<std::vector<float>> analytic;
+  for (const auto& in : inputs) {
+    analytic.emplace_back(in.grad().begin(), in.grad().end());
+  }
+  // Numeric pass.
+  for (std::size_t k = 0; k < inputs.size(); ++k) {
+    auto data = const_cast<nt::Tensor&>(inputs[k]).mutable_data();
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      const float orig = data[i];
+      data[i] = orig + eps;
+      const float up = loss_fn().item();
+      data[i] = orig - eps;
+      const float down = loss_fn().item();
+      data[i] = orig;
+      const float numeric = (up - down) / (2.0f * eps);
+      const float a = analytic[k][i];
+      const float denom = std::max({std::abs(numeric), std::abs(a), 1.0f});
+      EXPECT_NEAR(a / denom, numeric / denom, tol)
+          << "input " << k << " element " << i << " analytic=" << a
+          << " numeric=" << numeric;
+    }
+  }
+}
+
+nt::Tensor rand_input(nt::Shape shape, Rng& rng) {
+  return nt::Tensor::randn(std::move(shape), rng, 0.7f, /*requires_grad=*/true);
+}
+
+}  // namespace
+
+TEST(Autograd, Add) {
+  Rng rng(1);
+  auto a = rand_input({2, 3}, rng);
+  auto b = rand_input({2, 3}, rng);
+  check_gradients({a, b}, [&] { return nt::sum_all(nt::mul(nt::add(a, b), nt::add(a, b))); });
+}
+
+TEST(Autograd, Sub) {
+  Rng rng(2);
+  auto a = rand_input({4}, rng);
+  auto b = rand_input({4}, rng);
+  check_gradients({a, b}, [&] { return nt::sum_all(nt::mul(nt::sub(a, b), nt::sub(a, b))); });
+}
+
+TEST(Autograd, MulAndScale) {
+  Rng rng(3);
+  auto a = rand_input({3, 2}, rng);
+  auto b = rand_input({3, 2}, rng);
+  check_gradients({a, b}, [&] { return nt::sum_all(nt::scale(nt::mul(a, b), 1.5f)); });
+}
+
+TEST(Autograd, AddN) {
+  Rng rng(4);
+  auto a = rand_input({2, 2}, rng);
+  auto b = rand_input({2, 2}, rng);
+  auto c = rand_input({2, 2}, rng);
+  check_gradients({a, b, c}, [&] {
+    auto s = nt::add_n({a, b, c, a});  // `a` contributes twice
+    return nt::sum_all(nt::mul(s, s));
+  });
+}
+
+TEST(Autograd, Relu) {
+  Rng rng(5);
+  auto a = nt::Tensor::from({-1.3f, 0.5f, 2.0f, -0.2f}, {4}, true);
+  check_gradients({a}, [&] { return nt::sum_all(nt::mul(nt::relu(a), nt::relu(a))); });
+}
+
+TEST(Autograd, Gelu) {
+  Rng rng(6);
+  auto a = rand_input({5}, rng);
+  check_gradients({a}, [&] { return nt::sum_all(nt::gelu(a)); });
+}
+
+TEST(Autograd, TanhSigmoid) {
+  Rng rng(7);
+  auto a = rand_input({6}, rng);
+  check_gradients({a}, [&] { return nt::sum_all(nt::mul(nt::tanh_t(a), nt::sigmoid_t(a))); });
+}
+
+TEST(Autograd, Matmul) {
+  Rng rng(8);
+  auto a = rand_input({3, 4}, rng);
+  auto b = rand_input({4, 2}, rng);
+  check_gradients({a, b}, [&] {
+    auto c = nt::matmul(a, b);
+    return nt::sum_all(nt::mul(c, c));
+  });
+}
+
+TEST(Autograd, Transpose) {
+  Rng rng(9);
+  auto a = rand_input({2, 3}, rng);
+  auto b = rand_input({2, 3}, rng);
+  check_gradients({a, b}, [&] {
+    auto c = nt::matmul(nt::transpose(a), b);  // [3,2]x... no: [3,2]x[2,3]
+    return nt::sum_all(nt::mul(c, c));
+  });
+}
+
+TEST(Autograd, AddBias) {
+  Rng rng(10);
+  auto a = rand_input({3, 4}, rng);
+  auto b = rand_input({4}, rng);
+  check_gradients({a, b}, [&] {
+    auto c = nt::add_bias(a, b);
+    return nt::sum_all(nt::mul(c, c));
+  });
+}
+
+TEST(Autograd, SoftmaxRows) {
+  Rng rng(11);
+  auto a = rand_input({3, 5}, rng);
+  auto w = rand_input({3, 5}, rng);
+  check_gradients({a, w}, [&] { return nt::sum_all(nt::mul(nt::softmax_rows(a), w)); });
+}
+
+TEST(Autograd, LogSoftmaxRows) {
+  Rng rng(12);
+  auto a = rand_input({2, 4}, rng);
+  auto w = rand_input({2, 4}, rng);
+  check_gradients({a, w}, [&] { return nt::sum_all(nt::mul(nt::log_softmax_rows(a), w)); });
+}
+
+TEST(Autograd, CausalMaskedSoftmax) {
+  Rng rng(13);
+  auto a = rand_input({4, 4}, rng);
+  auto w = rand_input({4, 4}, rng);
+  check_gradients({a, w}, [&] {
+    return nt::sum_all(nt::mul(nt::causal_masked_softmax(a), w));
+  });
+}
+
+TEST(Autograd, LayerNormRows) {
+  Rng rng(14);
+  auto a = rand_input({3, 6}, rng);
+  auto gamma = nt::Tensor::from({1.1f, 0.9f, 1.2f, 0.8f, 1.0f, 1.3f}, {6}, true);
+  auto beta = rand_input({6}, rng);
+  auto w = rand_input({3, 6}, rng);
+  check_gradients({a, gamma, beta}, [&] {
+    return nt::sum_all(nt::mul(nt::layer_norm_rows(a, gamma, beta), w));
+  });
+}
+
+TEST(Autograd, Embedding) {
+  Rng rng(15);
+  auto w = rand_input({5, 3}, rng);
+  const int ids[] = {1, 4, 1, 0};
+  auto mask = rand_input({4, 3}, rng);
+  check_gradients({w}, [&] { return nt::sum_all(nt::mul(nt::embedding(w, ids), mask)); });
+}
+
+TEST(Autograd, Conv1d) {
+  Rng rng(16);
+  auto x = rand_input({2, 6}, rng);
+  auto w = rand_input({3, 2, 3}, rng);
+  auto b = rand_input({3}, rng);
+  check_gradients({x, w, b}, [&] {
+    auto y = nt::conv1d(x, w, b, 1);
+    return nt::sum_all(nt::mul(y, y));
+  });
+}
+
+TEST(Autograd, Conv1dNoPadding) {
+  Rng rng(17);
+  auto x = rand_input({1, 5}, rng);
+  auto w = rand_input({2, 1, 2}, rng);
+  auto b = rand_input({2}, rng);
+  check_gradients({x, w, b}, [&] { return nt::sum_all(nt::conv1d(x, w, b, 0)); });
+}
+
+TEST(Autograd, ConcatSliceReshape) {
+  Rng rng(18);
+  auto a = rand_input({2, 3}, rng);
+  auto b = rand_input({1, 3}, rng);
+  check_gradients({a, b}, [&] {
+    auto c = nt::concat_rows({a, b});           // [3,3]
+    auto s = nt::slice_rows(c, 1, 2);            // [2,3]
+    auto r = nt::reshape(s, {3, 2});
+    return nt::sum_all(nt::mul(r, r));
+  });
+}
+
+TEST(Autograd, SliceCols) {
+  Rng rng(19);
+  auto a = rand_input({3, 5}, rng);
+  check_gradients({a}, [&] {
+    auto s = nt::slice_cols(a, 1, 3);
+    return nt::sum_all(nt::mul(s, s));
+  });
+}
+
+TEST(Autograd, MeanOverRows) {
+  Rng rng(20);
+  auto a = rand_input({4, 3}, rng);
+  auto w = rand_input({1, 3}, rng);
+  check_gradients({a, w}, [&] { return nt::sum_all(nt::mul(nt::mean_over_rows(a), w)); });
+}
+
+TEST(Autograd, MseLoss) {
+  Rng rng(21);
+  auto pred = rand_input({2, 3}, rng);
+  auto target = nt::Tensor::randn({2, 3}, rng, 1.0f);
+  check_gradients({pred}, [&] { return nt::mse_loss(pred, target); });
+}
+
+TEST(Autograd, CrossEntropyRows) {
+  Rng rng(22);
+  auto logits = rand_input({4, 5}, rng);
+  const int targets[] = {0, 2, 4, 1};
+  check_gradients({logits}, [&] { return nt::cross_entropy_rows(logits, targets); });
+}
+
+TEST(Autograd, CrossEntropyWithMaskedRows) {
+  Rng rng(23);
+  auto logits = rand_input({3, 4}, rng);
+  const int targets[] = {1, -1, 3};
+  check_gradients({logits}, [&] { return nt::cross_entropy_rows(logits, targets); });
+}
+
+TEST(Autograd, NllWeighted) {
+  Rng rng(24);
+  auto logits = rand_input({3, 4}, rng);
+  const int targets[] = {0, 3, 2};
+  const float weights[] = {1.0f, -0.5f, 2.0f};
+  check_gradients({logits}, [&] {
+    return nt::nll_weighted(nt::log_softmax_rows(logits), targets, weights);
+  });
+}
+
+TEST(Autograd, SharedSubexpressionAccumulates) {
+  // f(x) = sum((x + x) * x) = 2 * sum(x^2); df/dx = 4x.
+  auto x = nt::Tensor::from({1.0f, -2.0f}, {2}, true);
+  auto y = nt::sum_all(nt::mul(nt::add(x, x), x));
+  y.backward();
+  EXPECT_NEAR(x.grad()[0], 4.0f, 1e-5f);
+  EXPECT_NEAR(x.grad()[1], -8.0f, 1e-5f);
+}
+
+TEST(Autograd, NoGradFlowsToNonRequiresGradLeaves) {
+  auto x = nt::Tensor::from({1.0f}, {1}, true);
+  auto c = nt::Tensor::from({2.0f}, {1}, false);
+  auto y = nt::mul(x, c);
+  y.backward();
+  EXPECT_NEAR(x.grad()[0], 2.0f, 1e-6f);
+  EXPECT_TRUE(c.grad().empty() || c.grad()[0] == 0.0f);
+}
+
+TEST(Autograd, BackwardRequiresScalarRoot) {
+  auto x = nt::Tensor::zeros({2}, true);
+  EXPECT_THROW(nt::add(x, x).backward(), std::invalid_argument);
+}
+
+TEST(Autograd, TwoLayerMlpEndToEnd) {
+  // Composite check: linear -> gelu -> layernorm -> linear -> CE.
+  Rng rng(25);
+  auto x = nt::Tensor::randn({4, 6}, rng, 1.0f);
+  auto w1 = rand_input({6, 8}, rng);
+  auto b1 = rand_input({8}, rng);
+  auto g = nt::Tensor::full({8}, 1.0f, true);
+  auto be = nt::Tensor::zeros({8}, true);
+  auto w2 = rand_input({8, 3}, rng);
+  auto b2 = rand_input({3}, rng);
+  const int targets[] = {0, 1, 2, 1};
+  check_gradients({w1, b1, g, be, w2, b2}, [&] {
+    auto h = nt::gelu(nt::add_bias(nt::matmul(x, w1), b1));
+    auto n = nt::layer_norm_rows(h, g, be);
+    auto logits = nt::add_bias(nt::matmul(n, w2), b2);
+    return nt::cross_entropy_rows(logits, targets);
+  });
+}

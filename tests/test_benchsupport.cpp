@@ -1,0 +1,105 @@
+// Tests for the bench-support layer contracts that every figure bench rests
+// on: experiment-setting invariants (train/test splits differ, unseen
+// settings genuinely shift distribution), evaluation-driver determinism and
+// metric-summary arithmetic.
+#include <gtest/gtest.h>
+
+#include "baselines/abr/rule_based.hpp"
+#include "baselines/cjs/rule_based.hpp"
+#include "baselines/vp/rule_based.hpp"
+#include "core/stats.hpp"
+#include "envs/abr/policy.hpp"
+#include "envs/cjs/simulator.hpp"
+#include "envs/vp/dataset.hpp"
+
+namespace abr = netllm::abr;
+namespace cjs = netllm::cjs;
+namespace vp = netllm::vp;
+namespace nc = netllm::core;
+
+TEST(Settings, TrainAndTestEnvironmentsDiffer) {
+  // Same setting family, different sampled environments (paper §A.4:
+  // "test all methods in the new environment from the same setting").
+  auto train = abr::traces_for(abr::abr_default_train());
+  auto test = abr::traces_for(abr::abr_default_test());
+  ASSERT_FALSE(train.empty());
+  ASSERT_FALSE(test.empty());
+  double diff = 0.0;
+  const auto n = std::min(train[0].bw_mbps.size(), test[0].bw_mbps.size());
+  for (std::size_t i = 0; i < n; ++i) diff += std::abs(train[0].bw_mbps[i] - test[0].bw_mbps[i]);
+  EXPECT_GT(diff, 1.0);
+
+  const auto train_jobs = cjs::generate_jobs(cjs::cjs_default_train());
+  const auto test_jobs = cjs::generate_jobs(cjs::cjs_default_test());
+  bool differs = train_jobs.size() != test_jobs.size();
+  for (std::size_t j = 0; !differs && j < train_jobs.size(); ++j) {
+    differs = train_jobs[j].stages.size() != test_jobs[j].stages.size();
+  }
+  EXPECT_TRUE(differs || train_jobs[0].total_work_s() != test_jobs[0].total_work_s());
+}
+
+TEST(Settings, UnseenAbrSettingsShiftTheDistribution) {
+  // Unseen 1: same video, new trace family; unseen 2: new video, same traces.
+  const auto v_default = abr::video_for(abr::abr_default_test());
+  const auto v_unseen2 = abr::video_for(abr::abr_unseen(2));
+  EXPECT_GT(v_unseen2.bitrate_kbps(5), v_default.bitrate_kbps(5));
+  const auto t_default = abr::traces_for(abr::abr_default_test());
+  const auto t_unseen1 = abr::traces_for(abr::abr_unseen(1));
+  // SynthTrace is rougher than FCC on average.
+  auto roughness = [](const std::vector<abr::BandwidthTrace>& ts) {
+    double total = 0.0;
+    int n = 0;
+    for (const auto& t : ts) {
+      for (std::size_t i = 1; i < t.bw_mbps.size(); ++i) {
+        total += std::abs(t.bw_mbps[i] - t.bw_mbps[i - 1]);
+        ++n;
+      }
+    }
+    return total / n;
+  };
+  EXPECT_GT(roughness(t_unseen1), roughness(t_default));
+}
+
+TEST(Settings, UnseenCjsSettingsAreHarder) {
+  // Fewer executors and/or more jobs => higher mean JCT for the same policy.
+  netllm::baselines::FairScheduler fair;
+  const auto base = cjs::run_workload(cjs::cjs_default_test(), fair);
+  const auto harder = cjs::run_workload(cjs::cjs_unseen(1), fair);
+  EXPECT_GT(nc::mean(harder.jct_s), nc::mean(base.jct_s));
+}
+
+TEST(Evaluation, QoeEvaluationIsDeterministic) {
+  auto setting = abr::abr_default_test();
+  setting.num_traces = 4;
+  const auto video = abr::video_for(setting);
+  const auto traces = abr::traces_for(setting);
+  netllm::baselines::Mpc a, b;
+  const auto qa = abr::evaluate_qoe(a, video, traces);
+  const auto qb = abr::evaluate_qoe(b, video, traces);
+  ASSERT_EQ(qa.size(), qb.size());
+  for (std::size_t i = 0; i < qa.size(); ++i) EXPECT_DOUBLE_EQ(qa[i], qb[i]);
+}
+
+TEST(Evaluation, MaeEvaluationIsDeterministic) {
+  auto setting = vp::vp_default_test();
+  setting.num_traces = 2;
+  const auto samples = vp::build_dataset(setting, 20);
+  netllm::baselines::LinearRegressionVp a, b;
+  const auto ma = vp::evaluate_mae(a, samples);
+  const auto mb = vp::evaluate_mae(b, samples);
+  for (std::size_t i = 0; i < ma.size(); ++i) EXPECT_DOUBLE_EQ(ma[i], mb[i]);
+}
+
+TEST(Evaluation, RealWorldEmulationRttHurtsQoe) {
+  // Fig. 14's emulator: adding the 80 ms RTT can only slow downloads.
+  auto setting = abr::abr_default_test();
+  setting.num_traces = 6;
+  const auto video = abr::video_for(setting);
+  const auto traces = abr::traces_for(setting);
+  netllm::baselines::Bba p1, p2;
+  abr::SimConfig rtt;
+  rtt.rtt_s = 0.08;
+  const double base = nc::mean(abr::evaluate_qoe(p1, video, traces));
+  const double slowed = nc::mean(abr::evaluate_qoe(p2, video, traces, rtt));
+  EXPECT_LE(slowed, base + 0.05);
+}

@@ -1,0 +1,195 @@
+// Tests for the CJS environment: DAG job generation, event-driven cluster
+// simulation invariants, observation construction and Table 4 settings.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "envs/cjs/job.hpp"
+#include "envs/cjs/simulator.hpp"
+
+namespace cjs = netllm::cjs;
+
+namespace {
+
+/// Picks the first runnable stage with the full-cluster cap.
+class GreedyPolicy final : public cjs::SchedPolicy {
+ public:
+  std::string name() const override { return "greedy"; }
+  cjs::SchedAction choose(const cjs::SchedObservation& obs) override {
+    ++decisions;
+    last_runnable = static_cast<int>(obs.runnable_rows.size());
+    return {0, cjs::kNumCapChoices - 1};
+  }
+  int decisions = 0;
+  int last_runnable = 0;
+};
+
+/// Always grants the minimum cap to the last runnable stage.
+class StingyPolicy final : public cjs::SchedPolicy {
+ public:
+  std::string name() const override { return "stingy"; }
+  cjs::SchedAction choose(const cjs::SchedObservation& obs) override {
+    return {static_cast<int>(obs.runnable_rows.size()) - 1, 0};
+  }
+};
+
+cjs::WorkloadConfig tiny_config(std::uint64_t seed) {
+  cjs::WorkloadConfig cfg;
+  cfg.num_job_requests = 40;
+  cfg.executor_units_k = 20;
+  cfg.scale = 0.5;  // -> 20 jobs, 10 executors
+  cfg.seed = seed;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(Jobs, GenerationDeterministicAndWellFormed) {
+  auto cfg = tiny_config(3);
+  auto a = cjs::generate_jobs(cfg);
+  auto b = cjs::generate_jobs(cfg);
+  ASSERT_EQ(a.size(), 20u);
+  for (std::size_t j = 0; j < a.size(); ++j) {
+    EXPECT_EQ(a[j].stages.size(), b[j].stages.size());
+    EXPECT_GE(a[j].stages.size(), 2u);
+    EXPECT_LE(a[j].stages.size(), 6u);
+    for (std::size_t s = 0; s < a[j].stages.size(); ++s) {
+      const auto& stage = a[j].stages[s];
+      EXPECT_GE(stage.num_tasks, 1);
+      EXPECT_LE(stage.num_tasks, 40);
+      EXPECT_GT(stage.task_duration_s, 0.0);
+      for (int p : stage.parents) {
+        EXPECT_GE(p, 0);
+        EXPECT_LT(p, static_cast<int>(s));  // parents precede children: acyclic
+      }
+    }
+    EXPECT_GT(a[j].total_work_s(), 0.0);
+  }
+  // Arrivals are non-decreasing.
+  for (std::size_t j = 1; j < a.size(); ++j) EXPECT_GE(a[j].arrival_s, a[j - 1].arrival_s);
+}
+
+TEST(Jobs, ScalingPreservesRatios) {
+  cjs::WorkloadConfig cfg;
+  cfg.num_job_requests = 200;
+  cfg.executor_units_k = 50;
+  cfg.scale = 0.25;
+  EXPECT_EQ(cfg.scaled_jobs(), 50);
+  EXPECT_EQ(cfg.scaled_executors(), 13);
+  cfg.scale = 1.0;
+  EXPECT_EQ(cfg.scaled_jobs(), 200);
+  EXPECT_EQ(cfg.scaled_executors(), 50);
+}
+
+TEST(Settings, Table4RowsMatchPaper) {
+  EXPECT_EQ(cjs::cjs_default_test().num_job_requests, 200);
+  EXPECT_EQ(cjs::cjs_default_test().executor_units_k, 50);
+  EXPECT_EQ(cjs::cjs_unseen(1).num_job_requests, 200);
+  EXPECT_EQ(cjs::cjs_unseen(1).executor_units_k, 30);
+  EXPECT_EQ(cjs::cjs_unseen(2).num_job_requests, 450);
+  EXPECT_EQ(cjs::cjs_unseen(2).executor_units_k, 50);
+  EXPECT_EQ(cjs::cjs_unseen(3).num_job_requests, 450);
+  EXPECT_EQ(cjs::cjs_unseen(3).executor_units_k, 30);
+  EXPECT_THROW(cjs::cjs_unseen(0), std::invalid_argument);
+  // Paper: default test uses different randomly sampled job requests.
+  EXPECT_NE(cjs::cjs_default_train().seed, cjs::cjs_default_test().seed);
+}
+
+TEST(Simulator, AllJobsCompleteAndJctPositive) {
+  GreedyPolicy policy;
+  auto result = cjs::run_workload(tiny_config(5), policy);
+  ASSERT_EQ(result.jct_s.size(), 20u);
+  for (double jct : result.jct_s) EXPECT_GT(jct, 0.0);
+  EXPECT_GT(result.num_decisions, 0);
+  EXPECT_GT(result.makespan_s, 0.0);
+  EXPECT_LT(result.total_reward, 0.0);  // jobs spend time in the system
+}
+
+TEST(Simulator, DeterministicForSamePolicyAndSeed) {
+  GreedyPolicy p1, p2;
+  auto r1 = cjs::run_workload(tiny_config(5), p1);
+  auto r2 = cjs::run_workload(tiny_config(5), p2);
+  ASSERT_EQ(r1.jct_s.size(), r2.jct_s.size());
+  for (std::size_t i = 0; i < r1.jct_s.size(); ++i) EXPECT_DOUBLE_EQ(r1.jct_s[i], r2.jct_s[i]);
+}
+
+TEST(Simulator, RewardEqualsNegativeIntegralOfJobsInSystem) {
+  // sum of JCTs == integral of jobs-in-system over time == -total_reward.
+  GreedyPolicy policy;
+  auto result = cjs::run_workload(tiny_config(7), policy);
+  double sum_jct = 0.0;
+  for (double jct : result.jct_s) sum_jct += jct;
+  EXPECT_NEAR(-result.total_reward, sum_jct, sum_jct * 0.01);
+}
+
+TEST(Simulator, ParallelismCapMatters) {
+  // Granting full-cluster caps to wide stages should beat one-executor caps
+  // on makespan (stingy schedules serialize every stage).
+  GreedyPolicy greedy;
+  StingyPolicy stingy;
+  auto rg = cjs::run_workload(tiny_config(9), greedy);
+  auto rs = cjs::run_workload(tiny_config(9), stingy);
+  EXPECT_LT(rg.makespan_s, rs.makespan_s);
+}
+
+TEST(Simulator, ObservationStructure) {
+  class InspectingPolicy final : public cjs::SchedPolicy {
+   public:
+    std::string name() const override { return "inspect"; }
+    cjs::SchedAction choose(const cjs::SchedObservation& obs) override {
+      EXPECT_GT(obs.topology.num_nodes, 0);
+      EXPECT_EQ(obs.node_features.dim(0), obs.topology.num_nodes);
+      EXPECT_EQ(obs.node_features.dim(1), cjs::SchedObservation::kNodeFeatures);
+      EXPECT_FALSE(obs.runnable_rows.empty());
+      for (int row : obs.runnable_rows) {
+        EXPECT_GE(row, 0);
+        EXPECT_LT(row, obs.topology.num_nodes);
+        // Runnable flag (feature 3) set on runnable rows.
+        EXPECT_EQ(obs.node_features.at(row * cjs::SchedObservation::kNodeFeatures + 3), 1.0f);
+      }
+      EXPECT_GT(obs.idle_executors, 0);
+      EXPECT_LE(obs.idle_executors, obs.total_executors);
+      // Topology must be a valid DAG (children precede parents).
+      EXPECT_NO_THROW(netllm::nn::topological_order(obs.topology));
+      ++checked;
+      return {0, 1};
+    }
+    int checked = 0;
+  };
+  InspectingPolicy policy;
+  cjs::run_workload(tiny_config(11), policy);
+  EXPECT_GT(policy.checked, 10);
+}
+
+TEST(Simulator, RecorderCapturesDecisionsWithRewards) {
+  GreedyPolicy policy;
+  std::vector<cjs::Decision> decisions;
+  auto result = cjs::run_workload(tiny_config(13), policy, &decisions);
+  ASSERT_EQ(static_cast<int>(decisions.size()), result.num_decisions);
+  double total = 0.0;
+  for (const auto& d : decisions) total += d.reward;
+  EXPECT_NEAR(total, result.total_reward, std::abs(result.total_reward) * 0.05 + 1.0);
+}
+
+TEST(Simulator, InvalidActionsThrow) {
+  class BadPolicy final : public cjs::SchedPolicy {
+   public:
+    std::string name() const override { return "bad"; }
+    cjs::SchedAction choose(const cjs::SchedObservation&) override { return {9999, 0}; }
+  };
+  BadPolicy policy;
+  EXPECT_THROW(cjs::run_workload(tiny_config(15), policy), std::invalid_argument);
+}
+
+TEST(Simulator, MoreExecutorsReduceMeanJct) {
+  GreedyPolicy p1, p2;
+  auto small = tiny_config(17);
+  auto big = tiny_config(17);
+  big.executor_units_k = 60;  // -> 30 executors vs 10
+  auto rs = cjs::run_workload(small, p1);
+  auto rb = cjs::run_workload(big, p2);
+  double mean_small = 0.0, mean_big = 0.0;
+  for (double j : rs.jct_s) mean_small += j;
+  for (double j : rb.jct_s) mean_big += j;
+  EXPECT_LT(mean_big, mean_small);
+}

@@ -1,0 +1,194 @@
+// Unit tests for core utilities: deterministic RNG, statistics, tables.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "core/rng.hpp"
+#include "core/stats.hpp"
+#include "core/table.hpp"
+
+namespace nc = netllm::core;
+
+TEST(Rng, DeterministicForSameSeed) {
+  nc::Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  nc::Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange) {
+  nc::Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, RandintInclusiveBounds) {
+  nc::Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.randint(-2, 3);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, RandintSingleton) {
+  nc::Rng rng(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.randint(5, 5), 5);
+}
+
+TEST(Rng, GaussianMoments) {
+  nc::Rng rng(13);
+  double sum = 0.0, sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, ExponentialMean) {
+  nc::Rng rng(17);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, WeightedChoiceRespectsWeights) {
+  nc::Rng rng(19);
+  const double w[] = {0.0, 1.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 20000; ++i) ++counts[rng.weighted_choice(w)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[1], 3.0, 0.3);
+}
+
+TEST(Rng, WeightedChoiceAllZeroFallsBackToUniform) {
+  nc::Rng rng(23);
+  const double w[] = {0.0, 0.0, 0.0, 0.0};
+  int counts[4] = {0, 0, 0, 0};
+  for (int i = 0; i < 8000; ++i) ++counts[rng.weighted_choice(w)];
+  for (int c : counts) EXPECT_GT(c, 1500);
+}
+
+TEST(Rng, CategoricalBoundaries) {
+  nc::Rng rng(29);
+  const float p[] = {1.0f, 0.0f};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.categorical(p), 0u);
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  nc::Rng rng(31);
+  auto perm = rng.permutation(50);
+  std::vector<bool> seen(50, false);
+  for (auto i : perm) {
+    ASSERT_LT(i, 50u);
+    EXPECT_FALSE(seen[i]);
+    seen[i] = true;
+  }
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  nc::Rng a(42);
+  auto b = a.split();
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Stats, MeanAndStddev) {
+  const double xs[] = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(nc::mean(xs), 3.0);
+  EXPECT_NEAR(nc::stddev(xs), std::sqrt(2.5), 1e-12);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const double xs[] = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(nc::percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(nc::percentile(xs, 100), 40.0);
+  EXPECT_DOUBLE_EQ(nc::percentile(xs, 50), 25.0);
+}
+
+TEST(Stats, PercentileUnsortedInput) {
+  const double xs[] = {40, 10, 30, 20};
+  EXPECT_DOUBLE_EQ(nc::percentile(xs, 50), 25.0);
+}
+
+TEST(Stats, BoxSummary) {
+  const double xs[] = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const auto b = nc::box_summary(xs);
+  EXPECT_DOUBLE_EQ(b.min, 1.0);
+  EXPECT_DOUBLE_EQ(b.median, 5.0);
+  EXPECT_DOUBLE_EQ(b.max, 9.0);
+  EXPECT_DOUBLE_EQ(b.avg, 5.0);
+  EXPECT_DOUBLE_EQ(b.q1, 3.0);
+  EXPECT_DOUBLE_EQ(b.q3, 7.0);
+}
+
+TEST(Stats, CdfPointsMonotone) {
+  const double xs[] = {3, 1, 2};
+  const auto pts = nc::cdf_points(xs);
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_DOUBLE_EQ(pts[0].first, 1.0);
+  EXPECT_DOUBLE_EQ(pts.back().second, 1.0);
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_LE(pts[i - 1].first, pts[i].first);
+    EXPECT_LT(pts[i - 1].second, pts[i].second);
+  }
+}
+
+TEST(Stats, MinMaxNormalise) {
+  const double xs[] = {2, 4, 6};
+  const auto norm = nc::min_max_normalise(xs);
+  EXPECT_DOUBLE_EQ(norm[0], 0.0);
+  EXPECT_DOUBLE_EQ(norm[1], 0.5);
+  EXPECT_DOUBLE_EQ(norm[2], 1.0);
+}
+
+TEST(Stats, MinMaxNormaliseConstantInput) {
+  const double xs[] = {5, 5, 5};
+  const auto norm = nc::min_max_normalise(xs);
+  for (double v : norm) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Stats, ImprovementAndReduction) {
+  EXPECT_NEAR(nc::improvement_pct(1.2, 1.0), 20.0, 1e-9);
+  EXPECT_NEAR(nc::reduction_pct(0.8, 1.0), 20.0, 1e-9);
+}
+
+TEST(Table, RendersAlignedAsciiAndCsv) {
+  nc::Table t({"method", "qoe"});
+  t.add_row({"NetLLM", nc::Table::num(1.234, 2)});
+  t.add_row({"BBA", nc::Table::num(0.9, 2)});
+  std::ostringstream ascii, csv;
+  t.print(ascii);
+  t.print_csv(csv);
+  EXPECT_NE(ascii.str().find("NetLLM"), std::string::npos);
+  EXPECT_NE(ascii.str().find("1.23"), std::string::npos);
+  EXPECT_EQ(csv.str(), "method,qoe\nNetLLM,1.23\nBBA,0.90\n");
+}
+
+TEST(Table, RejectsArityMismatch) {
+  nc::Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}

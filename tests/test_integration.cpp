@@ -1,0 +1,164 @@
+// Cross-module integration tests: end-to-end flows through the Fig. 9 API,
+// determinism of experience collection, isolation of per-task adaptations,
+// and the Fig. 2 mechanics (token path vs networking head) on tiny models.
+#include <gtest/gtest.h>
+
+#include "baselines/abr/rule_based.hpp"
+#include "baselines/cjs/rule_based.hpp"
+#include "core/stats.hpp"
+#include "llm/zoo.hpp"
+#include "netllm/api.hpp"
+#include "netllm/prompt_vp.hpp"
+
+namespace ad = netllm::adapt;
+namespace abr = netllm::abr;
+namespace cjs = netllm::cjs;
+namespace vp = netllm::vp;
+using netllm::core::Rng;
+
+namespace {
+
+std::shared_ptr<netllm::llm::MiniGpt> tiny_llm(std::uint64_t seed = 1) {
+  netllm::llm::MiniGptConfig cfg;
+  cfg.vocab = netllm::llm::Tokenizer().vocab_size();
+  cfg.d_model = 16;
+  cfg.n_heads = 2;
+  cfg.n_layers = 1;
+  cfg.d_ff = 32;
+  cfg.max_seq = 112;
+  Rng rng(seed);
+  return std::make_shared<netllm::llm::MiniGpt>(cfg, rng);
+}
+
+}  // namespace
+
+TEST(Integration, ExperienceCollectionIsDeterministic) {
+  auto setting = abr::abr_default_train();
+  setting.num_traces = 3;
+  netllm::baselines::Bba bba1, bba2;
+  auto p1 = ad::api::RL_Collect(bba1, setting, 1, 0.2, 9);
+  auto p2 = ad::api::RL_Collect(bba2, setting, 1, 0.2, 9);
+  ASSERT_EQ(p1.size(), p2.size());
+  for (std::size_t t = 0; t < p1.size(); ++t) {
+    ASSERT_EQ(p1[t].size(), p2[t].size());
+    for (std::size_t i = 0; i < p1[t].size(); ++i) {
+      EXPECT_EQ(p1[t][i].action, p2[t][i].action);
+      EXPECT_EQ(p1[t][i].reward, p2[t][i].reward);
+    }
+  }
+}
+
+TEST(Integration, CjsCollectAdaptTestViaApi) {
+  cjs::WorkloadConfig base;
+  base.num_job_requests = 8;
+  base.executor_units_k = 6;
+  base.scale = 1.0;
+  base.seed = 5;
+  netllm::baselines::FairScheduler fair;
+  auto pool = ad::api::RL_Collect(fair, base, 3, 7);
+  ASSERT_EQ(pool.size(), 3u);
+  Rng rng(8);
+  ad::CjsAdapterConfig cfg;
+  cfg.lora_rank = 2;
+  cfg.context_window = 4;
+  ad::api::AdaptOptions opts;
+  opts.steps = 25;
+  auto sched = ad::api::Adapt(tiny_llm(), pool, cfg, opts, rng);
+  const double jct = ad::api::Test(*sched, base);
+  EXPECT_GT(jct, 0.0);
+}
+
+TEST(Integration, PerTaskAdaptationsShareNoState) {
+  // Adapting two tasks on separate backbone copies must not interact: the
+  // VP adapter's predictions are unchanged by ABR training on another copy.
+  auto setting = vp::vp_default_train();
+  setting.num_traces = 1;
+  auto data = vp::build_dataset(setting, 10);
+  Rng rng1(1), rng2(2);
+  ad::VpAdapterConfig vp_cfg;
+  vp_cfg.lora_rank = 2;
+  ad::VpAdapter vp_model(tiny_llm(7), vp_cfg, rng1);
+  auto before = vp_model.predict(data[0].history, data[0].saliency, 5);
+
+  auto abr_setting = abr::abr_default_train();
+  abr_setting.num_traces = 2;
+  netllm::baselines::Bba bba;
+  auto pool = ad::api::RL_Collect(bba, abr_setting, 1, 0.1, 3);
+  ad::AbrAdapterConfig abr_cfg;
+  abr_cfg.lora_rank = 2;
+  abr_cfg.context_window = 4;
+  ad::AbrAdapter abr_model(tiny_llm(7), abr_cfg, rng2);
+  abr_model.adapt(pool, 30, 1e-3f, 4);
+
+  auto after = vp_model.predict(data[0].history, data[0].saliency, 5);
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(before[i].yaw, after[i].yaw);
+  }
+}
+
+TEST(Integration, NetworkingHeadIsSingleInferenceAndAlwaysValid) {
+  // Fig. 2 mechanics: the token path takes many autoregressive inferences
+  // and can be unparseable; the networking head emits one valid answer per
+  // forward pass, structurally.
+  auto setting = vp::vp_default_test();
+  setting.num_traces = 1;
+  auto data = vp::build_dataset(setting, 6);
+
+  ad::PromptVpModel token_path(tiny_llm(3));
+  Rng rng(4);
+  ad::VpAdapterConfig cfg;
+  cfg.lora_rank = 2;
+  ad::VpAdapter head_path(tiny_llm(3), cfg, rng);
+
+  int token_inferences = 0;
+  for (const auto& s : data) {
+    token_path.predict(s.history, s.saliency, 5);
+    token_inferences += token_path.last_generation_tokens();
+    const auto pred = head_path.predict(s.history, s.saliency, 5);
+    ASSERT_EQ(pred.size(), 5u);  // a complete, in-range answer every time
+  }
+  // The token path needed many generation steps across the samples; the
+  // head needed exactly horizon forwards per sample by construction.
+  EXPECT_GT(token_inferences, 0);
+}
+
+TEST(Integration, RewardFeedbackReachesReturnConditionedPolicies) {
+  // The simulator must deliver rewards to SchedPolicy::observe_reward.
+  class Recorder final : public cjs::SchedPolicy {
+   public:
+    std::string name() const override { return "recorder"; }
+    void observe_reward(double r) override { total += r; }
+    cjs::SchedAction choose(const cjs::SchedObservation&) override { return {0, 3}; }
+    double total = 0.0;
+  };
+  Recorder rec;
+  cjs::WorkloadConfig cfg;
+  cfg.num_job_requests = 6;
+  cfg.executor_units_k = 4;
+  cfg.scale = 1.0;
+  cfg.seed = 2;
+  const auto result = cjs::run_workload(cfg, rec);
+  // All reward except the tail after the last decision is reported.
+  EXPECT_LT(rec.total, 0.0);
+  EXPECT_GE(rec.total, result.total_reward - 1e-9);
+}
+
+TEST(Integration, Table1TaskInventoryIsCovered) {
+  // Table 1's three rows exist as working pipelines: SL prediction (VP),
+  // RL distributed control (ABR), RL centralized control (CJS).
+  auto vp_setting = vp::vp_default_test();
+  vp_setting.num_traces = 1;
+  EXPECT_FALSE(vp::build_dataset(vp_setting, 3).empty());
+
+  auto abr_setting = abr::abr_default_test();
+  abr_setting.num_traces = 1;
+  netllm::baselines::Bba bba;
+  EXPECT_EQ(ad::api::RL_Collect(bba, abr_setting, 1, 0.0, 1).size(), 1u);
+
+  cjs::WorkloadConfig cjs_cfg;
+  cjs_cfg.num_job_requests = 4;
+  cjs_cfg.executor_units_k = 4;
+  cjs_cfg.scale = 1.0;
+  netllm::baselines::FifoScheduler fifo;
+  EXPECT_EQ(cjs::run_workload(cjs_cfg, fifo).jct_s.size(), 4u);
+}

@@ -1,0 +1,253 @@
+// Parameterized property suites (TEST_P sweeps): invariants that must hold
+// across seeds, presets, shapes and configurations — the guard rails under
+// the figure benches.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/cjs/rule_based.hpp"
+#include "core/rng.hpp"
+#include "envs/abr/policy.hpp"
+#include "envs/cjs/simulator.hpp"
+#include "envs/vp/dataset.hpp"
+#include "llm/minigpt.hpp"
+#include "llm/tokenizer.hpp"
+#include "nn/layers.hpp"
+#include "nn/transformer.hpp"
+#include "tensor/tensor.hpp"
+
+namespace nt = netllm::tensor;
+namespace nn = netllm::nn;
+namespace abr = netllm::abr;
+namespace cjs = netllm::cjs;
+namespace vp = netllm::vp;
+using netllm::core::Rng;
+
+// ---------- tensor properties over random shapes ----------
+
+class SoftmaxProperty : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(SoftmaxProperty, RowsSumToOneAndMatchLogSoftmax) {
+  const auto [rows, cols] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(rows * 131 + cols));
+  auto x = nt::Tensor::randn({rows, cols}, rng, 2.0f);
+  auto p = nt::softmax_rows(x);
+  auto lp = nt::log_softmax_rows(x);
+  for (int i = 0; i < rows; ++i) {
+    float sum = 0.0f;
+    for (int j = 0; j < cols; ++j) {
+      const auto idx = i * cols + j;
+      sum += p.at(idx);
+      EXPECT_NEAR(std::log(std::max(p.at(idx), 1e-20f)), lp.at(idx), 1e-4f);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SoftmaxProperty,
+                         ::testing::Values(std::pair{1, 2}, std::pair{3, 6}, std::pair{7, 13},
+                                           std::pair{16, 64}));
+
+class MatmulProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatmulProperty, AssociativityWithIdentityAndTranspose) {
+  const int n = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n));
+  auto a = nt::Tensor::randn({n, n}, rng, 1.0f);
+  // A * I == A
+  auto eye = nt::Tensor::zeros({n, n});
+  for (int i = 0; i < n; ++i) eye.mutable_data()[static_cast<std::size_t>(i * n + i)] = 1.0f;
+  auto ai = nt::matmul(a, eye);
+  for (std::int64_t i = 0; i < a.numel(); ++i) EXPECT_NEAR(ai.at(i), a.at(i), 1e-5f);
+  // (A^T)^T == A
+  auto att = nt::transpose(nt::transpose(a));
+  for (std::int64_t i = 0; i < a.numel(); ++i) EXPECT_EQ(att.at(i), a.at(i));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MatmulProperty, ::testing::Values(1, 3, 8, 17));
+
+// ---------- tokenizer round trip over random alphabet strings ----------
+
+class TokenizerProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TokenizerProperty, EncodeDecodeRoundTrip) {
+  netllm::llm::Tokenizer tok;
+  Rng rng(GetParam());
+  const std::string pool = "abcdefghijklmnopqrstuvwxyz0123456789 .,:;()[]{}<>=+-*/%_#\n";
+  std::string text;
+  const auto len = rng.randint(1, 80);
+  for (std::int64_t i = 0; i < len; ++i) {
+    text.push_back(pool[static_cast<std::size_t>(rng.randint(0, static_cast<std::int64_t>(pool.size()) - 1))]);
+  }
+  EXPECT_EQ(tok.decode(tok.encode(text)), text);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TokenizerProperty, ::testing::Range<std::uint64_t>(1, 9));
+
+// ---------- LoRA preserves the base function at init, any rank ----------
+
+class LoraProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(LoraProperty, InitialDeltaIsZero) {
+  const auto rank = static_cast<std::int64_t>(GetParam());
+  Rng rng(static_cast<std::uint64_t>(rank) + 5);
+  auto base = std::make_shared<nn::Linear>(12, 7, rng);
+  nn::LoRALinear lora(base, rank, 2.0f * rank, rng);
+  auto x = nt::Tensor::randn({4, 12}, rng, 1.0f);
+  auto yb = base->forward(x);
+  auto yl = lora.forward(x);
+  for (std::int64_t i = 0; i < yb.numel(); ++i) EXPECT_NEAR(yb.at(i), yl.at(i), 1e-6f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, LoraProperty, ::testing::Values(1, 2, 4, 8, 16));
+
+// ---------- MiniGPT causality across sequence lengths ----------
+
+class CausalityProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CausalityProperty, PrefixLogitsInvariantToSuffix) {
+  const int t = GetParam();
+  netllm::llm::MiniGptConfig cfg;
+  cfg.vocab = 40;
+  cfg.d_model = 16;
+  cfg.n_heads = 2;
+  cfg.n_layers = 2;
+  cfg.d_ff = 32;
+  cfg.max_seq = 64;
+  Rng rng(9);
+  netllm::llm::MiniGpt model(cfg, rng);
+  Rng data_rng(static_cast<std::uint64_t>(t));
+  std::vector<int> ids(static_cast<std::size_t>(t));
+  for (auto& id : ids) id = static_cast<int>(data_rng.randint(3, 39));
+  auto full = model.forward_tokens(ids);
+  std::vector<int> prefix(ids.begin(), ids.end() - 1);
+  auto part = model.forward_tokens(prefix);
+  for (std::int64_t i = 0; i < part.numel(); ++i) EXPECT_NEAR(part.at(i), full.at(i), 1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, CausalityProperty, ::testing::Values(2, 5, 16, 48));
+
+// ---------- ABR simulator invariants across presets and seeds ----------
+
+struct AbrCase {
+  abr::TracePreset preset;
+  std::uint64_t seed;
+  int level;
+};
+
+class AbrSimProperty : public ::testing::TestWithParam<AbrCase> {};
+
+TEST_P(AbrSimProperty, SessionInvariants) {
+  const auto param = GetParam();
+  const auto video = abr::VideoModel::envivio(param.seed);
+  const auto traces = abr::generate_traces(param.preset, 1, param.seed);
+  abr::SimConfig cfg;
+  abr::StreamingSession session(video, traces[0], cfg);
+  int chunks = 0;
+  double total_rebuffer = 0.0;
+  while (!session.done()) {
+    const auto obs = session.observe();
+    EXPECT_GE(obs.buffer_s, 0.0);
+    EXPECT_LE(obs.buffer_s, cfg.buffer_cap_s + 1e-9);
+    EXPECT_EQ(static_cast<int>(obs.future_chunk_sizes_mbytes.size()),
+              abr::Observation::kHorizon * obs.num_levels);
+    const auto r = session.step(param.level);
+    EXPECT_GT(r.delay_s, 0.0);
+    EXPECT_GE(r.rebuffer_s, 0.0);
+    EXPECT_GT(r.throughput_mbps, 0.0);
+    total_rebuffer += r.rebuffer_s;
+    ++chunks;
+  }
+  EXPECT_EQ(chunks, video.num_chunks());
+  // QoE ledger consistency: mean QoE == (bitrate - 4.3 rebuf - change)/C.
+  const double expected =
+      (session.total_bitrate_mbps() - 4.3 * session.total_rebuffer_s() -
+       session.total_smoothness_mbps()) /
+      session.chunks_served();
+  EXPECT_NEAR(session.mean_qoe(), expected, 1e-9);
+  EXPECT_NEAR(session.total_rebuffer_s(), total_rebuffer, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PresetsSeedsLevels, AbrSimProperty,
+    ::testing::Values(AbrCase{abr::TracePreset::kFcc, 1, 0},
+                      AbrCase{abr::TracePreset::kFcc, 2, 5},
+                      AbrCase{abr::TracePreset::kSynth, 3, 3},
+                      AbrCase{abr::TracePreset::kBroadband, 4, 5},
+                      AbrCase{abr::TracePreset::kCellular, 5, 2}));
+
+// ---------- CJS conservation laws across seeds and policies ----------
+
+class CjsConservation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CjsConservation, RewardIntegralEqualsTotalJctAndAllJobsFinish) {
+  cjs::WorkloadConfig cfg;
+  cfg.num_job_requests = 24;
+  cfg.executor_units_k = 8;
+  cfg.scale = 1.0;
+  cfg.seed = GetParam();
+  netllm::baselines::FairScheduler fair;
+  const auto result = cjs::run_workload(cfg, fair);
+  ASSERT_EQ(result.jct_s.size(), 24u);
+  double sum_jct = 0.0;
+  for (double j : result.jct_s) {
+    EXPECT_GT(j, 0.0);
+    sum_jct += j;
+  }
+  EXPECT_NEAR(-result.total_reward, sum_jct, sum_jct * 0.01 + 1e-6);
+  // Makespan is at least the longest critical path of any single job.
+  EXPECT_GT(result.makespan_s, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CjsConservation, ::testing::Range<std::uint64_t>(1, 9));
+
+// ---------- VP generator bounds across datasets and seeds ----------
+
+struct VpCase {
+  vp::VpDataset dataset;
+  std::uint64_t seed;
+};
+
+class VpGenProperty : public ::testing::TestWithParam<VpCase> {};
+
+TEST_P(VpGenProperty, AnglesBoundedAndSaliencyNormalised) {
+  const auto param = GetParam();
+  const auto traces = vp::generate_traces(param.dataset, 1, param.seed);
+  const auto& trace = traces[0];
+  for (const auto& s : trace.samples) {
+    EXPECT_LE(std::abs(s.roll), 20.0);
+    EXPECT_LE(std::abs(s.pitch), 60.0);
+    EXPECT_LE(std::abs(s.yaw), 160.0);
+  }
+  const auto img = vp::render_saliency(trace, static_cast<int>(trace.samples.size() / 2),
+                                       param.seed);
+  float mx = 0.0f;
+  for (float v : img.data()) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+    mx = std::max(mx, v);
+  }
+  EXPECT_GT(mx, 0.3f);  // the hotspot is visible
+}
+
+INSTANTIATE_TEST_SUITE_P(DatasetsSeeds, VpGenProperty,
+                         ::testing::Values(VpCase{vp::VpDataset::kJin2022, 1},
+                                           VpCase{vp::VpDataset::kJin2022, 7},
+                                           VpCase{vp::VpDataset::kWu2017, 1},
+                                           VpCase{vp::VpDataset::kWu2017, 7}));
+
+// ---------- attention: non-causal permutation covariance smoke ----------
+
+class AttentionProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(AttentionProperty, OutputFiniteAndShaped) {
+  const int t = GetParam();
+  Rng rng(3);
+  nn::MultiHeadAttention mha(16, 4, /*causal=*/true, rng);
+  auto x = nt::Tensor::randn({t, 16}, rng, 1.0f);
+  auto y = mha.forward(x);
+  ASSERT_EQ(y.shape(), (nt::Shape{t, 16}));
+  for (float v : y.data()) EXPECT_TRUE(std::isfinite(v));
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, AttentionProperty, ::testing::Values(1, 2, 33, 112));

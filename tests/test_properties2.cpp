@@ -1,0 +1,178 @@
+// Second parameterized property suite: numeric-kernel cross-checks against
+// naive references, monotonicity properties of the rule-based policies, and
+// determinism sweeps.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/abr/rule_based.hpp"
+#include "core/rng.hpp"
+#include "envs/abr/simulator.hpp"
+#include "envs/vp/viewport.hpp"
+#include "nn/lstm.hpp"
+#include "tensor/tensor.hpp"
+
+namespace nt = netllm::tensor;
+namespace nn = netllm::nn;
+namespace abr = netllm::abr;
+using netllm::core::Rng;
+
+// ---------- conv1d against a naive reference ----------
+
+struct ConvCase {
+  int cin, cout, t, k, pad;
+};
+
+class ConvReference : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvReference, MatchesNaiveComputation) {
+  const auto c = GetParam();
+  Rng rng(static_cast<std::uint64_t>(c.cin * 1000 + c.t));
+  auto x = nt::Tensor::randn({c.cin, c.t}, rng, 1.0f);
+  auto w = nt::Tensor::randn({c.cout, c.cin, c.k}, rng, 1.0f);
+  auto b = nt::Tensor::randn({c.cout}, rng, 1.0f);
+  auto y = nt::conv1d(x, w, b, c.pad);
+  const int t_out = c.t + 2 * c.pad - c.k + 1;
+  ASSERT_EQ(y.shape(), (nt::Shape{c.cout, t_out}));
+  for (int oc = 0; oc < c.cout; ++oc) {
+    for (int ot = 0; ot < t_out; ++ot) {
+      double acc = b.at(oc);
+      for (int ic = 0; ic < c.cin; ++ic) {
+        for (int kk = 0; kk < c.k; ++kk) {
+          const int it = ot - c.pad + kk;
+          if (it < 0 || it >= c.t) continue;
+          acc += static_cast<double>(x.at(ic * c.t + it)) *
+                 w.at((oc * c.cin + ic) * c.k + kk);
+        }
+      }
+      EXPECT_NEAR(y.at(oc * t_out + ot), acc, 1e-4) << "oc=" << oc << " ot=" << ot;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ConvReference,
+                         ::testing::Values(ConvCase{1, 1, 5, 3, 1}, ConvCase{2, 4, 8, 3, 1},
+                                           ConvCase{3, 2, 6, 5, 2}, ConvCase{1, 8, 8, 1, 0}));
+
+// ---------- layer norm against a naive reference ----------
+
+class LayerNormReference : public ::testing::TestWithParam<int> {};
+
+TEST_P(LayerNormReference, MatchesNaiveComputation) {
+  const int n = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n));
+  auto x = nt::Tensor::randn({3, n}, rng, 2.0f);
+  auto gamma = nt::Tensor::randn({n}, rng, 0.5f);
+  auto beta = nt::Tensor::randn({n}, rng, 0.5f);
+  auto y = nt::layer_norm_rows(x, gamma, beta);
+  for (int i = 0; i < 3; ++i) {
+    double mu = 0.0;
+    for (int j = 0; j < n; ++j) mu += x.at(i * n + j);
+    mu /= n;
+    double var = 0.0;
+    for (int j = 0; j < n; ++j) var += (x.at(i * n + j) - mu) * (x.at(i * n + j) - mu);
+    var /= n;
+    for (int j = 0; j < n; ++j) {
+      const double xhat = (x.at(i * n + j) - mu) / std::sqrt(var + 1e-5);
+      EXPECT_NEAR(y.at(i * n + j), gamma.at(j) * xhat + beta.at(j), 1e-3);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, LayerNormReference, ::testing::Values(2, 7, 16, 64));
+
+// ---------- LSTM determinism and length consistency ----------
+
+class LstmProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(LstmProperty, PrefixHiddenStatesAreStable) {
+  const int t = GetParam();
+  Rng rng(4);
+  nn::Lstm lstm(2, 8, rng);
+  Rng data_rng(static_cast<std::uint64_t>(t));
+  auto x = nt::Tensor::randn({t, 2}, data_rng, 1.0f);
+  auto full = lstm.forward(x);
+  // Running on a prefix reproduces the same prefix of hidden states
+  // (the recurrence is strictly causal).
+  if (t > 1) {
+    auto prefix = lstm.forward(nt::slice_rows(x, 0, t - 1));
+    for (std::int64_t i = 0; i < prefix.numel(); ++i) {
+      EXPECT_NEAR(prefix.at(i), full.at(i), 1e-6f);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, LstmProperty, ::testing::Values(1, 2, 7, 30));
+
+// ---------- BBA monotonicity in buffer occupancy ----------
+
+class BbaMonotonicity : public ::testing::TestWithParam<double> {};
+
+namespace {
+
+abr::Observation obs_with_buffer(double buffer_s) {
+  abr::Observation obs;
+  obs.past_throughput_mbps.assign(abr::Observation::kHistory, 2.0);
+  obs.past_delay_s.assign(abr::Observation::kHistory, 1.0);
+  obs.num_levels = 6;
+  obs.buffer_s = buffer_s;
+  obs.chunk_duration_s = 4.0;
+  obs.chunks_remaining = 10;
+  const double ladder[] = {300, 750, 1200, 1850, 2850, 4300};
+  for (double kbps : ladder) obs.next_chunk_sizes_mbytes.push_back(kbps * 500.0 / 1e6);
+  for (int h = 0; h < abr::Observation::kHorizon; ++h) {
+    for (double kbps : ladder) obs.future_chunk_sizes_mbytes.push_back(kbps * 500.0 / 1e6);
+  }
+  return obs;
+}
+
+}  // namespace
+
+TEST_P(BbaMonotonicity, MoreBufferNeverLowersTheRung) {
+  netllm::baselines::Bba bba;
+  const double b = GetParam();
+  const int lo = bba.choose_level(obs_with_buffer(b));
+  const int hi = bba.choose_level(obs_with_buffer(b + 2.0));
+  EXPECT_GE(hi, lo);
+}
+
+INSTANTIATE_TEST_SUITE_P(Buffers, BbaMonotonicity, ::testing::Values(0.0, 4.0, 7.0, 12.0, 18.0));
+
+// ---------- MPC monotonicity in throughput ----------
+
+class MpcMonotonicity : public ::testing::TestWithParam<double> {};
+
+TEST_P(MpcMonotonicity, MoreBandwidthNeverLowersTheRung) {
+  const double tp = GetParam();
+  auto make = [&](double mbps) {
+    auto obs = obs_with_buffer(10.0);
+    obs.past_throughput_mbps.assign(abr::Observation::kHistory, mbps);
+    return obs;
+  };
+  netllm::baselines::Mpc mpc_lo, mpc_hi;
+  mpc_lo.begin_session();
+  mpc_hi.begin_session();
+  const int lo = mpc_lo.choose_level(make(tp));
+  const int hi = mpc_hi.choose_level(make(tp * 2.0));
+  EXPECT_GE(hi, lo);
+}
+
+INSTANTIATE_TEST_SUITE_P(Throughputs, MpcMonotonicity, ::testing::Values(0.3, 0.8, 1.5, 3.0));
+
+// ---------- saliency rendering determinism ----------
+
+class SaliencyDeterminism : public ::testing::TestWithParam<int> {};
+
+TEST_P(SaliencyDeterminism, SameSeedSameImage) {
+  const auto traces = netllm::vp::generate_traces(netllm::vp::VpDataset::kJin2022, 1, 3);
+  const int t = GetParam();
+  auto a = netllm::vp::render_saliency(traces[0], t, 99);
+  auto b = netllm::vp::render_saliency(traces[0], t, 99);
+  for (std::int64_t i = 0; i < a.numel(); ++i) EXPECT_EQ(a.at(i), b.at(i));
+  auto c = netllm::vp::render_saliency(traces[0], t, 100);
+  float diff = 0.0f;
+  for (std::int64_t i = 0; i < a.numel(); ++i) diff += std::abs(a.at(i) - c.at(i));
+  EXPECT_GT(diff, 0.0f);  // distractor/noise differ across seeds
+}
+
+INSTANTIATE_TEST_SUITE_P(Timesteps, SaliencyDeterminism, ::testing::Values(10, 50, 150, 250));

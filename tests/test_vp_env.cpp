@@ -1,0 +1,160 @@
+// Tests for the VP environment: trace generator statistics, saliency
+// rendering, dataset windowing, Table 2 settings and the MAE metric.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "envs/vp/dataset.hpp"
+#include "envs/vp/viewport.hpp"
+
+namespace vp = netllm::vp;
+
+TEST(ViewportTraces, DeterministicAndBounded) {
+  auto a = vp::generate_traces(vp::VpDataset::kJin2022, 2, 7);
+  auto b = vp::generate_traces(vp::VpDataset::kJin2022, 2, 7);
+  ASSERT_EQ(a.size(), 2u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].samples.size(), b[i].samples.size());
+    for (std::size_t t = 0; t < a[i].samples.size(); ++t) {
+      EXPECT_DOUBLE_EQ(a[i].samples[t].yaw, b[i].samples[t].yaw);
+      EXPECT_LE(std::abs(a[i].samples[t].yaw), 160.0);
+      EXPECT_LE(std::abs(a[i].samples[t].pitch), 60.0);
+      EXPECT_LE(std::abs(a[i].samples[t].roll), 20.0);
+    }
+  }
+}
+
+TEST(ViewportTraces, DurationsMatchDatasets) {
+  auto jin = vp::generate_traces(vp::VpDataset::kJin2022, 1, 1);
+  auto wu = vp::generate_traces(vp::VpDataset::kWu2017, 1, 1);
+  EXPECT_EQ(jin[0].samples.size(), static_cast<std::size_t>(60 * 5));
+  EXPECT_EQ(wu[0].samples.size(), static_cast<std::size_t>(242 * 5));
+}
+
+TEST(ViewportTraces, MotionIsSmooth) {
+  // Successive samples at 5 Hz should rarely jump more than a few degrees.
+  auto traces = vp::generate_traces(vp::VpDataset::kJin2022, 3, 11);
+  for (const auto& trace : traces) {
+    int big_jumps = 0;
+    for (std::size_t t = 1; t < trace.samples.size(); ++t) {
+      if (std::abs(trace.samples[t].yaw - trace.samples[t - 1].yaw) > 15.0) ++big_jumps;
+    }
+    EXPECT_LT(big_jumps, static_cast<int>(trace.samples.size() / 20));
+  }
+}
+
+TEST(ViewportTraces, Wu2017MovesFasterThanJin2022) {
+  auto speed = [](const std::vector<vp::ViewportTrace>& traces) {
+    double total = 0.0;
+    int n = 0;
+    for (const auto& trace : traces) {
+      for (std::size_t t = 1; t < trace.samples.size(); ++t) {
+        total += std::abs(trace.samples[t].yaw - trace.samples[t - 1].yaw);
+        ++n;
+      }
+    }
+    return total / n;
+  };
+  EXPECT_GT(speed(vp::generate_traces(vp::VpDataset::kWu2017, 4, 3)),
+            speed(vp::generate_traces(vp::VpDataset::kJin2022, 4, 3)));
+}
+
+TEST(Saliency, BlobTracksHotspot) {
+  auto traces = vp::generate_traces(vp::VpDataset::kJin2022, 1, 5);
+  const auto& trace = traces[0];
+  const int t = 100;
+  auto img = vp::render_saliency(trace, t, 5);
+  ASSERT_EQ(img.shape(), (netllm::tensor::Shape{16, 16}));
+  // Brightest pixel should be near the hotspot's grid position.
+  int best = 0;
+  for (int i = 1; i < 256; ++i) {
+    if (img.at(i) > img.at(best)) best = i;
+  }
+  const double bx = best % 16, by = best / 16;
+  const auto& hs = trace.hotspot[t];
+  const double cx = (hs.yaw + 160.0) / 320.0 * 15.0;
+  const double cy = (hs.pitch + 60.0) / 120.0 * 15.0;
+  EXPECT_LT(std::hypot(bx - cx, by - cy), 3.0);
+  for (int i = 0; i < 256; ++i) {
+    EXPECT_GE(img.at(i), 0.0f);
+    EXPECT_LE(img.at(i), 1.0f);
+  }
+}
+
+TEST(Dataset, WindowGeometryMatchesSetting) {
+  auto setting = vp::vp_default_test();
+  setting.num_traces = 2;
+  auto samples = vp::build_dataset(setting, 10);
+  ASSERT_FALSE(samples.empty());
+  for (const auto& s : samples) {
+    EXPECT_EQ(s.history.size(), static_cast<std::size_t>(2 * 5));
+    EXPECT_EQ(s.future.size(), static_cast<std::size_t>(4 * 5));
+    EXPECT_TRUE(s.saliency.defined());
+  }
+}
+
+TEST(Dataset, MaxSamplesRespected) {
+  auto setting = vp::vp_default_test();
+  setting.num_traces = 2;
+  EXPECT_EQ(vp::build_dataset(setting, 7).size(), 7u);
+}
+
+TEST(Dataset, FutureContinuesHistory) {
+  auto setting = vp::vp_default_test();
+  setting.num_traces = 1;
+  auto samples = vp::build_dataset(setting, 3);
+  for (const auto& s : samples) {
+    // The first future sample should be close to the last history sample
+    // (5 Hz smooth motion).
+    EXPECT_LT(std::abs(s.future.front().yaw - s.history.back().yaw), 20.0);
+  }
+}
+
+TEST(Settings, Table2RowsMatchPaper) {
+  EXPECT_EQ(vp::vp_default_test().dataset, vp::VpDataset::kJin2022);
+  EXPECT_DOUBLE_EQ(vp::vp_default_test().hw_s, 2.0);
+  EXPECT_DOUBLE_EQ(vp::vp_default_test().pw_s, 4.0);
+  EXPECT_EQ(vp::vp_unseen(1).dataset, vp::VpDataset::kJin2022);
+  EXPECT_DOUBLE_EQ(vp::vp_unseen(1).hw_s, 4.0);
+  EXPECT_DOUBLE_EQ(vp::vp_unseen(1).pw_s, 6.0);
+  EXPECT_EQ(vp::vp_unseen(2).dataset, vp::VpDataset::kWu2017);
+  EXPECT_DOUBLE_EQ(vp::vp_unseen(2).pw_s, 4.0);
+  EXPECT_EQ(vp::vp_unseen(3).dataset, vp::VpDataset::kWu2017);
+  EXPECT_DOUBLE_EQ(vp::vp_unseen(3).pw_s, 6.0);
+  EXPECT_THROW(vp::vp_unseen(4), std::invalid_argument);
+}
+
+TEST(Mae, MatchesHandComputation) {
+  std::vector<vp::Viewport> pred = {{1, 2, 3}, {0, 0, 0}};
+  std::vector<vp::Viewport> actual = {{0, 0, 0}, {3, 3, 3}};
+  // Step 1: (1+2+3)/3 = 2; step 2: (3+3+3)/3 = 3; mean = 2.5.
+  EXPECT_DOUBLE_EQ(vp::viewport_mae(pred, actual), 2.5);
+  EXPECT_THROW(vp::viewport_mae(pred, std::vector<vp::Viewport>{{0, 0, 0}}),
+               std::invalid_argument);
+}
+
+namespace {
+
+class LastValuePredictor final : public vp::VpPredictor {
+ public:
+  std::string name() const override { return "last-value"; }
+  std::vector<vp::Viewport> predict(std::span<const vp::Viewport> history,
+                                    const netllm::tensor::Tensor&, int horizon) override {
+    return std::vector<vp::Viewport>(static_cast<std::size_t>(horizon), history.back());
+  }
+};
+
+}  // namespace
+
+TEST(Evaluate, PerSampleMaePipeline) {
+  auto setting = vp::vp_default_test();
+  setting.num_traces = 1;
+  auto samples = vp::build_dataset(setting, 20);
+  LastValuePredictor predictor;
+  auto mae = vp::evaluate_mae(predictor, samples);
+  ASSERT_EQ(mae.size(), samples.size());
+  for (double m : mae) {
+    EXPECT_GE(m, 0.0);
+    EXPECT_LT(m, 180.0);
+  }
+}
