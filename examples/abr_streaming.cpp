@@ -71,6 +71,17 @@ int main() {
   opts.steps = 700;
   auto netllm_policy = adapt::api::Adapt(llm, pool, adapt::AbrAdapterConfig{}, opts, rng);
   stream_with(*netllm_policy, video, trace, /*print_timeline=*/true);
+
+  // Production-style serving: the same policy behind the robustness layer —
+  // output validation, latency budget, BBA fallback, circuit breaker. On a
+  // healthy model every decision stays on the LLM path.
+  auto guarded = adapt::api::Guard(netllm_policy, {.latency_budget_ms = 250.0});
+  stream_with(*guarded, video, trace, /*print_timeline=*/false);
+  const auto& gc = guarded->counters();
+  std::cout << "guarded serving: " << gc.llm_ok << " LLM decisions, " << gc.fallback
+            << " fallback (exception " << gc.fail_exception << ", invalid " << gc.fail_invalid
+            << ", latency " << gc.fail_latency << ", breaker trips " << gc.breaker_trips
+            << ")\n\n";
   std::cout << "(This is a workflow demo on one harsh cellular trace; rule-based\n"
                " conservatism wins single traces like this. The figure benches train\n"
                " the full recipe on llama2-lite and evaluate across trace sets.)\n";

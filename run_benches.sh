@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Regenerates every paper table/figure. Output: bench_output.txt
-set -u
+set -euo pipefail
 cd "$(dirname "$0")"
 {
 for b in bench_fig02_motivation bench_fig03_training_time bench_fig04_adaptation_cost \

@@ -1,0 +1,153 @@
+#include "core/fault.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+namespace netllm::core::fault {
+
+namespace detail {
+std::atomic<int> g_armed_sites{0};
+}  // namespace detail
+
+namespace {
+
+struct SiteState {
+  FaultPlan plan;
+  int hits = 0;
+  int fired = 0;
+};
+
+std::mutex& registry_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::unordered_map<std::string, SiteState>& registry() {
+  static std::unordered_map<std::string, SiteState> r;
+  return r;
+}
+
+/// Counts the hit and decides whether the plan fires on it. Returns a copy
+/// of the plan to act on outside the lock (sleeps must not hold it).
+bool count_hit(const char* site, FaultPlan& plan_out) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  auto it = registry().find(site);
+  if (it == registry().end()) return false;
+  auto& s = it->second;
+  ++s.hits;
+  const int past = s.hits - s.plan.after;  // 1-based index into the firing run
+  const bool fires = past >= 1 && (s.plan.times < 0 || past <= s.plan.times);
+  if (fires) ++s.fired;
+  plan_out = s.plan;
+  return fires;
+}
+
+[[noreturn]] void throw_injected(const char* site, const FaultPlan& plan) {
+  throw FaultInjected(plan.message.empty()
+                          ? "fault injected at site '" + std::string(site) + "'"
+                          : plan.message);
+}
+
+void apply_delay(const FaultPlan& plan) {
+  if (plan.delay_ms > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(plan.delay_ms));
+  }
+}
+
+}  // namespace
+
+void arm(const std::string& site, FaultPlan plan) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  auto [it, inserted] = registry().insert_or_assign(site, SiteState{std::move(plan)});
+  (void)it;
+  if (inserted) detail::g_armed_sites.fetch_add(1, std::memory_order_relaxed);
+}
+
+void disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  if (registry().erase(site) > 0) {
+    detail::g_armed_sites.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void disarm_all() {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  detail::g_armed_sites.fetch_sub(static_cast<int>(registry().size()),
+                                  std::memory_order_relaxed);
+  registry().clear();
+}
+
+int hits(const std::string& site) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  auto it = registry().find(site);
+  return it == registry().end() ? 0 : it->second.hits;
+}
+
+int fired(const std::string& site) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  auto it = registry().find(site);
+  return it == registry().end() ? 0 : it->second.fired;
+}
+
+namespace detail {
+
+void check_slow(const char* site) {
+  FaultPlan plan;
+  if (!count_hit(site, plan)) return;
+  switch (plan.kind) {
+    case FaultKind::Throw:
+    case FaultKind::TruncateIo:
+      throw_injected(site, plan);
+    case FaultKind::Delay:
+      apply_delay(plan);
+      return;
+    case FaultKind::CorruptNan:
+    case FaultKind::CorruptInf:
+      return;  // no float payload at this site; counted but a no-op
+  }
+}
+
+void corrupt_slow(const char* site, std::span<float> values) {
+  FaultPlan plan;
+  if (!count_hit(site, plan)) return;
+  switch (plan.kind) {
+    case FaultKind::Throw:
+    case FaultKind::TruncateIo:
+      throw_injected(site, plan);
+    case FaultKind::Delay:
+      apply_delay(plan);
+      return;
+    case FaultKind::CorruptNan:
+      for (auto& v : values) v = std::numeric_limits<float>::quiet_NaN();
+      return;
+    case FaultKind::CorruptInf:
+      for (auto& v : values) v = std::numeric_limits<float>::infinity();
+      return;
+  }
+}
+
+std::size_t io_bytes_slow(const char* site, std::size_t requested) {
+  FaultPlan plan;
+  if (!count_hit(site, plan)) return requested;
+  switch (plan.kind) {
+    case FaultKind::Throw:
+      throw_injected(site, plan);
+    case FaultKind::Delay:
+      apply_delay(plan);
+      return requested;
+    case FaultKind::TruncateIo:
+      return std::min(requested, plan.truncate_to);
+    case FaultKind::CorruptNan:
+    case FaultKind::CorruptInf:
+      return requested;  // no float payload; counted but a no-op
+  }
+  return requested;
+}
+
+}  // namespace detail
+
+}  // namespace netllm::core::fault

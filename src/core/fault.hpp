@@ -1,0 +1,100 @@
+// Deterministic fault injection for robustness tests and benches.
+//
+// Code under test declares named *injection sites* (e.g. "serialize.write",
+// "llm.forward", "adapter.step") by calling one of the hooks below on its
+// hot path. Tests arm a site with a `FaultPlan` describing what to do and on
+// which hit: throw, delay, corrupt floats to NaN/Inf, or truncate an I/O
+// request. Hit counting is per-site and deterministic, so "fail the 3rd
+// write, twice" is reproducible across runs and platforms.
+//
+// Disarmed cost is a single relaxed atomic load (a global armed-site count),
+// so sites can live on per-decision and per-step paths.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace netllm::core::fault {
+
+enum class FaultKind {
+  Throw,       // throw FaultInjected from the site
+  Delay,       // sleep for delay_ms (latency-budget overruns)
+  CorruptNan,  // overwrite the site's float payload with quiet NaNs
+  CorruptInf,  // overwrite the site's float payload with +inf
+  TruncateIo,  // cap an I/O request at truncate_to bytes (then throw)
+};
+
+struct FaultPlan {
+  FaultKind kind = FaultKind::Throw;
+  int after = 0;                 // skip this many hits before firing
+  int times = 1;                 // fire on this many consecutive hits; -1 = forever
+  double delay_ms = 0.0;         // Delay
+  std::size_t truncate_to = 0;   // TruncateIo: bytes kept of the request
+  std::string message;           // optional override for the thrown message
+};
+
+/// Exception thrown by armed Throw/TruncateIo sites; derives from
+/// std::runtime_error so existing catch blocks treat it as an I/O failure.
+class FaultInjected : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+void arm(const std::string& site, FaultPlan plan);
+void disarm(const std::string& site);
+void disarm_all();
+/// Total hook invocations at `site` since it was armed (0 if never armed).
+int hits(const std::string& site);
+/// Invocations on which the armed plan actually fired.
+int fired(const std::string& site);
+
+namespace detail {
+extern std::atomic<int> g_armed_sites;
+void check_slow(const char* site);
+void corrupt_slow(const char* site, std::span<float> values);
+std::size_t io_bytes_slow(const char* site, std::size_t requested);
+inline bool disarmed() {
+  return g_armed_sites.load(std::memory_order_relaxed) == 0;
+}
+}  // namespace detail
+
+/// Site hook with no payload: fires Throw/Delay plans (corruption kinds are
+/// counted but no-ops here).
+inline void check(const char* site) {
+  if (detail::disarmed()) return;
+  detail::check_slow(site);
+}
+
+/// Site hook over a float payload: fires Throw/Delay like `check`, and
+/// additionally overwrites `values` for CorruptNan/CorruptInf plans.
+inline void corrupt(const char* site, std::span<float> values) {
+  if (detail::disarmed()) return;
+  detail::corrupt_slow(site, values);
+}
+
+/// Site hook for an I/O request of `requested` bytes. Returns the number of
+/// bytes the caller should actually transfer (smaller than `requested` for a
+/// firing TruncateIo plan); fires Throw/Delay like `check`.
+inline std::size_t io_bytes(const char* site, std::size_t requested) {
+  if (detail::disarmed()) return requested;
+  return detail::io_bytes_slow(site, requested);
+}
+
+/// RAII helper for tests: disarms every site on scope exit.
+struct Scope {
+  Scope() = default;
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+  ~Scope() { disarm_all(); }
+};
+
+}  // namespace netllm::core::fault
+
+/// Sugar for throw/delay-only sites, mirroring the FAULT_POINT(...) idiom.
+#ifndef FAULT_POINT
+#define FAULT_POINT(site) ::netllm::core::fault::check(site)
+#endif

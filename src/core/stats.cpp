@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
+#include <mutex>
 #include <stdexcept>
 
 namespace netllm::core {
@@ -86,6 +88,41 @@ double improvement_pct(double ours, double theirs) {
 double reduction_pct(double ours, double theirs) {
   const double denom = std::abs(theirs) > 1e-12 ? std::abs(theirs) : 1e-12;
   return 100.0 * (theirs - ours) / denom;
+}
+
+namespace {
+
+std::mutex& counter_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::map<std::string, std::int64_t>& counter_map() {
+  static std::map<std::string, std::int64_t> counters;
+  return counters;
+}
+
+}  // namespace
+
+void counter_add(const std::string& name, std::int64_t delta) {
+  std::lock_guard<std::mutex> lock(counter_mutex());
+  counter_map()[name] += delta;
+}
+
+std::int64_t counter_value(const std::string& name) {
+  std::lock_guard<std::mutex> lock(counter_mutex());
+  auto it = counter_map().find(name);
+  return it == counter_map().end() ? 0 : it->second;
+}
+
+std::vector<std::pair<std::string, std::int64_t>> counters_snapshot() {
+  std::lock_guard<std::mutex> lock(counter_mutex());
+  return {counter_map().begin(), counter_map().end()};
+}
+
+void counters_reset() {
+  std::lock_guard<std::mutex> lock(counter_mutex());
+  counter_map().clear();
 }
 
 }  // namespace netllm::core

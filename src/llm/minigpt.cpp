@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/fault.hpp"
+
 namespace netllm::llm {
 
 namespace {
@@ -68,7 +70,11 @@ Tensor MiniGpt::forward_embeddings(const Tensor& embeds) const {
   }
   const auto t = embeds.dim(0);
   if (t > cfg_.max_seq) throw std::invalid_argument("MiniGpt::forward_embeddings: sequence too long");
-  return run_blocks(add(embeds, slice_rows(pos_embed_, 0, t)));
+  auto features = run_blocks(add(embeds, slice_rows(pos_embed_, 0, t)));
+  // Fault-injection site for the serving/robustness tests: armed plans can
+  // throw, delay past a latency budget, or poison the features with NaN/Inf.
+  core::fault::corrupt("llm.forward", features.mutable_data());
+  return features;
 }
 
 std::vector<Tensor> MiniGpt::enable_lora(std::int64_t rank, float alpha, core::Rng& rng) {

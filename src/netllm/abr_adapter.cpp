@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/fault.hpp"
 #include "core/timer.hpp"
+#include "netllm/resilience.hpp"
 #include "tensor/optim.hpp"
 
 namespace netllm::adapt {
@@ -183,6 +185,7 @@ AbrAdapter::AdaptStats AbrAdapter::adapt(std::span<const AbrTrajectory> pool, in
   }
 
   Adam opt(adapt_parameters(), lr);
+  TrainGuard guard(opt.params());
   AdaptStats stats;
   core::Timer timer;
   const auto w = static_cast<std::size_t>(cfg_.context_window);
@@ -222,15 +225,25 @@ AbrAdapter::AdaptStats AbrAdapter::adapt(std::span<const AbrTrajectory> pool, in
       }
       auto logits = head_->logits(concat_rows(rows));
       auto loss = cross_entropy_rows(logits, targets);
+      core::fault::corrupt("adapter.step", loss.mutable_data());
       batch_loss += loss.item() / kBatch;
       scale(loss, 1.0f / kBatch).backward();
+    }
+    if (!guard.loss_ok(batch_loss) || !guard.grads_ok()) {
+      // A poisoned window already backpropagated into the grads — drop the
+      // whole accumulated batch rather than stepping on NaNs.
+      opt.zero_grad();
+      continue;
     }
     if (step == 0) stats.initial_loss = batch_loss;
     stats.final_loss = batch_loss;
     opt.clip_grad_norm(1.0);
     opt.step();
+    guard.after_step();
   }
   stats.seconds = timer.elapsed_s();
+  stats.skipped_steps = guard.skipped_steps();
+  stats.restores = guard.restores();
   return stats;
 }
 

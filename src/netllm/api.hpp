@@ -14,6 +14,7 @@
 #include "core/stats.hpp"
 #include "netllm/abr_adapter.hpp"
 #include "netllm/cjs_adapter.hpp"
+#include "netllm/guarded.hpp"
 #include "netllm/vp_adapter.hpp"
 
 namespace netllm::adapt::api {
@@ -25,6 +26,15 @@ struct AdaptOptions {
   std::string snapshot_path;  // optional: where to save the adapted weights
 };
 
+namespace detail {
+/// Snapshot saves are atomic (tmp + fsync + rename) and retried with capped
+/// exponential backoff, so a finished adaptation is not lost to a transient
+/// I/O failure.
+inline void save_snapshot(const nn::Module& adapter, const std::string& path) {
+  tensor::save_params_retry(path, adapter.named_parameters());
+}
+}  // namespace detail
+
 // ---- VP (SL pipeline, Eq. 1) ----
 
 inline std::shared_ptr<VpAdapter> Adapt(std::shared_ptr<llm::MiniGpt> llm,
@@ -33,7 +43,7 @@ inline std::shared_ptr<VpAdapter> Adapt(std::shared_ptr<llm::MiniGpt> llm,
                                         core::Rng& rng) {
   auto adapter = std::make_shared<VpAdapter>(std::move(llm), cfg, rng);
   adapter->adapt(dataset, opts.steps, opts.lr, opts.seed);
-  if (!opts.snapshot_path.empty()) adapter->save(opts.snapshot_path);
+  if (!opts.snapshot_path.empty()) detail::save_snapshot(*adapter, opts.snapshot_path);
   return adapter;
 }
 
@@ -59,7 +69,7 @@ inline std::shared_ptr<AbrAdapter> Adapt(std::shared_ptr<llm::MiniGpt> llm,
                                          core::Rng& rng) {
   auto adapter = std::make_shared<AbrAdapter>(std::move(llm), cfg, rng);
   adapter->adapt(pool, opts.steps, opts.lr, opts.seed);
-  if (!opts.snapshot_path.empty()) adapter->save(opts.snapshot_path);
+  if (!opts.snapshot_path.empty()) detail::save_snapshot(*adapter, opts.snapshot_path);
   return adapter;
 }
 
@@ -84,7 +94,7 @@ inline std::shared_ptr<CjsAdapter> Adapt(std::shared_ptr<llm::MiniGpt> llm,
                                          core::Rng& rng) {
   auto adapter = std::make_shared<CjsAdapter>(std::move(llm), cfg, rng);
   adapter->adapt(pool, opts.steps, opts.lr, opts.seed);
-  if (!opts.snapshot_path.empty()) adapter->save(opts.snapshot_path);
+  if (!opts.snapshot_path.empty()) detail::save_snapshot(*adapter, opts.snapshot_path);
   return adapter;
 }
 
@@ -92,6 +102,27 @@ inline std::shared_ptr<CjsAdapter> Adapt(std::shared_ptr<llm::MiniGpt> llm,
 inline double Test(cjs::SchedPolicy& policy, const cjs::WorkloadConfig& setting) {
   const auto result = cjs::run_workload(setting, policy);
   return core::mean(result.jct_s);
+}
+
+// ---- Guarded serving (robustness layer) ----
+// Wrap any adapted model for production-style serving: latency budget,
+// output validation, rule-based fallback (LR / BBA / FIFO) and a circuit
+// breaker. The guarded object satisfies the same policy interface, so it
+// drops into `Test` and the benches unchanged.
+
+inline std::shared_ptr<GuardedVpPredictor> Guard(std::shared_ptr<vp::VpPredictor> model,
+                                                 GuardConfig cfg = {}) {
+  return std::make_shared<GuardedVpPredictor>(std::move(model), nullptr, std::move(cfg));
+}
+
+inline std::shared_ptr<GuardedAbrPolicy> Guard(std::shared_ptr<abr::AbrPolicy> policy,
+                                               GuardConfig cfg = {}) {
+  return std::make_shared<GuardedAbrPolicy>(std::move(policy), nullptr, std::move(cfg));
+}
+
+inline std::shared_ptr<GuardedSchedPolicy> Guard(std::shared_ptr<cjs::SchedPolicy> policy,
+                                                 GuardConfig cfg = {}) {
+  return std::make_shared<GuardedSchedPolicy>(std::move(policy), nullptr, std::move(cfg));
 }
 
 }  // namespace netllm::adapt::api

@@ -4,7 +4,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/fault.hpp"
 #include "core/timer.hpp"
+#include "netllm/resilience.hpp"
 #include "tensor/optim.hpp"
 
 namespace netllm::adapt {
@@ -158,6 +160,7 @@ CjsAdapter::AdaptStats CjsAdapter::adapt(std::span<const CjsTrajectory> pool, in
   }
 
   Adam opt(adapt_parameters(), lr);
+  TrainGuard guard(opt.params());
   AdaptStats stats;
   core::Timer timer;
   const auto w = static_cast<std::size_t>(cfg_.context_window);
@@ -205,13 +208,23 @@ CjsAdapter::AdaptStats CjsAdapter::adapt(std::span<const CjsTrajectory> pool, in
     auto cap_logits = cap_head_->logits(concat_rows(cap_rows));
     losses.push_back(cross_entropy_rows(cap_logits, cap_targets));
     auto loss = scale(add_n(losses), 1.0f / static_cast<float>(losses.size()));
-    if (step == 0) stats.initial_loss = loss.item();
-    stats.final_loss = loss.item();
+    core::fault::corrupt("adapter.step", loss.mutable_data());
+    const float lv = loss.item();
+    if (!guard.loss_ok(lv)) continue;  // poisoned step: skip before backward
+    if (step == 0) stats.initial_loss = lv;
+    stats.final_loss = lv;
     loss.backward();
+    if (!guard.grads_ok()) {
+      opt.zero_grad();
+      continue;
+    }
     opt.clip_grad_norm(1.0);
     opt.step();
+    guard.after_step();
   }
   stats.seconds = timer.elapsed_s();
+  stats.skipped_steps = guard.skipped_steps();
+  stats.restores = guard.restores();
   return stats;
 }
 

@@ -56,7 +56,11 @@ class CjsAdapter final : public nn::Module, public cjs::SchedPolicy {
     float initial_loss = 0.0f;
     float final_loss = 0.0f;
     double seconds = 0.0;
+    int skipped_steps = 0;  // steps vetoed for non-finite loss/gradients
+    int restores = 0;       // last-good snapshot restores (corrupt params)
   };
+  /// Offline fine-tuning (Eq. 4). Resilient to non-finite losses/gradients
+  /// and parameter corruption (see TrainGuard).
   AdaptStats adapt(std::span<const CjsTrajectory> pool, int steps, float lr,
                    std::uint64_t seed);
 

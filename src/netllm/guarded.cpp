@@ -1,0 +1,123 @@
+#include "netllm/guarded.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "baselines/abr/rule_based.hpp"
+#include "baselines/cjs/rule_based.hpp"
+#include "baselines/vp/rule_based.hpp"
+
+namespace netllm::adapt {
+
+namespace {
+
+GuardConfig with_default_prefix(GuardConfig cfg, const char* prefix) {
+  if (cfg.counter_prefix.empty()) cfg.counter_prefix = prefix;
+  return cfg;
+}
+
+}  // namespace
+
+// ---- VP ----
+
+GuardedVpPredictor::GuardedVpPredictor(std::shared_ptr<vp::VpPredictor> primary,
+                                       std::shared_ptr<vp::VpPredictor> fallback,
+                                       GuardConfig cfg)
+    : primary_(std::move(primary)),
+      fallback_(fallback ? std::move(fallback)
+                         : std::make_shared<baselines::LinearRegressionVp>()),
+      engine_(with_default_prefix(std::move(cfg), "guard.vp.")) {
+  if (!primary_) throw std::invalid_argument("GuardedVpPredictor: null primary");
+}
+
+std::string GuardedVpPredictor::name() const {
+  return "Guarded(" + primary_->name() + "->" + fallback_->name() + ")";
+}
+
+std::vector<vp::Viewport> GuardedVpPredictor::predict(std::span<const vp::Viewport> history,
+                                                      const tensor::Tensor& saliency,
+                                                      int horizon) {
+  return engine_.decide<std::vector<vp::Viewport>>(
+      [&] { return primary_->predict(history, saliency, horizon); },
+      [&](const std::vector<vp::Viewport>& out) {
+        if (out.size() != static_cast<std::size_t>(horizon)) return false;
+        for (const auto& v : out) {
+          if (!std::isfinite(v.roll) || !std::isfinite(v.pitch) || !std::isfinite(v.yaw)) {
+            return false;
+          }
+        }
+        return true;
+      },
+      [&] { return fallback_->predict(history, saliency, horizon); });
+}
+
+// ---- ABR ----
+
+GuardedAbrPolicy::GuardedAbrPolicy(std::shared_ptr<abr::AbrPolicy> primary,
+                                   std::shared_ptr<abr::AbrPolicy> fallback, GuardConfig cfg)
+    : primary_(std::move(primary)),
+      fallback_(fallback ? std::move(fallback) : std::make_shared<baselines::Bba>()),
+      engine_(with_default_prefix(std::move(cfg), "guard.abr.")) {
+  if (!primary_) throw std::invalid_argument("GuardedAbrPolicy: null primary");
+}
+
+std::string GuardedAbrPolicy::name() const {
+  return "Guarded(" + primary_->name() + "->" + fallback_->name() + ")";
+}
+
+void GuardedAbrPolicy::begin_session() {
+  primary_->begin_session();
+  fallback_->begin_session();
+}
+
+int GuardedAbrPolicy::choose_level(const abr::Observation& obs) {
+  return engine_.decide<int>(
+      [&] { return primary_->choose_level(obs); },
+      [&](int level) { return level >= 0 && level < obs.num_levels; },
+      [&] { return fallback_->choose_level(obs); });
+}
+
+void GuardedAbrPolicy::observe_result(const abr::ChunkResult& result, double chunk_qoe) {
+  // Both paths observe real outcomes so the return-conditioned primary and a
+  // stateful fallback (e.g. MPC) stay consistent with the actual session.
+  primary_->observe_result(result, chunk_qoe);
+  fallback_->observe_result(result, chunk_qoe);
+}
+
+// ---- CJS ----
+
+GuardedSchedPolicy::GuardedSchedPolicy(std::shared_ptr<cjs::SchedPolicy> primary,
+                                       std::shared_ptr<cjs::SchedPolicy> fallback,
+                                       GuardConfig cfg)
+    : primary_(std::move(primary)),
+      fallback_(fallback ? std::move(fallback) : std::make_shared<baselines::FifoScheduler>()),
+      engine_(with_default_prefix(std::move(cfg), "guard.cjs.")) {
+  if (!primary_) throw std::invalid_argument("GuardedSchedPolicy: null primary");
+}
+
+std::string GuardedSchedPolicy::name() const {
+  return "Guarded(" + primary_->name() + "->" + fallback_->name() + ")";
+}
+
+void GuardedSchedPolicy::begin_episode() {
+  primary_->begin_episode();
+  fallback_->begin_episode();
+}
+
+cjs::SchedAction GuardedSchedPolicy::choose(const cjs::SchedObservation& obs) {
+  return engine_.decide<cjs::SchedAction>(
+      [&] { return primary_->choose(obs); },
+      [&](const cjs::SchedAction& a) {
+        return a.runnable_index >= 0 &&
+               a.runnable_index < static_cast<int>(obs.runnable_rows.size()) &&
+               a.cap_choice >= 0 && a.cap_choice < cjs::kNumCapChoices;
+      },
+      [&] { return fallback_->choose(obs); });
+}
+
+void GuardedSchedPolicy::observe_reward(double reward) {
+  primary_->observe_reward(reward);
+  fallback_->observe_reward(reward);
+}
+
+}  // namespace netllm::adapt

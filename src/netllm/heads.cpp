@@ -1,11 +1,24 @@
 #include "netllm/heads.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 namespace netllm::adapt {
 
 namespace {
 using namespace netllm::tensor;
+
+// A non-finite logit means upstream corruption (a poisoned backbone or
+// encoder), and argmax over NaNs would silently pick index 0 — surface it
+// instead so the guarded-inference layer can fall back.
+void require_finite_logits(const Tensor& logits, const char* who) {
+  for (float v : logits.data()) {
+    if (!std::isfinite(v)) {
+      throw std::runtime_error(std::string(who) + ": non-finite logits");
+    }
+  }
+}
+
 }  // namespace
 
 RegressionHead::RegressionHead(std::int64_t d_model, std::int64_t outputs, core::Rng& rng) {
@@ -28,6 +41,7 @@ Tensor CategoricalHead::logits(const Tensor& features) const { return fc_->forwa
 int CategoricalHead::argmax(const Tensor& features) const {
   auto l = logits(features);
   if (l.dim(0) != 1) throw std::invalid_argument("CategoricalHead::argmax: single row expected");
+  require_finite_logits(l, "CategoricalHead::argmax");
   int best = 0;
   for (std::int64_t j = 1; j < l.dim(1); ++j) {
     if (l.at(j) > l.at(best)) best = static_cast<int>(j);
@@ -63,6 +77,7 @@ Tensor PointerHead::logits(const Tensor& feature, const Tensor& candidates) cons
 
 int PointerHead::argmax(const Tensor& feature, const Tensor& candidates) const {
   auto l = logits(feature, candidates);
+  require_finite_logits(l, "PointerHead::argmax");
   int best = 0;
   for (std::int64_t j = 1; j < l.dim(1); ++j) {
     if (l.at(j) > l.at(best)) best = static_cast<int>(j);

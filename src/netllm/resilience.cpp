@@ -1,0 +1,75 @@
+#include "netllm/resilience.hpp"
+
+#include <cmath>
+
+#include "core/fault.hpp"
+#include "core/stats.hpp"
+
+namespace netllm::adapt {
+
+TrainGuard::TrainGuard(std::vector<tensor::Tensor> params, int snapshot_every)
+    : params_(std::move(params)), snapshot_every_(snapshot_every < 1 ? 1 : snapshot_every) {
+  capture();
+}
+
+void TrainGuard::capture() {
+  good_.clear();
+  good_.reserve(params_.size());
+  for (const auto& p : params_) {
+    auto d = p.data();
+    good_.emplace_back(d.begin(), d.end());
+  }
+  steps_since_snapshot_ = 0;
+}
+
+void TrainGuard::restore() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto dst = params_[i].mutable_data();
+    std::copy(good_[i].begin(), good_[i].end(), dst.begin());
+  }
+  ++restores_;
+  core::counter_add("adapt.restores");
+}
+
+bool TrainGuard::params_finite() const {
+  for (const auto& p : params_) {
+    for (float v : p.data()) {
+      if (!std::isfinite(v)) return false;
+    }
+  }
+  return true;
+}
+
+bool TrainGuard::loss_ok(float loss_value) {
+  if (std::isfinite(loss_value)) return true;
+  ++skipped_;
+  core::counter_add("adapt.skipped_steps");
+  return false;
+}
+
+bool TrainGuard::grads_ok() {
+  for (const auto& p : params_) {
+    for (float g : p.grad()) {
+      if (!std::isfinite(g)) {
+        ++skipped_;
+        core::counter_add("adapt.skipped_steps");
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool TrainGuard::after_step() {
+  if (!params_.empty()) {
+    core::fault::corrupt("adapter.params", params_.front().mutable_data());
+  }
+  if (!params_finite()) {
+    restore();
+    return true;
+  }
+  if (++steps_since_snapshot_ >= snapshot_every_) capture();
+  return false;
+}
+
+}  // namespace netllm::adapt

@@ -2,7 +2,9 @@
 
 #include <stdexcept>
 
+#include "core/fault.hpp"
 #include "core/timer.hpp"
+#include "netllm/resilience.hpp"
 #include "tensor/optim.hpp"
 
 namespace netllm::adapt {
@@ -94,6 +96,7 @@ VpAdapter::AdaptStats VpAdapter::adapt(std::span<const vp::VpSample> dataset, in
   if (dataset.empty()) throw std::invalid_argument("VpAdapter::adapt: empty dataset");
   core::Rng rng(seed);
   Adam opt(adapt_parameters(), lr);
+  TrainGuard guard(opt.params());
   AdaptStats stats;
   core::Timer timer;
   for (int step = 0; step < steps; ++step) {
@@ -102,13 +105,23 @@ VpAdapter::AdaptStats VpAdapter::adapt(std::span<const vp::VpSample> dataset, in
         dataset[static_cast<std::size_t>(rng.randint(0, static_cast<std::int64_t>(dataset.size()) - 1))];
     opt.zero_grad();
     auto l = loss(sample);
-    if (step == 0) stats.initial_loss = l.item();
-    stats.final_loss = l.item();
+    core::fault::corrupt("adapter.step", l.mutable_data());
+    const float lv = l.item();
+    if (!guard.loss_ok(lv)) continue;  // poisoned step: skip before backward
+    if (step == 0) stats.initial_loss = lv;
+    stats.final_loss = lv;
     l.backward();
+    if (!guard.grads_ok()) {
+      opt.zero_grad();
+      continue;
+    }
     opt.clip_grad_norm(1.0);
     opt.step();
+    guard.after_step();
   }
   stats.seconds = timer.elapsed_s();
+  stats.skipped_steps = guard.skipped_steps();
+  stats.restores = guard.restores();
   return stats;
 }
 

@@ -51,9 +51,13 @@ class VpAdapter final : public nn::Module, public vp::VpPredictor {
     float initial_loss = 0.0f;
     float final_loss = 0.0f;
     double seconds = 0.0;
+    int skipped_steps = 0;  // steps vetoed for non-finite loss/gradients
+    int restores = 0;       // last-good snapshot restores (corrupt params)
   };
   /// The `Adapt` API (Fig. 9): fine-tune encoder + head + LoRA over the
-  /// dataset; the LLM backbone stays frozen throughout.
+  /// dataset; the LLM backbone stays frozen throughout. Resilient to
+  /// non-finite losses/gradients (poisoned steps are skipped) and to
+  /// parameter corruption (restored from a periodic in-memory snapshot).
   AdaptStats adapt(std::span<const vp::VpSample> dataset, int steps, float lr,
                    std::uint64_t seed);
 

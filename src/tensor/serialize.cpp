@@ -1,88 +1,295 @@
 #include "tensor/serialize.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
 #include <cstdint>
+#include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <stdexcept>
+#include <thread>
 #include <unordered_map>
+#include <unordered_set>
+
+#include "core/crc32.hpp"
+#include "core/fault.hpp"
 
 namespace netllm::tensor {
 
 namespace {
 
 constexpr char kMagic[4] = {'N', 'L', 'L', 'M'};
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kMaxRank = 16;  // sanity bound while parsing
 
 template <typename T>
-void write_pod(std::ofstream& os, const T& v) {
-  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+void append_pod(std::string& buf, const T& v) {
+  buf.append(reinterpret_cast<const char*>(&v), sizeof(T));
 }
 
-template <typename T>
-T read_pod(std::ifstream& is) {
-  T v{};
-  is.read(reinterpret_cast<char*>(&v), sizeof(T));
-  if (!is) throw std::runtime_error("load_params: truncated file");
-  return v;
+/// Bounds-checked cursor over an in-memory container image. Running past the
+/// end anywhere means the file was truncated or a length field was corrupted.
+class Reader {
+ public:
+  Reader(const char* data, std::size_t size, const std::string& path)
+      : data_(data), size_(size), path_(path) {}
+
+  template <typename T>
+  T pod() {
+    T v{};
+    take(sizeof(T), &v);
+    return v;
+  }
+
+  std::string str(std::size_t len) {
+    std::string s(len, '\0');
+    take(len, s.data());
+    return s;
+  }
+
+  void bytes(std::size_t len, void* dst) { take(len, dst); }
+
+  std::size_t remaining() const { return size_ - pos_; }
+  std::size_t pos() const { return pos_; }
+
+ private:
+  void take(std::size_t len, void* dst) {
+    if (len > remaining()) {
+      throw std::runtime_error("load_params: truncated or corrupt container " + path_);
+    }
+    std::memcpy(dst, data_ + pos_, len);
+    pos_ += len;
+  }
+
+  const char* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  const std::string& path_;
+};
+
+void reject_duplicates(const NamedParams& params, const char* who) {
+  std::unordered_set<std::string> seen;
+  for (const auto& [name, t] : params) {
+    if (!seen.insert(name).second) {
+      throw std::runtime_error(std::string(who) + ": duplicate parameter name '" + name + "'");
+    }
+  }
 }
+
+std::string join_names(const std::vector<std::string>& names, std::size_t cap = 8) {
+  std::string out;
+  for (std::size_t i = 0; i < names.size() && i < cap; ++i) {
+    if (i) out += ", ";
+    out += names[i];
+  }
+  if (names.size() > cap) out += ", ... (" + std::to_string(names.size() - cap) + " more)";
+  return out;
+}
+
+/// POSIX fd with RAII close, so error paths cannot leak descriptors.
+struct Fd {
+  int fd = -1;
+  ~Fd() {
+    if (fd >= 0) ::close(fd);
+  }
+};
 
 }  // namespace
 
-void save_params(const std::string& path, const NamedParams& params) {
-  std::ofstream os(path, std::ios::binary);
-  if (!os) throw std::runtime_error("save_params: cannot open " + path);
-  os.write(kMagic, sizeof(kMagic));
-  write_pod(os, kVersion);
-  write_pod(os, static_cast<std::uint32_t>(params.size()));
-  for (const auto& [name, t] : params) {
-    write_pod(os, static_cast<std::uint32_t>(name.size()));
-    os.write(name.data(), static_cast<std::streamsize>(name.size()));
-    write_pod(os, static_cast<std::uint32_t>(t.rank()));
-    for (auto d : t.shape()) write_pod(os, d);
-    os.write(reinterpret_cast<const char*>(t.data().data()),
-             static_cast<std::streamsize>(t.numel() * sizeof(float)));
-  }
-  if (!os) throw std::runtime_error("save_params: write failed for " + path);
+std::string LoadReport::summary() const {
+  std::string s = "v" + std::to_string(version) + ", loaded " + std::to_string(loaded);
+  if (!missing.empty()) s += "; missing: " + join_names(missing);
+  if (!mismatched.empty()) s += "; shape mismatch: " + join_names(mismatched);
+  if (!extra.empty()) s += "; extra (ignored): " + join_names(extra);
+  return s;
 }
 
-void load_params(const std::string& path, const NamedParams& params) {
+void save_params(const std::string& path, const NamedParams& params) {
+  reject_duplicates(params, "save_params");
+
+  // Serialise the whole container in memory first: the CRC footer needs the
+  // final image, and a single write keeps the atomic-rename story simple.
+  std::string buf;
+  buf.append(kMagic, sizeof(kMagic));
+  append_pod(buf, kVersion);
+  append_pod(buf, static_cast<std::uint32_t>(params.size()));
+  for (const auto& [name, t] : params) {
+    append_pod(buf, static_cast<std::uint32_t>(name.size()));
+    buf.append(name.data(), name.size());
+    append_pod(buf, static_cast<std::uint32_t>(t.rank()));
+    for (auto d : t.shape()) append_pod(buf, d);
+    const auto payload_bytes = static_cast<std::size_t>(t.numel()) * sizeof(float);
+    append_pod(buf, core::crc32(t.data().data(), payload_bytes));
+    buf.append(reinterpret_cast<const char*>(t.data().data()), payload_bytes);
+  }
+  append_pod(buf, core::crc32(buf.data(), buf.size()));
+
+  // Atomic write: tmp file, fsync, rename. A crash (or injected fault) at
+  // any point leaves the previous snapshot at `path` untouched; the torn
+  // tmp file is unlinked so failed saves do not accumulate.
+  const std::string tmp = path + ".tmp";
+  try {
+    const std::size_t to_write = core::fault::io_bytes("serialize.write", buf.size());
+    {
+      Fd f;
+      f.fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+      if (f.fd < 0) throw std::runtime_error("save_params: cannot open " + tmp);
+      std::size_t written = 0;
+      while (written < to_write) {
+        const auto n = ::write(f.fd, buf.data() + written, to_write - written);
+        if (n < 0) {
+          if (errno == EINTR) continue;
+          throw std::runtime_error("save_params: write failed for " + tmp);
+        }
+        written += static_cast<std::size_t>(n);
+      }
+      if (to_write < buf.size()) {
+        // An armed TruncateIo fault cut the request short: the tmp file now
+        // holds a torn image, exactly like a crash mid-write.
+        throw core::fault::FaultInjected("save_params: interrupted write for " + tmp);
+      }
+      FAULT_POINT("serialize.fsync");
+      if (::fsync(f.fd) != 0) throw std::runtime_error("save_params: fsync failed for " + tmp);
+    }
+    FAULT_POINT("serialize.rename");
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      throw std::runtime_error("save_params: rename failed for " + path);
+    }
+  } catch (...) {
+    ::unlink(tmp.c_str());
+    throw;
+  }
+}
+
+void save_params_retry(const std::string& path, const NamedParams& params,
+                       const SaveRetryOptions& opts) {
+  int backoff_ms = opts.initial_backoff_ms;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      save_params(path, params);
+      return;
+    } catch (const std::exception&) {
+      if (attempt >= opts.attempts) throw;
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms = std::min(backoff_ms * 2, opts.max_backoff_ms);
+    }
+  }
+}
+
+LoadReport load_params_report(const std::string& path, const NamedParams& params) {
+  reject_duplicates(params, "load_params");
+
   std::ifstream is(path, std::ios::binary);
   if (!is) throw std::runtime_error("load_params: cannot open " + path);
+  std::string image((std::istreambuf_iterator<char>(is)), std::istreambuf_iterator<char>());
+  Reader r(image.data(), image.size(), path);
+
   char magic[4];
-  is.read(magic, sizeof(magic));
-  if (!is || std::string(magic, 4) != std::string(kMagic, 4)) {
+  r.bytes(sizeof(magic), magic);
+  if (std::string(magic, 4) != std::string(kMagic, 4)) {
     throw std::runtime_error("load_params: bad magic in " + path);
   }
-  const auto version = read_pod<std::uint32_t>(is);
-  if (version != kVersion) throw std::runtime_error("load_params: unsupported version");
-  const auto count = read_pod<std::uint32_t>(is);
+  const auto version = r.pod<std::uint32_t>();
+  if (version != 1 && version != kVersion) {
+    throw std::runtime_error("load_params: unsupported version " + std::to_string(version) +
+                             " in " + path);
+  }
+  if (version >= 2) {
+    // Whole-file integrity first: catches corruption in headers and names,
+    // where per-tensor CRCs cannot reach.
+    if (image.size() < sizeof(std::uint32_t)) {
+      throw std::runtime_error("load_params: truncated or corrupt container " + path);
+    }
+    const std::size_t body = image.size() - sizeof(std::uint32_t);
+    std::uint32_t stored = 0;
+    std::memcpy(&stored, image.data() + body, sizeof(stored));
+    if (core::crc32(image.data(), body) != stored) {
+      throw std::runtime_error("load_params: file checksum mismatch in " + path +
+                               " (corrupt or torn snapshot)");
+    }
+  }
 
   std::unordered_map<std::string, Tensor> by_name;
   for (const auto& [name, t] : params) by_name.emplace(name, t);
 
-  std::size_t matched = 0;
+  LoadReport report;
+  report.version = version;
+  std::unordered_set<std::string> matched, seen_in_file;
+  const auto count = r.pod<std::uint32_t>();
   for (std::uint32_t i = 0; i < count; ++i) {
-    const auto name_len = read_pod<std::uint32_t>(is);
-    std::string name(name_len, '\0');
-    is.read(name.data(), name_len);
-    const auto rank = read_pod<std::uint32_t>(is);
+    const auto name_len = r.pod<std::uint32_t>();
+    std::string name = r.str(name_len);
+    if (!seen_in_file.insert(name).second) {
+      throw std::runtime_error("load_params: duplicate tensor '" + name + "' in " + path);
+    }
+    const auto rank = r.pod<std::uint32_t>();
+    if (rank > kMaxRank) {
+      throw std::runtime_error("load_params: corrupt rank for '" + name + "' in " + path);
+    }
     Shape shape(rank);
-    for (auto& d : shape) d = read_pod<std::int64_t>(is);
+    for (auto& d : shape) {
+      d = r.pod<std::int64_t>();
+      if (d < 0) {
+        throw std::runtime_error("load_params: corrupt shape for '" + name + "' in " + path);
+      }
+    }
     const auto numel = shape_numel(shape);
+    const auto payload_bytes = static_cast<std::size_t>(numel) * sizeof(float);
+    std::uint32_t stored_crc = 0;
+    if (version >= 2) stored_crc = r.pod<std::uint32_t>();
+    if (payload_bytes > r.remaining()) {
+      throw std::runtime_error("load_params: truncated tensor data for '" + name + "' in " +
+                               path);
+    }
     std::vector<float> data(static_cast<std::size_t>(numel));
-    is.read(reinterpret_cast<char*>(data.data()),
-            static_cast<std::streamsize>(numel * sizeof(float)));
-    if (!is) throw std::runtime_error("load_params: truncated tensor data");
+    r.bytes(payload_bytes, data.data());
+    if (version >= 2 && core::crc32(data.data(), payload_bytes) != stored_crc) {
+      throw std::runtime_error("load_params: checksum mismatch for tensor '" + name + "' in " +
+                               path);
+    }
     auto it = by_name.find(name);
-    if (it == by_name.end()) continue;  // extra entries are tolerated
+    if (it == by_name.end()) {
+      report.extra.push_back(name);
+      continue;
+    }
     if (it->second.shape() != shape) {
-      throw std::runtime_error("load_params: shape mismatch for '" + name + "'");
+      report.mismatched.push_back(name + " (file " + shape_str(shape) + ", param " +
+                                  shape_str(it->second.shape()) + ")");
+      continue;
     }
     auto dst = it->second.mutable_data();
     std::copy(data.begin(), data.end(), dst.begin());
-    ++matched;
+    matched.insert(name);
+    ++report.loaded;
   }
-  if (matched != params.size()) {
-    throw std::runtime_error("load_params: missing parameters in " + path);
+  for (const auto& [name, t] : params) {
+    if (!matched.contains(name)) {
+      bool mismatch = false;
+      for (const auto& m : report.mismatched) {
+        if (m.compare(0, name.size(), name) == 0 &&
+            (m.size() == name.size() || m[name.size()] == ' ')) {
+          mismatch = true;
+          break;
+        }
+      }
+      if (!mismatch) report.missing.push_back(name);
+    }
+  }
+  return report;
+}
+
+void load_params(const std::string& path, const NamedParams& params) {
+  const auto report = load_params_report(path, params);
+  if (!report.missing.empty()) {
+    throw std::runtime_error("load_params: missing parameters in " + path + ": " +
+                             join_names(report.missing));
+  }
+  if (!report.mismatched.empty()) {
+    throw std::runtime_error("load_params: shape mismatch in " + path + " for " +
+                             join_names(report.mismatched));
   }
 }
 

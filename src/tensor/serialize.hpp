@@ -2,10 +2,19 @@
 // container. Used by the `Adapt` API to return LLM snapshots (Fig. 9) and by
 // the benches to reuse trained baselines across experiments.
 //
-// Format (little-endian):
-//   magic "NLLM" | u32 version | u32 count |
+// Container format v2 (little-endian):
+//   magic "NLLM" | u32 version=2 | u32 count |
 //   repeat count times: u32 name_len | name bytes | u32 rank | i64 dims[rank]
+//                       | u32 tensor_crc (CRC-32 of the f32 payload)
 //                       | f32 data[numel]
+//   footer: u32 file_crc — CRC-32 of every byte before the footer
+//
+// v1 (legacy: no checksums, no footer) is still readable. Saves are atomic:
+// the container is written to `path + ".tmp"`, fsync'd, then renamed over
+// `path`, so an interrupted save leaves the previous snapshot intact. A
+// corrupted container (bit flip, truncation) is always rejected at load —
+// per-tensor CRCs name the damaged tensor; the file CRC catches everything
+// else.
 #pragma once
 
 #include <string>
@@ -18,10 +27,49 @@ namespace netllm::tensor {
 
 using NamedParams = std::vector<std::pair<std::string, Tensor>>;
 
+/// Atomically writes a v2 container. Throws std::runtime_error on I/O
+/// failure or duplicate names in `params`.
+/// Fault-injection sites: "serialize.write", "serialize.fsync",
+/// "serialize.rename".
 void save_params(const std::string& path, const NamedParams& params);
 
-/// Loads values *into* the given tensors (matched by name; shapes must
-/// agree). Throws std::runtime_error on any mismatch or missing entry.
+struct SaveRetryOptions {
+  int attempts = 4;             // total tries, including the first
+  int initial_backoff_ms = 5;   // doubles per retry ...
+  int max_backoff_ms = 100;     // ... capped here
+};
+
+/// `save_params` with capped exponential backoff on I/O failure — the
+/// adaptation loop uses this so a transiently failing disk does not lose a
+/// finished snapshot. Rethrows the last error once attempts are exhausted.
+void save_params_retry(const std::string& path, const NamedParams& params,
+                       const SaveRetryOptions& opts = {});
+
+/// Outcome of matching a container's tensors against `params` by name.
+/// Container-level corruption always throws; name/shape bookkeeping lands
+/// here so callers can decide how strict to be.
+struct LoadReport {
+  std::uint32_t version = 0;          // container version actually read
+  std::size_t loaded = 0;             // tensors copied into `params`
+  std::vector<std::string> missing;     // wanted by `params`, absent from file
+  std::vector<std::string> extra;       // in file, not wanted by `params`
+  std::vector<std::string> mismatched;  // name matched but shapes differ
+
+  /// Extra entries are tolerated (partial snapshots compose); missing or
+  /// shape-mismatched parameters are not.
+  bool ok() const { return missing.empty() && mismatched.empty(); }
+  /// One-line human-readable digest for error messages and logs.
+  std::string summary() const;
+};
+
+/// Verifies the container (magic, version, CRCs, bounds) and copies every
+/// name-and-shape-matched tensor into `params`. Throws std::runtime_error on
+/// corruption or duplicate names; records missing/extra/mismatched names in
+/// the returned report instead of throwing.
+LoadReport load_params_report(const std::string& path, const NamedParams& params);
+
+/// Strict variant: additionally throws (naming the offenders) unless the
+/// report is `ok()`. Loads values *into* the given tensors.
 void load_params(const std::string& path, const NamedParams& params);
 
 }  // namespace netllm::tensor

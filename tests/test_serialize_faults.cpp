@@ -1,0 +1,284 @@
+// Checkpoint hardening tests: container-v2 round trips, corruption detection
+// (bit flips, truncation, bad magic), v1 backward compatibility, atomic-write
+// crash simulation via the fault injector, and retry-with-backoff saves.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/crc32.hpp"
+#include "core/fault.hpp"
+#include "tensor/serialize.hpp"
+#include "tensor/tensor.hpp"
+
+namespace nt = netllm::tensor;
+namespace fault = netllm::core::fault;
+using netllm::core::Rng;
+
+namespace {
+
+std::filesystem::path tmp_path(const std::string& name) {
+  return std::filesystem::temp_directory_path() / name;
+}
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream is(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(is), std::istreambuf_iterator<char>()};
+}
+
+void write_file(const std::filesystem::path& path, const std::string& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+template <typename T>
+void append_pod(std::string& buf, const T& v) {
+  buf.append(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+/// Handcrafted legacy v1 container (no checksums, no footer) per the format
+/// the seed repo wrote — guards backward compatibility.
+std::string v1_container(const std::vector<std::pair<std::string, std::vector<float>>>& tensors) {
+  std::string buf = "NLLM";
+  append_pod(buf, std::uint32_t{1});
+  append_pod(buf, static_cast<std::uint32_t>(tensors.size()));
+  for (const auto& [name, data] : tensors) {
+    append_pod(buf, static_cast<std::uint32_t>(name.size()));
+    buf.append(name);
+    append_pod(buf, std::uint32_t{1});  // rank
+    append_pod(buf, static_cast<std::int64_t>(data.size()));
+    buf.append(reinterpret_cast<const char*>(data.data()), data.size() * sizeof(float));
+  }
+  return buf;
+}
+
+class SerializeFaults : public ::testing::Test {
+ protected:
+  void TearDown() override { fault::disarm_all(); }
+};
+
+}  // namespace
+
+TEST_F(SerializeFaults, V2RoundTripAndReport) {
+  const auto path = tmp_path("netllm_v2_roundtrip.bin");
+  Rng rng(1);
+  auto w1 = nt::Tensor::randn({3, 4}, rng, 1.0f, true);
+  auto w2 = nt::Tensor::randn({5}, rng, 1.0f, true);
+  nt::save_params(path.string(), {{"w1", w1}, {"w2", w2}});
+  EXPECT_FALSE(std::filesystem::exists(path.string() + ".tmp"));  // renamed away
+
+  auto r1 = nt::Tensor::zeros({3, 4}, true);
+  auto r2 = nt::Tensor::zeros({5}, true);
+  const auto report = nt::load_params_report(path.string(), {{"w1", r1}, {"w2", r2}});
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.version, 2u);
+  EXPECT_EQ(report.loaded, 2u);
+  for (int i = 0; i < 12; ++i) EXPECT_EQ(r1.at(i), w1.at(i));
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(r2.at(i), w2.at(i));
+  std::filesystem::remove(path);
+}
+
+TEST_F(SerializeFaults, EveryBitFlipIsRejected) {
+  const auto path = tmp_path("netllm_v2_bitflip.bin");
+  Rng rng(2);
+  auto w = nt::Tensor::randn({4, 4}, rng, 1.0f, true);
+  nt::save_params(path.string(), {{"weights", w}});
+  const std::string image = read_file(path);
+
+  // Flip one bit at a spread of offsets covering header, name, shape,
+  // payload and footer: the load must throw every time.
+  for (std::size_t pos = 0; pos < image.size(); pos += 7) {
+    std::string corrupt = image;
+    corrupt[pos] = static_cast<char>(corrupt[pos] ^ 0x10);
+    write_file(path, corrupt);
+    auto r = nt::Tensor::zeros({4, 4}, true);
+    EXPECT_THROW(nt::load_params(path.string(), {{"weights", r}}), std::runtime_error)
+        << "bit flip at offset " << pos << " was not detected";
+  }
+  std::filesystem::remove(path);
+}
+
+TEST_F(SerializeFaults, PayloadFlipNamesTheBadTensor) {
+  const auto path = tmp_path("netllm_v2_named.bin");
+  Rng rng(3);
+  auto a = nt::Tensor::randn({2, 2}, rng, 1.0f, true);
+  auto b = nt::Tensor::randn({8}, rng, 1.0f, true);
+  nt::save_params(path.string(), {{"alpha", a}, {"beta", b}});
+  std::string image = read_file(path);
+  // Flip a byte in the *last* tensor's float payload (just before the
+  // 4-byte footer), so the diagnostic must name "beta".
+  image[image.size() - 8] = static_cast<char>(image[image.size() - 8] ^ 0x40);
+  // Recompute nothing: the file CRC now also mismatches, but the per-tensor
+  // check must still attribute the damage. Patch the footer so only the
+  // tensor CRC catches it.
+  {
+    const std::size_t body = image.size() - 4;
+    const auto crc = netllm::core::crc32(image.data(), body);
+    std::memcpy(image.data() + body, &crc, sizeof(crc));
+  }
+  write_file(path, image);
+  auto ra = nt::Tensor::zeros({2, 2}, true);
+  auto rb = nt::Tensor::zeros({8}, true);
+  try {
+    nt::load_params(path.string(), {{"alpha", ra}, {"beta", rb}});
+    FAIL() << "corrupt payload not detected";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("beta"), std::string::npos) << e.what();
+  }
+  std::filesystem::remove(path);
+}
+
+TEST_F(SerializeFaults, TruncationMidTensorRejected) {
+  const auto path = tmp_path("netllm_v2_trunc.bin");
+  Rng rng(4);
+  auto w = nt::Tensor::randn({16}, rng, 1.0f, true);
+  nt::save_params(path.string(), {{"w", w}});
+  const std::string image = read_file(path);
+  write_file(path, image.substr(0, image.size() / 2));
+  auto r = nt::Tensor::zeros({16}, true);
+  EXPECT_THROW(nt::load_params(path.string(), {{"w", r}}), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST_F(SerializeFaults, BadMagicRejected) {
+  const auto path = tmp_path("netllm_v2_magic.bin");
+  write_file(path, "XXXX not a container");
+  auto r = nt::Tensor::zeros({1}, true);
+  EXPECT_THROW(nt::load_params(path.string(), {{"w", r}}), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST_F(SerializeFaults, V1ContainersStillLoad) {
+  const auto path = tmp_path("netllm_v1_compat.bin");
+  write_file(path, v1_container({{"w", {1.5f, -2.0f, 0.25f}}}));
+  auto r = nt::Tensor::zeros({3}, true);
+  const auto report = nt::load_params_report(path.string(), {{"w", r}});
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.version, 1u);
+  EXPECT_EQ(r.at(0), 1.5f);
+  EXPECT_EQ(r.at(1), -2.0f);
+  EXPECT_EQ(r.at(2), 0.25f);
+  std::filesystem::remove(path);
+}
+
+TEST_F(SerializeFaults, MissingParametersAreNamed) {
+  const auto path = tmp_path("netllm_v2_missing.bin");
+  auto w = nt::Tensor::zeros({2}, true);
+  nt::save_params(path.string(), {{"present", w}});
+  auto a = nt::Tensor::zeros({2}, true);
+  auto b = nt::Tensor::zeros({2}, true);
+  try {
+    nt::load_params(path.string(), {{"present", a}, {"head.fc.weight", b}});
+    FAIL() << "missing parameter not detected";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("head.fc.weight"), std::string::npos) << e.what();
+  }
+  const auto report =
+      nt::load_params_report(path.string(), {{"present", a}, {"head.fc.weight", b}});
+  ASSERT_EQ(report.missing.size(), 1u);
+  EXPECT_EQ(report.missing[0], "head.fc.weight");
+  std::filesystem::remove(path);
+}
+
+TEST_F(SerializeFaults, DuplicateParamNamesThrowOnSaveAndLoad) {
+  const auto path = tmp_path("netllm_v2_dup.bin");
+  auto w1 = nt::Tensor::zeros({2}, true);
+  auto w2 = nt::Tensor::zeros({2}, true);
+  EXPECT_THROW(nt::save_params(path.string(), {{"w", w1}, {"w", w2}}), std::runtime_error);
+  nt::save_params(path.string(), {{"w", w1}});
+  EXPECT_THROW(nt::load_params(path.string(), {{"w", w1}, {"w", w2}}), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST_F(SerializeFaults, ReportTracksExtraAndMismatched) {
+  const auto path = tmp_path("netllm_v2_report.bin");
+  Rng rng(5);
+  auto keep = nt::Tensor::randn({2, 3}, rng, 1.0f, true);
+  auto drop = nt::Tensor::randn({4}, rng, 1.0f, true);
+  auto wrong = nt::Tensor::randn({5}, rng, 1.0f, true);
+  nt::save_params(path.string(), {{"keep", keep}, {"drop", drop}, {"wrong", wrong}});
+  auto rk = nt::Tensor::zeros({2, 3}, true);
+  auto rw = nt::Tensor::zeros({6}, true);  // shape differs from the file's {5}
+  const auto report = nt::load_params_report(path.string(), {{"keep", rk}, {"wrong", rw}});
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.loaded, 1u);
+  ASSERT_EQ(report.extra.size(), 1u);
+  EXPECT_EQ(report.extra[0], "drop");
+  ASSERT_EQ(report.mismatched.size(), 1u);
+  EXPECT_EQ(report.mismatched[0].substr(0, 5), "wrong");
+  EXPECT_TRUE(report.missing.empty());
+  EXPECT_NE(report.summary().find("wrong"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST_F(SerializeFaults, InterruptedSaveLeavesPreviousSnapshotIntact) {
+  const auto path = tmp_path("netllm_v2_atomic.bin");
+  auto old_w = nt::Tensor::full({4}, 1.0f, true);
+  nt::save_params(path.string(), {{"w", old_w}});
+
+  // Crash between the tmp write and the rename: the new image never lands.
+  auto new_w = nt::Tensor::full({4}, 2.0f, true);
+  fault::arm("serialize.rename", {.kind = fault::FaultKind::Throw});
+  EXPECT_THROW(nt::save_params(path.string(), {{"w", new_w}}), fault::FaultInjected);
+  fault::disarm_all();
+
+  auto r = nt::Tensor::zeros({4}, true);
+  nt::load_params(path.string(), {{"w", r}});
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(r.at(i), 1.0f);  // previous values
+
+  // Torn write (truncated tmp image): same guarantee.
+  fault::arm("serialize.write", {.kind = fault::FaultKind::TruncateIo, .truncate_to = 10});
+  EXPECT_THROW(nt::save_params(path.string(), {{"w", new_w}}), fault::FaultInjected);
+  fault::disarm_all();
+  nt::load_params(path.string(), {{"w", r}});
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(r.at(i), 1.0f);
+
+  std::filesystem::remove(path);
+  std::filesystem::remove(path.string() + ".tmp");
+}
+
+TEST_F(SerializeFaults, FsyncFaultAlsoLeavesPreviousSnapshot) {
+  const auto path = tmp_path("netllm_v2_fsync.bin");
+  auto old_w = nt::Tensor::full({2}, 3.0f, true);
+  nt::save_params(path.string(), {{"w", old_w}});
+  fault::arm("serialize.fsync", {.kind = fault::FaultKind::Throw});
+  auto new_w = nt::Tensor::full({2}, 4.0f, true);
+  EXPECT_THROW(nt::save_params(path.string(), {{"w", new_w}}), fault::FaultInjected);
+  fault::disarm_all();
+  auto r = nt::Tensor::zeros({2}, true);
+  nt::load_params(path.string(), {{"w", r}});
+  EXPECT_EQ(r.at(0), 3.0f);
+  std::filesystem::remove(path);
+  std::filesystem::remove(path.string() + ".tmp");
+}
+
+TEST_F(SerializeFaults, SaveRetrySucceedsAfterTransientFailures) {
+  const auto path = tmp_path("netllm_v2_retry.bin");
+  auto w = nt::Tensor::full({3}, 7.0f, true);
+  // First two write attempts fail, the third succeeds.
+  fault::arm("serialize.write", {.kind = fault::FaultKind::Throw, .times = 2});
+  nt::save_params_retry(path.string(), {{"w", w}},
+                        {.attempts = 4, .initial_backoff_ms = 1, .max_backoff_ms = 4});
+  EXPECT_EQ(fault::fired("serialize.write"), 2);
+  fault::disarm_all();
+  auto r = nt::Tensor::zeros({3}, true);
+  nt::load_params(path.string(), {{"w", r}});
+  EXPECT_EQ(r.at(0), 7.0f);
+  std::filesystem::remove(path);
+}
+
+TEST_F(SerializeFaults, SaveRetryGivesUpAndRethrows) {
+  const auto path = tmp_path("netllm_v2_retry_fail.bin");
+  auto w = nt::Tensor::full({3}, 7.0f, true);
+  fault::arm("serialize.write", {.kind = fault::FaultKind::Throw, .times = -1});
+  EXPECT_THROW(nt::save_params_retry(path.string(), {{"w", w}},
+                                     {.attempts = 3, .initial_backoff_ms = 1, .max_backoff_ms = 2}),
+               fault::FaultInjected);
+  EXPECT_EQ(fault::fired("serialize.write"), 3);
+  fault::disarm_all();
+  std::filesystem::remove(path.string() + ".tmp");
+}
