@@ -5,9 +5,13 @@
 // kernel work.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "core/rng.hpp"
+#include "core/threadpool.hpp"
 #include "llm/minigpt.hpp"
 #include "llm/tokenizer.hpp"
+#include "tensor/kernels.hpp"
 #include "tensor/tensor.hpp"
 
 namespace nt = netllm::tensor;
@@ -40,6 +44,40 @@ void BM_MatmulBackward(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MatmulBackward)->Arg(32)->Arg(64);
+
+// Raw blocked-kernel GFLOP/s on buffers (no autograd graph), serial vs
+// threaded: Args are {n, threads}. threads = 1 is the serial baseline row in
+// BENCH_kernels.json; the speedup claim is threads=4 vs threads=1 at n=512.
+void BM_MatmulKernel(benchmark::State& state) {
+  const auto n = state.range(0);
+  const int threads = static_cast<int>(state.range(1));
+  netllm::core::set_global_threads(threads);
+  Rng rng(8);
+  std::vector<float> a(static_cast<std::size_t>(n * n));
+  std::vector<float> b(static_cast<std::size_t>(n * n));
+  std::vector<float> c(static_cast<std::size_t>(n * n));
+  for (auto& v : a) v = static_cast<float>(rng.gaussian(0.0, 1.0));
+  for (auto& v : b) v = static_cast<float>(rng.gaussian(0.0, 1.0));
+  for (auto _ : state) {
+    std::fill(c.begin(), c.end(), 0.0f);
+    nt::kernels::matmul_accum(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+    benchmark::ClobberMemory();
+  }
+  // items_per_second == FLOP/s (2 flops per multiply-accumulate).
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  state.counters["threads"] = static_cast<double>(threads);
+  netllm::core::set_global_threads(0);  // restore the NETLLM_THREADS default
+}
+BENCHMARK(BM_MatmulKernel)
+    ->Args({128, 1})
+    ->Args({128, 4})
+    ->Args({256, 1})
+    ->Args({256, 4})
+    ->Args({512, 1})
+    ->Args({512, 2})
+    ->Args({512, 4})
+    ->UseRealTime();
 
 void BM_CausalSoftmax(benchmark::State& state) {
   const auto t = state.range(0);

@@ -1,5 +1,7 @@
 #!/usr/bin/env bash
 # Regenerates every paper table/figure. Output: bench_output.txt
+# Also emits BENCH_kernels.json: serial vs threaded matmul GFLOP/s rows
+# (google-benchmark JSON; items_per_second == FLOP/s).
 set -euo pipefail
 cd "$(dirname "$0")"
 {
@@ -11,5 +13,9 @@ for b in bench_fig02_motivation bench_fig03_training_time bench_fig04_adaptation
   "./build/bench/$b" 2>&1
   echo
 done
+echo "##### BENCH_kernels.json (serial vs threaded matmul)"
+./build/bench/bench_microkernels --benchmark_filter='BM_MatmulKernel' \
+  --benchmark_out=BENCH_kernels.json --benchmark_out_format=json 2>&1
+echo
 echo "FLEET-DONE"
 } > bench_output.txt 2>&1

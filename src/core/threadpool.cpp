@@ -1,0 +1,164 @@
+#include "core/threadpool.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <mutex>
+
+namespace netllm::core {
+
+namespace {
+
+// True while this thread is executing a parallel_for chunk; nested
+// parallel_for calls then run inline instead of re-entering the queue.
+thread_local bool tl_in_parallel = false;
+
+struct ScopedInParallel {
+  // Save/restore rather than set/clear: an inline nested parallel_for also
+  // opens a scope, and on exit the thread must still count as in-parallel
+  // until the outermost chunk finishes.
+  bool prev = tl_in_parallel;
+  ScopedInParallel() { tl_in_parallel = true; }
+  ~ScopedInParallel() { tl_in_parallel = prev; }
+};
+
+}  // namespace
+
+struct ThreadPool::Shared {
+  std::mutex mu;
+  std::condition_variable cv_work;
+  std::deque<std::function<void()>> tasks;
+  bool stop = false;
+};
+
+ThreadPool::ThreadPool(int threads) : shared_(std::make_shared<Shared>()) {
+  if (threads <= 0) threads = default_thread_count();
+  spawn(threads - 1);
+}
+
+ThreadPool::~ThreadPool() { join_all(); }
+
+void ThreadPool::spawn(int workers) {
+  workers_.reserve(static_cast<std::size_t>(std::max(workers, 0)));
+  for (int w = 0; w < workers; ++w) {
+    workers_.emplace_back([shared = shared_] {
+      for (;;) {
+        std::function<void()> task;
+        {
+          std::unique_lock<std::mutex> lk(shared->mu);
+          shared->cv_work.wait(lk, [&] { return shared->stop || !shared->tasks.empty(); });
+          if (shared->stop && shared->tasks.empty()) return;
+          task = std::move(shared->tasks.front());
+          shared->tasks.pop_front();
+        }
+        task();
+      }
+    });
+  }
+}
+
+void ThreadPool::join_all() {
+  {
+    std::lock_guard<std::mutex> lk(shared_->mu);
+    shared_->stop = true;
+  }
+  shared_->cv_work.notify_all();
+  for (auto& w : workers_) w.join();
+  workers_.clear();
+}
+
+void ThreadPool::resize(int threads) {
+  if (threads <= 0) threads = default_thread_count();
+  if (threads == size()) return;
+  join_all();
+  shared_ = std::make_shared<Shared>();
+  spawn(threads - 1);
+}
+
+void ThreadPool::parallel_for(std::int64_t n, std::int64_t grain,
+                              const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  if (n <= 0) return;
+  if (grain < 1) grain = 1;
+  const auto lanes = static_cast<std::int64_t>(size());
+  if (lanes <= 1 || n < grain || tl_in_parallel) {
+    ScopedInParallel scope;
+    fn(0, n);
+    return;
+  }
+  const std::int64_t nchunks = std::min(lanes, (n + grain - 1) / grain);
+
+  struct Sync {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::int64_t remaining;
+    std::exception_ptr error;
+  } sync{{}, {}, nchunks - 1, nullptr};
+
+  // Chunks 1..nchunks-1 go to the workers; the caller runs chunk 0 and then
+  // blocks until the rest drain. `sync`/`fn` outlive all tasks because the
+  // caller does not return before remaining == 0.
+  {
+    std::lock_guard<std::mutex> lk(shared_->mu);
+    for (std::int64_t c = 1; c < nchunks; ++c) {
+      const std::int64_t begin = n * c / nchunks;
+      const std::int64_t end = n * (c + 1) / nchunks;
+      shared_->tasks.emplace_back([&sync, &fn, begin, end] {
+        try {
+          ScopedInParallel scope;
+          fn(begin, end);
+        } catch (...) {
+          std::lock_guard<std::mutex> elk(sync.mu);
+          if (!sync.error) sync.error = std::current_exception();
+        }
+        {
+          // Notify while holding the lock: once the caller observes
+          // remaining == 0 it destroys `sync`, so the cv must not be touched
+          // after the mutex is released.
+          std::lock_guard<std::mutex> dlk(sync.mu);
+          --sync.remaining;
+          sync.cv.notify_one();
+        }
+      });
+    }
+  }
+  shared_->cv_work.notify_all();
+
+  try {
+    ScopedInParallel scope;
+    fn(0, n / nchunks);
+  } catch (...) {
+    std::lock_guard<std::mutex> elk(sync.mu);
+    if (!sync.error) sync.error = std::current_exception();
+  }
+
+  std::unique_lock<std::mutex> lk(sync.mu);
+  sync.cv.wait(lk, [&] { return sync.remaining == 0; });
+  if (sync.error) std::rethrow_exception(sync.error);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+int default_thread_count() {
+  if (const char* env = std::getenv("NETLLM_THREADS")) {
+    const int v = std::atoi(env);
+    if (v >= 1) return std::min(v, 256);
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc > 0 ? static_cast<int>(hc) : 1;
+}
+
+int global_threads() { return ThreadPool::global().size(); }
+
+void set_global_threads(int n) { ThreadPool::global().resize(n); }
+
+void parallel_for(std::int64_t n, std::int64_t grain,
+                  const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  ThreadPool::global().parallel_for(n, grain, fn);
+}
+
+}  // namespace netllm::core

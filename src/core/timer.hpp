@@ -27,7 +27,13 @@ class Timer {
 /// wall time to "environment interaction" vs "optimisation" (Fig. 3).
 class StopWatch {
  public:
-  void start() { running_ = true; t_.reset(); }
+  /// (Re)start timing. A start() while already running banks the in-flight
+  /// interval into the total first instead of silently discarding it.
+  void start() {
+    if (running_) total_ += t_.elapsed_s();
+    running_ = true;
+    t_.reset();
+  }
   void stop() {
     if (running_) total_ += t_.elapsed_s();
     running_ = false;

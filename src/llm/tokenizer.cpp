@@ -37,6 +37,8 @@ std::string Tokenizer::decode(const std::vector<int>& ids) const {
 }
 
 std::optional<int> Tokenizer::char_to_id(char c) const {
+  // Lowercase fold so char_to_id('A') agrees with encode("A").
+  if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
   const int id = char_map_[static_cast<unsigned char>(c)];
   if (id < 0) return std::nullopt;
   return id;

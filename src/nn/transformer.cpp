@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/threadpool.hpp"
+
 namespace netllm::nn {
 
 namespace {
@@ -45,16 +47,22 @@ Tensor MultiHeadAttention::forward(const Tensor& x) const {
   const auto v = project(wv_, lv_, x);
   const float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(d_head_));
 
-  std::vector<Tensor> heads;
-  heads.reserve(static_cast<std::size_t>(n_heads_));
-  for (std::int64_t h = 0; h < n_heads_; ++h) {
-    const auto qh = slice_cols(q, h * d_head_, d_head_);
-    const auto kh = slice_cols(k, h * d_head_, d_head_);
-    const auto vh = slice_cols(v, h * d_head_, d_head_);
-    auto scores = scale(matmul(qh, transpose(kh)), inv_sqrt);
-    auto attn = causal_ ? causal_masked_softmax(scores) : softmax_rows(scores);
-    heads.push_back(matmul(attn, vh));
-  }
+  // Heads are independent in the forward pass (they only read q/k/v and
+  // build disjoint graph nodes), so they evaluate concurrently on the pool.
+  // Tensor ops inside a head run inline (no nested parallelism), and the
+  // result slot per head is fixed, so output order — and therefore the
+  // autograd graph — is identical to the serial loop for any thread count.
+  std::vector<Tensor> heads(static_cast<std::size_t>(n_heads_));
+  core::parallel_for(n_heads_, 1, [&](std::int64_t h0, std::int64_t h1) {
+    for (std::int64_t h = h0; h < h1; ++h) {
+      const auto qh = slice_cols(q, h * d_head_, d_head_);
+      const auto kh = slice_cols(k, h * d_head_, d_head_);
+      const auto vh = slice_cols(v, h * d_head_, d_head_);
+      auto scores = scale(matmul(qh, transpose(kh)), inv_sqrt);
+      auto attn = causal_ ? causal_masked_softmax(scores) : softmax_rows(scores);
+      heads[static_cast<std::size_t>(h)] = matmul(attn, vh);
+    }
+  });
   return project(wo_, lo_, concat_cols(heads));
 }
 

@@ -1,0 +1,108 @@
+#include "tensor/kernels.hpp"
+
+#include <algorithm>
+
+#include "core/threadpool.hpp"
+
+namespace netllm::tensor::kernels {
+
+namespace {
+
+// Minimum output rows per parallel chunk: below this the dispatch overhead
+// beats the win, and the paper-scale models (m <= 128) mostly stay inline.
+constexpr std::int64_t kRowGrain = 8;
+// k-dimension tile for matmul_accum: keeps the active B rows in L1/L2 while
+// a row block of C is accumulated. Tiling over k does not change the order
+// in which any C element receives its additions (p still ascends).
+constexpr std::int64_t kKBlock = 64;
+
+// The range kernels below are the single compiled implementation used by
+// both the serial and the threaded entry points (serial = full range, one
+// thread), so the two cannot diverge even by compiler-vectorisation choices.
+
+void matmul_accum_range(const float* a, const float* b, float* c, std::int64_t r0,
+                        std::int64_t r1, std::int64_t k, std::int64_t n) {
+  for (std::int64_t p0 = 0; p0 < k; p0 += kKBlock) {
+    const std::int64_t p1 = std::min(k, p0 + kKBlock);
+    for (std::int64_t i = r0; i < r1; ++i) {
+      float* crow = c + i * n;
+      for (std::int64_t p = p0; p < p1; ++p) {
+        const float aip = a[i * k + p];
+        if (aip == 0.0f) continue;
+        const float* brow = b + p * n;
+        for (std::int64_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
+      }
+    }
+  }
+}
+
+void matmul_bt_accum_range(const float* a, const float* b, float* c, std::int64_t r0,
+                           std::int64_t r1, std::int64_t k, std::int64_t n) {
+  for (std::int64_t i = r0; i < r1; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* arow = a + i * k;
+      const float* brow = b + j * k;
+      float acc = 0.0f;
+      for (std::int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      c[i * n + j] += acc;
+    }
+  }
+}
+
+// Parallelised over C's rows (the k dimension): every chunk owns a disjoint
+// row range [p0,p1) of C, and each element still accumulates over i in
+// ascending order — same additions, same order as the serial loop.
+void matmul_at_accum_range(const float* a, const float* b, float* c, std::int64_t m,
+                           std::int64_t p0, std::int64_t p1, std::int64_t k,
+                           std::int64_t n) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    const float* brow = b + i * n;
+    for (std::int64_t p = p0; p < p1; ++p) {
+      const float ap = arow[p];
+      if (ap == 0.0f) continue;
+      float* crow = c + p * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += ap * brow[j];
+    }
+  }
+}
+
+}  // namespace
+
+void matmul_accum_serial(const float* a, const float* b, float* c, std::int64_t m,
+                         std::int64_t k, std::int64_t n) {
+  matmul_accum_range(a, b, c, 0, m, k, n);
+}
+
+void matmul_bt_accum_serial(const float* a, const float* b, float* c, std::int64_t m,
+                            std::int64_t k, std::int64_t n) {
+  matmul_bt_accum_range(a, b, c, 0, m, k, n);
+}
+
+void matmul_at_accum_serial(const float* a, const float* b, float* c, std::int64_t m,
+                            std::int64_t k, std::int64_t n) {
+  matmul_at_accum_range(a, b, c, m, 0, k, k, n);
+}
+
+void matmul_accum(const float* a, const float* b, float* c, std::int64_t m,
+                  std::int64_t k, std::int64_t n) {
+  core::parallel_for(m, kRowGrain, [=](std::int64_t r0, std::int64_t r1) {
+    matmul_accum_range(a, b, c, r0, r1, k, n);
+  });
+}
+
+void matmul_bt_accum(const float* a, const float* b, float* c, std::int64_t m,
+                     std::int64_t k, std::int64_t n) {
+  core::parallel_for(m, kRowGrain, [=](std::int64_t r0, std::int64_t r1) {
+    matmul_bt_accum_range(a, b, c, r0, r1, k, n);
+  });
+}
+
+void matmul_at_accum(const float* a, const float* b, float* c, std::int64_t m,
+                     std::int64_t k, std::int64_t n) {
+  core::parallel_for(k, kRowGrain, [=](std::int64_t p0, std::int64_t p1) {
+    matmul_at_accum_range(a, b, c, m, p0, p1, k, n);
+  });
+}
+
+}  // namespace netllm::tensor::kernels

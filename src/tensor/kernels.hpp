@@ -1,0 +1,37 @@
+// Hot compute kernels behind the tensor ops, exposed so tests and benches
+// can cross-check the thread-parallel versions against the serial references
+// on raw buffers (no autograd graph in the way).
+//
+// Determinism contract: for every kernel the threaded version partitions the
+// *output* rows into contiguous chunks and, within each output element, adds
+// contributions in exactly the same order as the serial reference. Results
+// are therefore bitwise identical for any thread count and any chunking —
+// not merely within tolerance. test_parallel.cpp enforces this.
+#pragma once
+
+#include <cstdint>
+
+namespace netllm::tensor::kernels {
+
+// ---- serial references (single thread, no pool involvement) ----
+
+/// C[m,n] += A[m,k] * B[k,n]
+void matmul_accum_serial(const float* a, const float* b, float* c, std::int64_t m,
+                         std::int64_t k, std::int64_t n);
+/// C[m,n] += A[m,k] * B^T where B is [n,k]
+void matmul_bt_accum_serial(const float* a, const float* b, float* c, std::int64_t m,
+                            std::int64_t k, std::int64_t n);
+/// C[k,n] += A^T * B where A is [m,k], B is [m,n]
+void matmul_at_accum_serial(const float* a, const float* b, float* c, std::int64_t m,
+                            std::int64_t k, std::int64_t n);
+
+// ---- blocked, thread-parallel versions (use core::ThreadPool::global()) ----
+
+void matmul_accum(const float* a, const float* b, float* c, std::int64_t m,
+                  std::int64_t k, std::int64_t n);
+void matmul_bt_accum(const float* a, const float* b, float* c, std::int64_t m,
+                     std::int64_t k, std::int64_t n);
+void matmul_at_accum(const float* a, const float* b, float* c, std::int64_t m,
+                     std::int64_t k, std::int64_t n);
+
+}  // namespace netllm::tensor::kernels

@@ -54,10 +54,16 @@ Adam::Adam(std::vector<Tensor> params, float lr, float beta1, float beta2, float
   }
 }
 
+double adam_bias_correction(double beta, std::int64_t t) {
+  return 1.0 - std::pow(beta, static_cast<double>(t));
+}
+
 void Adam::step() {
   ++t_;
-  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
-  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  // Bias corrections in double: float pow drifts once t reaches ~1e4 and can
+  // distort long adaptation runs. Storage (m/v/params) stays float.
+  const float bc1 = static_cast<float>(adam_bias_correction(beta1_, t_));
+  const float bc2 = static_cast<float>(adam_bias_correction(beta2_, t_));
   for (std::size_t k = 0; k < params_.size(); ++k) {
     auto value = params_[k].mutable_data();
     const auto grad = params_[k].grad();

@@ -44,6 +44,11 @@ class Sgd final : public Optimizer {
   float lr_;
 };
 
+/// Adam's 1 - beta^t bias-correction term, computed in double precision.
+/// The float-pow version drifts for long runs (t > ~1e4); kept as a free
+/// function so the regression test can pin it against the closed form.
+double adam_bias_correction(double beta, std::int64_t t);
+
 class Adam final : public Optimizer {
  public:
   Adam(std::vector<Tensor> params, float lr, float beta1 = 0.9f, float beta2 = 0.999f,

@@ -7,6 +7,9 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "core/threadpool.hpp"
+#include "tensor/kernels.hpp"
+
 namespace netllm::tensor {
 
 namespace {
@@ -34,47 +37,27 @@ NodePtr make_result(Shape shape, std::vector<NodePtr> parents) {
   return node;
 }
 
-// Naive but cache-friendly matmul: C[m,n] += A[m,k] * B[k,n].
-void matmul_accum(const float* a, const float* b, float* c, std::int64_t m,
-                  std::int64_t k, std::int64_t n) {
-  for (std::int64_t i = 0; i < m; ++i) {
-    for (std::int64_t p = 0; p < k; ++p) {
-      const float aip = a[i * k + p];
-      if (aip == 0.0f) continue;
-      const float* brow = b + p * n;
-      float* crow = c + i * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
-    }
-  }
-}
+// The blocked, thread-parallel matmul kernels live in tensor/kernels.cpp
+// (shared with tests/benches); re-exported here under the old local names.
+using kernels::matmul_accum;
+using kernels::matmul_at_accum;
+using kernels::matmul_bt_accum;
 
-// C[m,n] += A[m,k] * B^T where B is [n,k].
-void matmul_bt_accum(const float* a, const float* b, float* c, std::int64_t m,
-                     std::int64_t k, std::int64_t n) {
-  for (std::int64_t i = 0; i < m; ++i) {
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float* arow = a + i * k;
-      const float* brow = b + j * k;
-      float acc = 0.0f;
-      for (std::int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      c[i * n + j] += acc;
-    }
-  }
-}
+// Scalars per chunk before an elementwise loop is worth dispatching to the
+// pool; paper-scale activations (<= 128 x 192) stay inline.
+constexpr std::int64_t kElemGrain = 1 << 15;
+// Rows per chunk for row-wise ops (softmax / layer-norm families).
+constexpr std::int64_t kSoftmaxRowGrain = 32;
 
-// C[k,n] += A^T * B where A is [m,k], B is [m,n].
-void matmul_at_accum(const float* a, const float* b, float* c, std::int64_t m,
-                     std::int64_t k, std::int64_t n) {
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    const float* brow = b + i * n;
-    for (std::int64_t p = 0; p < k; ++p) {
-      const float ap = arow[p];
-      if (ap == 0.0f) continue;
-      float* crow = c + p * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += ap * brow[j];
-    }
-  }
+/// Run fn over index range [0,n) in parallel chunks. Chunks are disjoint, so
+/// elementwise forward writes and per-index grad accumulations are race-free
+/// and bitwise independent of the thread count.
+template <typename Fn>
+void parallel_elems(std::size_t n, Fn&& fn) {
+  core::parallel_for(static_cast<std::int64_t>(n), kElemGrain,
+                     [&fn](std::int64_t b, std::int64_t e) {
+                       fn(static_cast<std::size_t>(b), static_cast<std::size_t>(e));
+                     });
 }
 
 }  // namespace
@@ -210,18 +193,24 @@ Tensor add(const Tensor& a, const Tensor& b) {
   check(a.shape() == b.shape(), "add: shape mismatch");
   auto node = make_result(a.shape(), {a.node(), b.node()});
   const auto n = static_cast<std::size_t>(node->numel());
-  for (std::size_t i = 0; i < n; ++i) node->value[i] = a.data()[i] + b.data()[i];
+  parallel_elems(n, [&](std::size_t b0, std::size_t e0) {
+    for (std::size_t i = b0; i < e0; ++i) node->value[i] = a.data()[i] + b.data()[i];
+  });
   if (node->requires_grad) {
     Node* pa = a.node().get();
     Node* pb = b.node().get();
     node->backward = [pa, pb, n](Node& self) {
       if (pa->requires_grad) {
         pa->ensure_grad();
-        for (std::size_t i = 0; i < n; ++i) pa->grad[i] += self.grad[i];
+        parallel_elems(n, [&](std::size_t b0, std::size_t e0) {
+          for (std::size_t i = b0; i < e0; ++i) pa->grad[i] += self.grad[i];
+        });
       }
       if (pb->requires_grad) {
         pb->ensure_grad();
-        for (std::size_t i = 0; i < n; ++i) pb->grad[i] += self.grad[i];
+        parallel_elems(n, [&](std::size_t b0, std::size_t e0) {
+          for (std::size_t i = b0; i < e0; ++i) pb->grad[i] += self.grad[i];
+        });
       }
     };
   }
@@ -232,18 +221,24 @@ Tensor sub(const Tensor& a, const Tensor& b) {
   check(a.shape() == b.shape(), "sub: shape mismatch");
   auto node = make_result(a.shape(), {a.node(), b.node()});
   const auto n = static_cast<std::size_t>(node->numel());
-  for (std::size_t i = 0; i < n; ++i) node->value[i] = a.data()[i] - b.data()[i];
+  parallel_elems(n, [&](std::size_t b0, std::size_t e0) {
+    for (std::size_t i = b0; i < e0; ++i) node->value[i] = a.data()[i] - b.data()[i];
+  });
   if (node->requires_grad) {
     Node* pa = a.node().get();
     Node* pb = b.node().get();
     node->backward = [pa, pb, n](Node& self) {
       if (pa->requires_grad) {
         pa->ensure_grad();
-        for (std::size_t i = 0; i < n; ++i) pa->grad[i] += self.grad[i];
+        parallel_elems(n, [&](std::size_t b0, std::size_t e0) {
+          for (std::size_t i = b0; i < e0; ++i) pa->grad[i] += self.grad[i];
+        });
       }
       if (pb->requires_grad) {
         pb->ensure_grad();
-        for (std::size_t i = 0; i < n; ++i) pb->grad[i] -= self.grad[i];
+        parallel_elems(n, [&](std::size_t b0, std::size_t e0) {
+          for (std::size_t i = b0; i < e0; ++i) pb->grad[i] -= self.grad[i];
+        });
       }
     };
   }
@@ -254,18 +249,24 @@ Tensor mul(const Tensor& a, const Tensor& b) {
   check(a.shape() == b.shape(), "mul: shape mismatch");
   auto node = make_result(a.shape(), {a.node(), b.node()});
   const auto n = static_cast<std::size_t>(node->numel());
-  for (std::size_t i = 0; i < n; ++i) node->value[i] = a.data()[i] * b.data()[i];
+  parallel_elems(n, [&](std::size_t b0, std::size_t e0) {
+    for (std::size_t i = b0; i < e0; ++i) node->value[i] = a.data()[i] * b.data()[i];
+  });
   if (node->requires_grad) {
     Node* pa = a.node().get();
     Node* pb = b.node().get();
     node->backward = [pa, pb, n](Node& self) {
       if (pa->requires_grad) {
         pa->ensure_grad();
-        for (std::size_t i = 0; i < n; ++i) pa->grad[i] += self.grad[i] * pb->value[i];
+        parallel_elems(n, [&](std::size_t b0, std::size_t e0) {
+          for (std::size_t i = b0; i < e0; ++i) pa->grad[i] += self.grad[i] * pb->value[i];
+        });
       }
       if (pb->requires_grad) {
         pb->ensure_grad();
-        for (std::size_t i = 0; i < n; ++i) pb->grad[i] += self.grad[i] * pa->value[i];
+        parallel_elems(n, [&](std::size_t b0, std::size_t e0) {
+          for (std::size_t i = b0; i < e0; ++i) pb->grad[i] += self.grad[i] * pa->value[i];
+        });
       }
     };
   }
@@ -275,12 +276,16 @@ Tensor mul(const Tensor& a, const Tensor& b) {
 Tensor scale(const Tensor& a, float c) {
   auto node = make_result(a.shape(), {a.node()});
   const auto n = static_cast<std::size_t>(node->numel());
-  for (std::size_t i = 0; i < n; ++i) node->value[i] = a.data()[i] * c;
+  parallel_elems(n, [&](std::size_t b0, std::size_t e0) {
+    for (std::size_t i = b0; i < e0; ++i) node->value[i] = a.data()[i] * c;
+  });
   if (node->requires_grad) {
     Node* pa = a.node().get();
     node->backward = [pa, c, n](Node& self) {
       pa->ensure_grad();
-      for (std::size_t i = 0; i < n; ++i) pa->grad[i] += self.grad[i] * c;
+      parallel_elems(n, [&](std::size_t b0, std::size_t e0) {
+        for (std::size_t i = b0; i < e0; ++i) pa->grad[i] += self.grad[i] * c;
+      });
     };
   }
   return Tensor(node);
@@ -289,12 +294,16 @@ Tensor scale(const Tensor& a, float c) {
 Tensor add_scalar(const Tensor& a, float c) {
   auto node = make_result(a.shape(), {a.node()});
   const auto n = static_cast<std::size_t>(node->numel());
-  for (std::size_t i = 0; i < n; ++i) node->value[i] = a.data()[i] + c;
+  parallel_elems(n, [&](std::size_t b0, std::size_t e0) {
+    for (std::size_t i = b0; i < e0; ++i) node->value[i] = a.data()[i] + c;
+  });
   if (node->requires_grad) {
     Node* pa = a.node().get();
     node->backward = [pa, n](Node& self) {
       pa->ensure_grad();
-      for (std::size_t i = 0; i < n; ++i) pa->grad[i] += self.grad[i];
+      parallel_elems(n, [&](std::size_t b0, std::size_t e0) {
+        for (std::size_t i = b0; i < e0; ++i) pa->grad[i] += self.grad[i];
+      });
     };
   }
   return Tensor(node);
@@ -332,14 +341,20 @@ Tensor add_n(const std::vector<Tensor>& xs) {
 Tensor relu(const Tensor& a) {
   auto node = make_result(a.shape(), {a.node()});
   const auto n = static_cast<std::size_t>(node->numel());
-  for (std::size_t i = 0; i < n; ++i) node->value[i] = a.data()[i] > 0.0f ? a.data()[i] : 0.0f;
+  parallel_elems(n, [&](std::size_t b0, std::size_t e0) {
+    for (std::size_t i = b0; i < e0; ++i) {
+      node->value[i] = a.data()[i] > 0.0f ? a.data()[i] : 0.0f;
+    }
+  });
   if (node->requires_grad) {
     Node* pa = a.node().get();
     node->backward = [pa, n](Node& self) {
       pa->ensure_grad();
-      for (std::size_t i = 0; i < n; ++i) {
-        if (pa->value[i] > 0.0f) pa->grad[i] += self.grad[i];
-      }
+      parallel_elems(n, [&](std::size_t b0, std::size_t e0) {
+        for (std::size_t i = b0; i < e0; ++i) {
+          if (pa->value[i] > 0.0f) pa->grad[i] += self.grad[i];
+        }
+      });
     };
   }
   return Tensor(node);
@@ -351,23 +366,27 @@ Tensor gelu(const Tensor& a) {
   constexpr float kA = 0.044715f;
   auto node = make_result(a.shape(), {a.node()});
   const auto n = static_cast<std::size_t>(node->numel());
-  for (std::size_t i = 0; i < n; ++i) {
-    const float x = a.data()[i];
-    const float t = std::tanh(kC * (x + kA * x * x * x));
-    node->value[i] = 0.5f * x * (1.0f + t);
-  }
+  parallel_elems(n, [&](std::size_t b0, std::size_t e0) {
+    for (std::size_t i = b0; i < e0; ++i) {
+      const float x = a.data()[i];
+      const float t = std::tanh(kC * (x + kA * x * x * x));
+      node->value[i] = 0.5f * x * (1.0f + t);
+    }
+  });
   if (node->requires_grad) {
     Node* pa = a.node().get();
     node->backward = [pa, n](Node& self) {
       pa->ensure_grad();
-      for (std::size_t i = 0; i < n; ++i) {
-        const float x = pa->value[i];
-        const float inner = kC * (x + kA * x * x * x);
-        const float t = std::tanh(inner);
-        const float dinner = kC * (1.0f + 3.0f * kA * x * x);
-        const float d = 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * dinner;
-        pa->grad[i] += self.grad[i] * d;
-      }
+      parallel_elems(n, [&](std::size_t b0, std::size_t e0) {
+        for (std::size_t i = b0; i < e0; ++i) {
+          const float x = pa->value[i];
+          const float inner = kC * (x + kA * x * x * x);
+          const float t = std::tanh(inner);
+          const float dinner = kC * (1.0f + 3.0f * kA * x * x);
+          const float d = 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * dinner;
+          pa->grad[i] += self.grad[i] * d;
+        }
+      });
     };
   }
   return Tensor(node);
@@ -376,15 +395,19 @@ Tensor gelu(const Tensor& a) {
 Tensor tanh_t(const Tensor& a) {
   auto node = make_result(a.shape(), {a.node()});
   const auto n = static_cast<std::size_t>(node->numel());
-  for (std::size_t i = 0; i < n; ++i) node->value[i] = std::tanh(a.data()[i]);
+  parallel_elems(n, [&](std::size_t b0, std::size_t e0) {
+    for (std::size_t i = b0; i < e0; ++i) node->value[i] = std::tanh(a.data()[i]);
+  });
   if (node->requires_grad) {
     Node* pa = a.node().get();
     node->backward = [pa, n](Node& self) {
       pa->ensure_grad();
-      for (std::size_t i = 0; i < n; ++i) {
-        const float y = self.value[i];
-        pa->grad[i] += self.grad[i] * (1.0f - y * y);
-      }
+      parallel_elems(n, [&](std::size_t b0, std::size_t e0) {
+        for (std::size_t i = b0; i < e0; ++i) {
+          const float y = self.value[i];
+          pa->grad[i] += self.grad[i] * (1.0f - y * y);
+        }
+      });
     };
   }
   return Tensor(node);
@@ -393,15 +416,21 @@ Tensor tanh_t(const Tensor& a) {
 Tensor sigmoid_t(const Tensor& a) {
   auto node = make_result(a.shape(), {a.node()});
   const auto n = static_cast<std::size_t>(node->numel());
-  for (std::size_t i = 0; i < n; ++i) node->value[i] = 1.0f / (1.0f + std::exp(-a.data()[i]));
+  parallel_elems(n, [&](std::size_t b0, std::size_t e0) {
+    for (std::size_t i = b0; i < e0; ++i) {
+      node->value[i] = 1.0f / (1.0f + std::exp(-a.data()[i]));
+    }
+  });
   if (node->requires_grad) {
     Node* pa = a.node().get();
     node->backward = [pa, n](Node& self) {
       pa->ensure_grad();
-      for (std::size_t i = 0; i < n; ++i) {
-        const float y = self.value[i];
-        pa->grad[i] += self.grad[i] * y * (1.0f - y);
-      }
+      parallel_elems(n, [&](std::size_t b0, std::size_t e0) {
+        for (std::size_t i = b0; i < e0; ++i) {
+          const float y = self.value[i];
+          pa->grad[i] += self.grad[i] * y * (1.0f - y);
+        }
+      });
     };
   }
   return Tensor(node);
@@ -620,20 +649,24 @@ Tensor softmax_rows(const Tensor& a) {
   check(a.rank() == 2, "softmax_rows: rank-2 tensor required");
   const auto m = a.dim(0), n = a.dim(1);
   auto node = make_result({m, n}, {a.node()});
-  for (std::int64_t i = 0; i < m; ++i) {
-    softmax_row(a.data().data() + i * n, node->value.data() + i * n, n);
-  }
+  core::parallel_for(m, kSoftmaxRowGrain, [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t i = r0; i < r1; ++i) {
+      softmax_row(a.data().data() + i * n, node->value.data() + i * n, n);
+    }
+  });
   if (node->requires_grad) {
     Node* pa = a.node().get();
     node->backward = [pa, m, n](Node& self) {
       pa->ensure_grad();
-      for (std::int64_t i = 0; i < m; ++i) {
-        const float* y = self.value.data() + i * n;
-        const float* dy = self.grad.data() + i * n;
-        float dot = 0.0f;
-        for (std::int64_t j = 0; j < n; ++j) dot += y[j] * dy[j];
-        for (std::int64_t j = 0; j < n; ++j) pa->grad[i * n + j] += y[j] * (dy[j] - dot);
-      }
+      core::parallel_for(m, kSoftmaxRowGrain, [&](std::int64_t r0, std::int64_t r1) {
+        for (std::int64_t i = r0; i < r1; ++i) {
+          const float* y = self.value.data() + i * n;
+          const float* dy = self.grad.data() + i * n;
+          float dot = 0.0f;
+          for (std::int64_t j = 0; j < n; ++j) dot += y[j] * dy[j];
+          for (std::int64_t j = 0; j < n; ++j) pa->grad[i * n + j] += y[j] * (dy[j] - dot);
+        }
+      });
     };
   }
   return Tensor(node);
@@ -643,29 +676,33 @@ Tensor log_softmax_rows(const Tensor& a) {
   check(a.rank() == 2, "log_softmax_rows: rank-2 tensor required");
   const auto m = a.dim(0), n = a.dim(1);
   auto node = make_result({m, n}, {a.node()});
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* in = a.data().data() + i * n;
-    float* out = node->value.data() + i * n;
-    float mx = in[0];
-    for (std::int64_t j = 1; j < n; ++j) mx = std::max(mx, in[j]);
-    float sum = 0.0f;
-    for (std::int64_t j = 0; j < n; ++j) sum += std::exp(in[j] - mx);
-    const float lse = mx + std::log(sum);
-    for (std::int64_t j = 0; j < n; ++j) out[j] = in[j] - lse;
-  }
+  core::parallel_for(m, kSoftmaxRowGrain, [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t i = r0; i < r1; ++i) {
+      const float* in = a.data().data() + i * n;
+      float* out = node->value.data() + i * n;
+      float mx = in[0];
+      for (std::int64_t j = 1; j < n; ++j) mx = std::max(mx, in[j]);
+      float sum = 0.0f;
+      for (std::int64_t j = 0; j < n; ++j) sum += std::exp(in[j] - mx);
+      const float lse = mx + std::log(sum);
+      for (std::int64_t j = 0; j < n; ++j) out[j] = in[j] - lse;
+    }
+  });
   if (node->requires_grad) {
     Node* pa = a.node().get();
     node->backward = [pa, m, n](Node& self) {
       pa->ensure_grad();
-      for (std::int64_t i = 0; i < m; ++i) {
-        const float* y = self.value.data() + i * n;  // log-probs
-        const float* dy = self.grad.data() + i * n;
-        float sum_dy = 0.0f;
-        for (std::int64_t j = 0; j < n; ++j) sum_dy += dy[j];
-        for (std::int64_t j = 0; j < n; ++j) {
-          pa->grad[i * n + j] += dy[j] - std::exp(y[j]) * sum_dy;
+      core::parallel_for(m, kSoftmaxRowGrain, [&](std::int64_t r0, std::int64_t r1) {
+        for (std::int64_t i = r0; i < r1; ++i) {
+          const float* y = self.value.data() + i * n;  // log-probs
+          const float* dy = self.grad.data() + i * n;
+          float sum_dy = 0.0f;
+          for (std::int64_t j = 0; j < n; ++j) sum_dy += dy[j];
+          for (std::int64_t j = 0; j < n; ++j) {
+            pa->grad[i * n + j] += dy[j] - std::exp(y[j]) * sum_dy;
+          }
         }
-      }
+      });
     };
   }
   return Tensor(node);
@@ -676,25 +713,29 @@ Tensor causal_masked_softmax(const Tensor& scores) {
   const auto t = scores.dim(0);
   check(scores.dim(1) == t, "causal_masked_softmax: square matrix required");
   auto node = make_result({t, t}, {scores.node()});
-  for (std::int64_t i = 0; i < t; ++i) {
-    const float* in = scores.data().data() + i * t;
-    float* out = node->value.data() + i * t;
-    softmax_row(in, out, i + 1);  // only columns [0, i]
-    for (std::int64_t j = i + 1; j < t; ++j) out[j] = 0.0f;
-  }
+  core::parallel_for(t, kSoftmaxRowGrain, [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t i = r0; i < r1; ++i) {
+      const float* in = scores.data().data() + i * t;
+      float* out = node->value.data() + i * t;
+      softmax_row(in, out, i + 1);  // only columns [0, i]
+      for (std::int64_t j = i + 1; j < t; ++j) out[j] = 0.0f;
+    }
+  });
   if (node->requires_grad) {
     Node* pa = scores.node().get();
     node->backward = [pa, t](Node& self) {
       pa->ensure_grad();
-      for (std::int64_t i = 0; i < t; ++i) {
-        const float* y = self.value.data() + i * t;
-        const float* dy = self.grad.data() + i * t;
-        float dot = 0.0f;
-        for (std::int64_t j = 0; j <= i; ++j) dot += y[j] * dy[j];
-        for (std::int64_t j = 0; j <= i; ++j) {
-          pa->grad[i * t + j] += y[j] * (dy[j] - dot);
+      core::parallel_for(t, kSoftmaxRowGrain, [&](std::int64_t r0, std::int64_t r1) {
+        for (std::int64_t i = r0; i < r1; ++i) {
+          const float* y = self.value.data() + i * t;
+          const float* dy = self.grad.data() + i * t;
+          float dot = 0.0f;
+          for (std::int64_t j = 0; j <= i; ++j) dot += y[j] * dy[j];
+          for (std::int64_t j = 0; j <= i; ++j) {
+            pa->grad[i * t + j] += y[j] * (dy[j] - dot);
+          }
         }
-      }
+      });
     };
   }
   return Tensor(node);
@@ -706,24 +747,28 @@ Tensor layer_norm_rows(const Tensor& a, const Tensor& gamma, const Tensor& beta,
   check(gamma.rank() == 1 && gamma.dim(0) == n, "layer_norm_rows: gamma shape");
   check(beta.rank() == 1 && beta.dim(0) == n, "layer_norm_rows: beta shape");
   auto node = make_result({m, n}, {a.node(), gamma.node(), beta.node()});
-  // Cache per-row (mean, inv_std) for backward.
+  // Cache per-row (mean, inv_std) for backward. Rows are independent, so the
+  // forward parallelises; the backward stays serial because gamma/beta grads
+  // accumulate across rows (a shared-accumulator race otherwise).
   auto stats = std::make_shared<std::vector<float>>(static_cast<std::size_t>(2 * m));
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* x = a.data().data() + i * n;
-    float mu = 0.0f;
-    for (std::int64_t j = 0; j < n; ++j) mu += x[j];
-    mu /= static_cast<float>(n);
-    float var = 0.0f;
-    for (std::int64_t j = 0; j < n; ++j) var += (x[j] - mu) * (x[j] - mu);
-    var /= static_cast<float>(n);
-    const float inv_std = 1.0f / std::sqrt(var + eps);
-    (*stats)[static_cast<std::size_t>(2 * i)] = mu;
-    (*stats)[static_cast<std::size_t>(2 * i + 1)] = inv_std;
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float xhat = (x[j] - mu) * inv_std;
-      node->value[i * n + j] = gamma.data()[j] * xhat + beta.data()[j];
+  core::parallel_for(m, kSoftmaxRowGrain, [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t i = r0; i < r1; ++i) {
+      const float* x = a.data().data() + i * n;
+      float mu = 0.0f;
+      for (std::int64_t j = 0; j < n; ++j) mu += x[j];
+      mu /= static_cast<float>(n);
+      float var = 0.0f;
+      for (std::int64_t j = 0; j < n; ++j) var += (x[j] - mu) * (x[j] - mu);
+      var /= static_cast<float>(n);
+      const float inv_std = 1.0f / std::sqrt(var + eps);
+      (*stats)[static_cast<std::size_t>(2 * i)] = mu;
+      (*stats)[static_cast<std::size_t>(2 * i + 1)] = inv_std;
+      for (std::int64_t j = 0; j < n; ++j) {
+        const float xhat = (x[j] - mu) * inv_std;
+        node->value[i * n + j] = gamma.data()[j] * xhat + beta.data()[j];
+      }
     }
-  }
+  });
   if (node->requires_grad) {
     Node* px = a.node().get();
     Node* pg = gamma.node().get();

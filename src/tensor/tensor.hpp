@@ -4,9 +4,12 @@
 // LLM, the multimodal encoders, the networking heads, the LoRA matrices and
 // the learning-based baselines (TRACK / GENET / Decima) are all built from
 // these ops. Design goals, in order: correctness (validated against numeric
-// gradients in tests), determinism (no threading, no platform-dependent
-// reductions), and enough speed for the paper-scale-down models (d_model
-// <= 192, seq <= 128) — a naive O(n^3) matmul at -O2 is plenty.
+// gradients in tests), determinism (threaded kernels partition disjoint
+// output ranges and preserve the per-element accumulation order, so results
+// are bitwise identical for any NETLLM_THREADS — see DESIGN.md §8), and
+// speed: hot kernels (blocked matmuls in tensor/kernels.cpp, large
+// elementwise/row-wise loops) run on core::ThreadPool; small paper-scale
+// tensors stay inline below the grain thresholds.
 //
 // Model: `Tensor` is a cheap value-type handle onto a heap `Node` holding the
 // float buffer, shape, gradient and, for op results, the backward closure and

@@ -1,12 +1,16 @@
-// Unit tests for core utilities: deterministic RNG, statistics, tables.
+// Unit tests for core utilities: deterministic RNG, statistics, tables,
+// timers.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <sstream>
+#include <thread>
 
 #include "core/rng.hpp"
 #include "core/stats.hpp"
 #include "core/table.hpp"
+#include "core/timer.hpp"
 
 namespace nc = netllm::core;
 
@@ -191,4 +195,28 @@ TEST(Table, RendersAlignedAsciiAndCsv) {
 TEST(Table, RejectsArityMismatch) {
   nc::Table t({"a", "b"});
   EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(StopWatch, AccumulatesDisjointIntervals) {
+  nc::StopWatch sw;
+  EXPECT_EQ(sw.total_s(), 0.0);
+  sw.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  sw.stop();
+  EXPECT_GE(sw.total_s(), 0.015);
+  const double after_first = sw.total_s();
+  sw.stop();  // stop while not running is a no-op
+  EXPECT_EQ(sw.total_s(), after_first);
+}
+
+TEST(StopWatch, DoubleStartBanksRunningInterval) {
+  // Regression: start() while running used to discard the in-flight
+  // interval; it must be accumulated into the total instead.
+  nc::StopWatch sw;
+  sw.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  sw.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  sw.stop();
+  EXPECT_GE(sw.total_s(), 0.030);
 }

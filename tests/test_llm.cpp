@@ -39,6 +39,26 @@ TEST(Tokenizer, SpecialTokensFramedCorrectly) {
   EXPECT_EQ(tok.decode(ids), "hi");
 }
 
+TEST(Tokenizer, CharToIdFoldsCaseLikeEncode) {
+  // Regression: char_to_id('A') used to return nullopt while encode("A")
+  // folded to 'a' — the two paths must agree.
+  nl::Tokenizer tok;
+  ASSERT_TRUE(tok.char_to_id('A').has_value());
+  EXPECT_EQ(*tok.char_to_id('A'), *tok.char_to_id('a'));
+  EXPECT_EQ(tok.encode("A")[0], *tok.char_to_id('A'));
+  // Round-trip: the id maps back to the folded character.
+  for (char c : std::string("AzB9 .")) {
+    const auto id = tok.char_to_id(c);
+    ASSERT_TRUE(id.has_value()) << "char " << c;
+    const auto back = tok.id_to_char(*id);
+    ASSERT_TRUE(back.has_value()) << "char " << c;
+    const char folded = (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+    EXPECT_EQ(*back, folded);
+  }
+  // Characters outside the alphabet still report no id.
+  EXPECT_FALSE(tok.char_to_id('\t').has_value());
+}
+
 TEST(Tokenizer, VocabCoversEveryEncodedId) {
   nl::Tokenizer tok;
   auto ids = tok.encode("the quick brown fox 0123456789 .,:;()[]{}<>=+-*/%_#");

@@ -1,6 +1,7 @@
 // Unit tests for tensor forward semantics, optimizers and serialization.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 
@@ -258,6 +259,47 @@ TEST(Optim, AdamFitsLinearRegression) {
   EXPECT_NEAR(w.at(0), 3.0f, 0.05f);
   EXPECT_NEAR(w.at(1), -2.0f, 0.05f);
   EXPECT_NEAR(b.at(0), 1.0f, 0.05f);
+}
+
+TEST(Optim, AdamBiasCorrectionIsDoublePrecision) {
+  // Regression: the corrections were computed with float pow, which drifts
+  // for long runs. Pin the double closed form and its shape.
+  for (const std::int64_t t : {std::int64_t{1}, std::int64_t{10}, std::int64_t{100},
+                               std::int64_t{10000}, std::int64_t{250000}}) {
+    EXPECT_DOUBLE_EQ(nt::adam_bias_correction(0.9, t), 1.0 - std::pow(0.9, double(t)));
+    EXPECT_DOUBLE_EQ(nt::adam_bias_correction(0.999, t), 1.0 - std::pow(0.999, double(t)));
+  }
+  // Strictly positive from the first step and monotone toward 1.
+  double prev = 0.0;
+  for (std::int64_t t = 1; t <= 2000; ++t) {
+    const double bc = nt::adam_bias_correction(0.999, t);
+    EXPECT_GT(bc, 0.0);
+    EXPECT_GT(bc, prev);
+    EXPECT_LE(bc, 1.0);
+    prev = bc;
+  }
+}
+
+TEST(Optim, AdamLongRunMatchesDoubleCorrectedReference) {
+  // 20k steps on one parameter vs a mirror implementation that keeps float
+  // m/v state but double bias corrections — long runs must not drift.
+  auto p = nt::Tensor::from({1.0f}, {1}, true);
+  nt::Adam opt({p}, 1e-3f);
+  p.zero_grad();  // size the grad buffer
+  float m = 0.0f, v = 0.0f;
+  double ref = 1.0;
+  for (std::int64_t t = 1; t <= 20000; ++t) {
+    const float g = std::sin(0.01f * static_cast<float>(t));
+    p.node()->grad[0] = g;
+    opt.step();
+    m = 0.9f * m + 0.1f * g;
+    v = 0.999f * v + 0.001f * g * g;
+    const double bc1 = 1.0 - std::pow(0.9, double(t));
+    const double bc2 = 1.0 - std::pow(0.999, double(t));
+    ref -= 1e-3 * (double(m) / bc1) / (std::sqrt(double(v) / bc2) + 1e-8);
+  }
+  EXPECT_TRUE(std::isfinite(p.at(0)));
+  EXPECT_NEAR(p.at(0), static_cast<float>(ref), 2e-3);
 }
 
 TEST(Optim, ClipGradNormScalesDown) {
