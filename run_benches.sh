@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Regenerates every paper table/figure. Output: bench_output.txt
-# Also emits BENCH_kernels.json: serial vs threaded matmul GFLOP/s rows
-# (google-benchmark JSON; items_per_second == FLOP/s).
+# Also emits BENCH_kernels.json (serial vs threaded matmul GFLOP/s;
+# items_per_second == FLOP/s) and BENCH_session.json (durable-session
+# checkpoint save/restore latency + steps/s at each checkpoint cadence).
 set -euo pipefail
 cd "$(dirname "$0")"
 {
@@ -16,6 +17,10 @@ done
 echo "##### BENCH_kernels.json (serial vs threaded matmul)"
 ./build/bench/bench_microkernels --benchmark_filter='BM_MatmulKernel' \
   --benchmark_out=BENCH_kernels.json --benchmark_out_format=json 2>&1
+echo
+echo "##### BENCH_session.json (checkpoint latency + cadence overhead)"
+./build/bench/bench_session \
+  --benchmark_out=BENCH_session.json --benchmark_out_format=json 2>&1
 echo
 echo "FLEET-DONE"
 } > bench_output.txt 2>&1

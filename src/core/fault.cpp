@@ -60,6 +60,16 @@ void apply_delay(const FaultPlan& plan) {
 
 }  // namespace
 
+std::span<const char* const> sites() {
+  // Sorted. Keep in sync with the hooks in the codebase and with DESIGN.md
+  // ("Fault injection" + "Durable sessions"); test_core enforces both.
+  static constexpr const char* kSites[] = {
+      "adapter.params",  "adapter.step",     "llm.forward",        "serialize.fsync",
+      "serialize.rename", "serialize.write", "session.checkpoint",
+  };
+  return kSites;
+}
+
 void arm(const std::string& site, FaultPlan plan) {
   std::lock_guard<std::mutex> lock(registry_mutex());
   auto [it, inserted] = registry().insert_or_assign(site, SiteState{std::move(plan)});

@@ -24,6 +24,20 @@ void Rng::reseed(std::uint64_t seed) {
   has_cached_gaussian_ = false;
 }
 
+RngState Rng::state() const {
+  RngState st;
+  for (int i = 0; i < 4; ++i) st.s[i] = state_[i];
+  st.has_cached_gaussian = has_cached_gaussian_;
+  st.cached_gaussian = cached_gaussian_;
+  return st;
+}
+
+void Rng::set_state(const RngState& st) {
+  for (int i = 0; i < 4; ++i) state_[i] = st.s[i];
+  has_cached_gaussian_ = st.has_cached_gaussian;
+  cached_gaussian_ = st.cached_gaussian;
+}
+
 std::uint64_t Rng::next_u64() {
   const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
   const std::uint64_t t = state_[1] << 17;

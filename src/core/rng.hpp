@@ -16,11 +16,28 @@
 
 namespace netllm::core {
 
+/// Complete generator state for save/restore. Captures the xoshiro256**
+/// words *and* the cached Box-Muller variate — without the cache a resumed
+/// gaussian stream would diverge from the uninterrupted one by a single
+/// draw, which is exactly the kind of silent nondeterminism durable
+/// training sessions must exclude.
+struct RngState {
+  std::uint64_t s[4]{};
+  bool has_cached_gaussian = false;
+  double cached_gaussian = 0.0;
+};
+
 class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
 
   void reseed(std::uint64_t seed);
+
+  /// Snapshot the full generator state (see RngState).
+  RngState state() const;
+  /// Restore a snapshot: the output stream continues bitwise-identically,
+  /// including a pending cached gaussian.
+  void set_state(const RngState& st);
 
   /// Raw 64 random bits.
   std::uint64_t next_u64();

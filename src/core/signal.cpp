@@ -1,0 +1,48 @@
+#include "core/signal.hpp"
+
+#include <csignal>
+
+#include <atomic>
+
+namespace netllm::core {
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+static_assert(std::atomic<bool>::is_always_lock_free,
+              "stop flag must be lock-free to be async-signal-safe");
+
+extern "C" void netllm_stop_handler(int) { g_stop.store(true, std::memory_order_relaxed); }
+
+struct SavedActions {
+  struct sigaction sigint {};
+  struct sigaction sigterm {};
+};
+
+}  // namespace
+
+bool stop_requested() noexcept { return g_stop.load(std::memory_order_relaxed); }
+
+void request_stop() noexcept { g_stop.store(true, std::memory_order_relaxed); }
+
+void clear_stop() noexcept { g_stop.store(false, std::memory_order_relaxed); }
+
+SignalGuard::SignalGuard() {
+  auto* saved = new SavedActions;
+  struct sigaction sa {};
+  sa.sa_handler = netllm_stop_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;  // do not turn in-flight I/O into EINTR failures
+  ::sigaction(SIGINT, &sa, &saved->sigint);
+  ::sigaction(SIGTERM, &sa, &saved->sigterm);
+  saved_ = saved;
+}
+
+SignalGuard::~SignalGuard() {
+  auto* saved = static_cast<SavedActions*>(saved_);
+  ::sigaction(SIGINT, &saved->sigint, nullptr);
+  ::sigaction(SIGTERM, &saved->sigterm, nullptr);
+  delete saved;
+}
+
+}  // namespace netllm::core

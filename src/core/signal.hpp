@@ -1,0 +1,44 @@
+// Cooperative stop flag for graceful shutdown of long-running loops.
+//
+// A SIGINT/SIGTERM delivered to a process mid-`adapt()` must not tear the
+// run down at an arbitrary instruction: the adaptation loops poll
+// `stop_requested()` once per step and, when set, finish the in-flight
+// step, write a durable checkpoint and return cleanly (see
+// netllm/session.hpp). The handler installed by `SignalGuard` does the only
+// thing that is async-signal-safe here — a relaxed store to a lock-free
+// atomic flag — so it can interrupt any computation, including one inside
+// the thread pool.
+//
+// The flag is process-wide and sticky: once a shutdown was requested, every
+// subsequent session drains immediately until `clear_stop()` is called
+// (tests do; a production process is expected to exit instead).
+#pragma once
+
+namespace netllm::core {
+
+/// True once `request_stop()` ran (from a signal handler or directly).
+bool stop_requested() noexcept;
+
+/// Set the stop flag. Async-signal-safe; also callable from tests/tools.
+void request_stop() noexcept;
+
+/// Reset the flag (tests, or a supervisor that survives the drain).
+void clear_stop() noexcept;
+
+/// RAII installer for SIGINT + SIGTERM handlers that call `request_stop()`.
+/// Restores the previously installed handlers on destruction, so scoping a
+/// guard to one `adapt()` call does not hijack the host application's
+/// signal disposition. Safe to nest.
+class SignalGuard {
+ public:
+  SignalGuard();
+  ~SignalGuard();
+  SignalGuard(const SignalGuard&) = delete;
+  SignalGuard& operator=(const SignalGuard&) = delete;
+
+ private:
+  // Opaque storage for the saved sigaction pair (avoids <csignal> here).
+  void* saved_ = nullptr;
+};
+
+}  // namespace netllm::core

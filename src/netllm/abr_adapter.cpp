@@ -149,7 +149,8 @@ void AbrAdapter::observe_result(const abr::ChunkResult&, double chunk_qoe) {
 }
 
 AbrAdapter::AdaptStats AbrAdapter::adapt(std::span<const AbrTrajectory> pool, int steps,
-                                         float lr, std::uint64_t seed) {
+                                         float lr, std::uint64_t seed,
+                                         const SessionOptions& session) {
   if (pool.empty()) throw std::invalid_argument("AbrAdapter::adapt: empty pool");
   core::Rng rng(seed);
   // Precompute returns-to-go per trajectory and the target return.
@@ -184,13 +185,18 @@ AbrAdapter::AdaptStats AbrAdapter::adapt(std::span<const AbrTrajectory> pool, in
     }
   }
 
-  Adam opt(adapt_parameters(), lr);
+  Adam opt(adapt_parameters(), lr);  // unfreezes the backbone when it trains too
   TrainGuard guard(opt.params());
   AdaptStats stats;
+  TrainSession sess(session, SessionFingerprint{"abr", llm_->config().name, seed, lr, steps},
+                    session_params(*this, cfg_.train_backbone ? llm_.get() : nullptr), opt,
+                    guard);
+  const int start = sess.resume(rng, stats);
+  const double prior_s = stats.seconds;  // wall time from interrupted runs
   core::Timer timer;
   const auto w = static_cast<std::size_t>(cfg_.context_window);
   constexpr int kBatch = 3;  // windows per gradient step
-  for (int step = 0; step < steps; ++step) {
+  for (int step = start; step < steps; ++step) {
     // Linear learning-rate decay to 30% — stabilises the late phase of the
     // offline fit without a separate schedule object.
     opt.set_lr(lr * (1.0f - 0.7f * static_cast<float>(step) / static_cast<float>(steps)));
@@ -229,21 +235,27 @@ AbrAdapter::AdaptStats AbrAdapter::adapt(std::span<const AbrTrajectory> pool, in
       batch_loss += loss.item() / kBatch;
       scale(loss, 1.0f / kBatch).backward();
     }
-    if (!guard.loss_ok(batch_loss) || !guard.grads_ok()) {
+    if (guard.loss_ok(batch_loss) && guard.grads_ok()) {
+      if (step == 0) stats.initial_loss = batch_loss;
+      stats.final_loss = batch_loss;
+      opt.clip_grad_norm(1.0);
+      opt.step();
+      guard.after_step();
+    } else {
       // A poisoned window already backpropagated into the grads — drop the
       // whole accumulated batch rather than stepping on NaNs.
       opt.zero_grad();
-      continue;
     }
-    if (step == 0) stats.initial_loss = batch_loss;
-    stats.final_loss = batch_loss;
-    opt.clip_grad_norm(1.0);
-    opt.step();
-    guard.after_step();
+    stats.seconds = prior_s + timer.elapsed_s();
+    stats.skipped_steps = guard.skipped_steps();
+    stats.restores = guard.restores();
+    if (sess.after_step(step, rng, stats)) break;  // drained on SIGINT/SIGTERM
   }
-  stats.seconds = timer.elapsed_s();
+  stats.seconds = prior_s + timer.elapsed_s();
   stats.skipped_steps = guard.skipped_steps();
   stats.restores = guard.restores();
+  if (!stats.interrupted) sess.finish(steps, rng, stats);
+  stats.checkpoints = sess.checkpoints_written();
   return stats;
 }
 

@@ -21,6 +21,7 @@
 #include "llm/minigpt.hpp"
 #include "netllm/encoders.hpp"
 #include "netllm/heads.hpp"
+#include "netllm/session.hpp"
 #include "nn/module.hpp"
 
 namespace netllm::adapt {
@@ -70,18 +71,13 @@ class AbrAdapter final : public nn::Module, public abr::AbrPolicy {
   int choose_level(const abr::Observation& obs) override;
   void observe_result(const abr::ChunkResult& result, double chunk_qoe) override;
 
-  struct AdaptStats {
-    float initial_loss = 0.0f;
-    float final_loss = 0.0f;
-    double seconds = 0.0;
-    int skipped_steps = 0;  // steps vetoed for non-finite loss/gradients
-    int restores = 0;       // last-good snapshot restores (corrupt params)
-  };
+  using AdaptStats = ::netllm::adapt::AdaptStats;
   /// The Adapt API: offline fine-tuning on the experience pool (Eq. 4).
   /// Resilient to non-finite losses/gradients and parameter corruption
-  /// (see TrainGuard).
+  /// (see TrainGuard). With `session.dir` set the run is durable: periodic
+  /// checkpoints, clean SIGINT/SIGTERM drain, bitwise-identical resume.
   AdaptStats adapt(std::span<const AbrTrajectory> pool, int steps, float lr,
-                   std::uint64_t seed);
+                   std::uint64_t seed, const SessionOptions& session = {});
 
   void collect_params(tensor::NamedParams& out, const std::string& prefix) const override;
 

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <memory>
+#include <stdexcept>
 #include <string>
 
 #include "core/stats.hpp"
@@ -24,6 +25,12 @@ struct AdaptOptions {
   float lr = 1e-3f;
   std::uint64_t seed = 7;
   std::string snapshot_path;  // optional: where to save the adapted weights
+  // Durable-session knobs (see session.hpp): with `session_dir` set the run
+  // checkpoints periodically, drains cleanly on SIGINT/SIGTERM, and `Resume`
+  // continues it bitwise-identically.
+  std::string session_dir;
+  int checkpoint_every = 64;
+  int keep_last = 3;
 };
 
 namespace detail {
@@ -32,6 +39,22 @@ namespace detail {
 /// I/O failure.
 inline void save_snapshot(const nn::Module& adapter, const std::string& path) {
   tensor::save_params_retry(path, adapter.named_parameters());
+}
+
+inline SessionOptions session_options(const AdaptOptions& opts) {
+  return SessionOptions{opts.session_dir, opts.checkpoint_every, opts.keep_last,
+                        /*handle_signals=*/true};
+}
+
+/// Resume requires evidence of an interrupted run: a fresh `Adapt` on a
+/// mistyped directory should not silently train from scratch.
+inline void require_session(const AdaptOptions& opts) {
+  if (opts.session_dir.empty()) {
+    throw std::invalid_argument("Resume: AdaptOptions::session_dir is empty");
+  }
+  if (!TrainSession::latest_step(opts.session_dir)) {
+    throw std::invalid_argument("Resume: no checkpoint found in " + opts.session_dir);
+  }
 }
 }  // namespace detail
 
@@ -42,9 +65,20 @@ inline std::shared_ptr<VpAdapter> Adapt(std::shared_ptr<llm::MiniGpt> llm,
                                         const VpAdapterConfig& cfg, const AdaptOptions& opts,
                                         core::Rng& rng) {
   auto adapter = std::make_shared<VpAdapter>(std::move(llm), cfg, rng);
-  adapter->adapt(dataset, opts.steps, opts.lr, opts.seed);
+  adapter->adapt(dataset, opts.steps, opts.lr, opts.seed, detail::session_options(opts));
   if (!opts.snapshot_path.empty()) detail::save_snapshot(*adapter, opts.snapshot_path);
   return adapter;
+}
+
+/// Continue an interrupted VP adaptation from `opts.session_dir`; throws
+/// std::invalid_argument when the directory holds no checkpoint. The options
+/// must match the interrupted run (fingerprint-checked — see SessionMismatch).
+inline std::shared_ptr<VpAdapter> Resume(std::shared_ptr<llm::MiniGpt> llm,
+                                         std::span<const vp::VpSample> dataset,
+                                         const VpAdapterConfig& cfg, const AdaptOptions& opts,
+                                         core::Rng& rng) {
+  detail::require_session(opts);
+  return Adapt(std::move(llm), dataset, cfg, opts, rng);
 }
 
 /// Mean MAE of any VP predictor on the environments of a Table 2 setting.
@@ -68,9 +102,19 @@ inline std::shared_ptr<AbrAdapter> Adapt(std::shared_ptr<llm::MiniGpt> llm,
                                          const AbrAdapterConfig& cfg, const AdaptOptions& opts,
                                          core::Rng& rng) {
   auto adapter = std::make_shared<AbrAdapter>(std::move(llm), cfg, rng);
-  adapter->adapt(pool, opts.steps, opts.lr, opts.seed);
+  adapter->adapt(pool, opts.steps, opts.lr, opts.seed, detail::session_options(opts));
   if (!opts.snapshot_path.empty()) detail::save_snapshot(*adapter, opts.snapshot_path);
   return adapter;
+}
+
+/// Continue an interrupted ABR adaptation from `opts.session_dir` (see the
+/// VP overload for the contract).
+inline std::shared_ptr<AbrAdapter> Resume(std::shared_ptr<llm::MiniGpt> llm,
+                                          std::span<const AbrTrajectory> pool,
+                                          const AbrAdapterConfig& cfg, const AdaptOptions& opts,
+                                          core::Rng& rng) {
+  detail::require_session(opts);
+  return Adapt(std::move(llm), pool, cfg, opts, rng);
 }
 
 /// Mean QoE of any ABR policy on the environments of a Table 3 setting.
@@ -93,9 +137,19 @@ inline std::shared_ptr<CjsAdapter> Adapt(std::shared_ptr<llm::MiniGpt> llm,
                                          const CjsAdapterConfig& cfg, const AdaptOptions& opts,
                                          core::Rng& rng) {
   auto adapter = std::make_shared<CjsAdapter>(std::move(llm), cfg, rng);
-  adapter->adapt(pool, opts.steps, opts.lr, opts.seed);
+  adapter->adapt(pool, opts.steps, opts.lr, opts.seed, detail::session_options(opts));
   if (!opts.snapshot_path.empty()) detail::save_snapshot(*adapter, opts.snapshot_path);
   return adapter;
+}
+
+/// Continue an interrupted CJS adaptation from `opts.session_dir` (see the
+/// VP overload for the contract).
+inline std::shared_ptr<CjsAdapter> Resume(std::shared_ptr<llm::MiniGpt> llm,
+                                          std::span<const CjsTrajectory> pool,
+                                          const CjsAdapterConfig& cfg, const AdaptOptions& opts,
+                                          core::Rng& rng) {
+  detail::require_session(opts);
+  return Adapt(std::move(llm), pool, cfg, opts, rng);
 }
 
 /// Mean JCT of any scheduler on a Table 4 workload setting.

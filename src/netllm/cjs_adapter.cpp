@@ -117,7 +117,8 @@ cjs::SchedAction CjsAdapter::choose(const cjs::SchedObservation& obs) {
 }
 
 CjsAdapter::AdaptStats CjsAdapter::adapt(std::span<const CjsTrajectory> pool, int steps,
-                                         float lr, std::uint64_t seed) {
+                                         float lr, std::uint64_t seed,
+                                         const SessionOptions& session) {
   if (pool.empty()) throw std::invalid_argument("CjsAdapter::adapt: empty pool");
   core::Rng rng(seed);
   // Returns-to-go per decision; fit the normalisation scale and target.
@@ -159,12 +160,17 @@ CjsAdapter::AdaptStats CjsAdapter::adapt(std::span<const CjsTrajectory> pool, in
     }
   }
 
-  Adam opt(adapt_parameters(), lr);
+  Adam opt(adapt_parameters(), lr);  // unfreezes the backbone when it trains too
   TrainGuard guard(opt.params());
   AdaptStats stats;
+  TrainSession sess(session, SessionFingerprint{"cjs", llm_->config().name, seed, lr, steps},
+                    session_params(*this, cfg_.train_backbone ? llm_.get() : nullptr), opt,
+                    guard);
+  const int start = sess.resume(rng, stats);
+  const double prior_s = stats.seconds;  // wall time from interrupted runs
   core::Timer timer;
   const auto w = static_cast<std::size_t>(cfg_.context_window);
-  for (int step = 0; step < steps; ++step) {
+  for (int step = start; step < steps; ++step) {
     opt.set_lr(lr * (1.0f - 0.7f * static_cast<float>(step) / static_cast<float>(steps)));
     const auto traj_idx = rng.weighted_choice(sample_weights);
     const auto& traj = pool[traj_idx];
@@ -210,21 +216,28 @@ CjsAdapter::AdaptStats CjsAdapter::adapt(std::span<const CjsTrajectory> pool, in
     auto loss = scale(add_n(losses), 1.0f / static_cast<float>(losses.size()));
     core::fault::corrupt("adapter.step", loss.mutable_data());
     const float lv = loss.item();
-    if (!guard.loss_ok(lv)) continue;  // poisoned step: skip before backward
-    if (step == 0) stats.initial_loss = lv;
-    stats.final_loss = lv;
-    loss.backward();
-    if (!guard.grads_ok()) {
-      opt.zero_grad();
-      continue;
+    if (guard.loss_ok(lv)) {
+      if (step == 0) stats.initial_loss = lv;
+      stats.final_loss = lv;
+      loss.backward();
+      if (guard.grads_ok()) {
+        opt.clip_grad_norm(1.0);
+        opt.step();
+        guard.after_step();
+      } else {
+        opt.zero_grad();  // poisoned gradients: drop the step
+      }
     }
-    opt.clip_grad_norm(1.0);
-    opt.step();
-    guard.after_step();
+    stats.seconds = prior_s + timer.elapsed_s();
+    stats.skipped_steps = guard.skipped_steps();
+    stats.restores = guard.restores();
+    if (sess.after_step(step, rng, stats)) break;  // drained on SIGINT/SIGTERM
   }
-  stats.seconds = timer.elapsed_s();
+  stats.seconds = prior_s + timer.elapsed_s();
   stats.skipped_steps = guard.skipped_steps();
   stats.restores = guard.restores();
+  if (!stats.interrupted) sess.finish(steps, rng, stats);
+  stats.checkpoints = sess.checkpoints_written();
   return stats;
 }
 

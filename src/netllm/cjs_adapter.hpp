@@ -19,6 +19,7 @@
 #include "llm/minigpt.hpp"
 #include "netllm/encoders.hpp"
 #include "netllm/heads.hpp"
+#include "netllm/session.hpp"
 #include "nn/module.hpp"
 
 namespace netllm::adapt {
@@ -52,17 +53,13 @@ class CjsAdapter final : public nn::Module, public cjs::SchedPolicy {
   cjs::SchedAction choose(const cjs::SchedObservation& obs) override;
   void observe_reward(double reward) override;
 
-  struct AdaptStats {
-    float initial_loss = 0.0f;
-    float final_loss = 0.0f;
-    double seconds = 0.0;
-    int skipped_steps = 0;  // steps vetoed for non-finite loss/gradients
-    int restores = 0;       // last-good snapshot restores (corrupt params)
-  };
+  using AdaptStats = ::netllm::adapt::AdaptStats;
   /// Offline fine-tuning (Eq. 4). Resilient to non-finite losses/gradients
-  /// and parameter corruption (see TrainGuard).
+  /// and parameter corruption (see TrainGuard). With `session.dir` set the
+  /// run is durable: periodic checkpoints, clean SIGINT/SIGTERM drain,
+  /// bitwise-identical resume.
   AdaptStats adapt(std::span<const CjsTrajectory> pool, int steps, float lr,
-                   std::uint64_t seed);
+                   std::uint64_t seed, const SessionOptions& session = {});
 
   void collect_params(tensor::NamedParams& out, const std::string& prefix) const override;
 

@@ -9,6 +9,8 @@
 // ("adapt.skipped_steps", "adapt.restores") for bench reports.
 #pragma once
 
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "tensor/tensor.hpp"
@@ -38,6 +40,15 @@ class TrainGuard {
 
   int skipped_steps() const { return skipped_; }
   int restores() const { return restores_; }
+
+  /// Append the guard's resume state — last-good snapshot, snapshot cadence
+  /// position, skip/restore counters — to `out`. Durable sessions persist
+  /// this so a resumed run restores corruption to the *same* values an
+  /// uninterrupted run would have.
+  void save_state(std::string& out) const;
+  /// Restore a `save_state` blob; throws std::runtime_error on a truncated
+  /// blob or a parameter-count/size mismatch.
+  void load_state(std::string_view blob);
 
  private:
   void capture();

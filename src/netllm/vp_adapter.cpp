@@ -92,14 +92,20 @@ std::vector<vp::Viewport> VpAdapter::predict(std::span<const vp::Viewport> histo
 }
 
 VpAdapter::AdaptStats VpAdapter::adapt(std::span<const vp::VpSample> dataset, int steps,
-                                       float lr, std::uint64_t seed) {
+                                       float lr, std::uint64_t seed,
+                                       const SessionOptions& session) {
   if (dataset.empty()) throw std::invalid_argument("VpAdapter::adapt: empty dataset");
   core::Rng rng(seed);
-  Adam opt(adapt_parameters(), lr);
+  Adam opt(adapt_parameters(), lr);  // unfreezes the backbone when it trains too
   TrainGuard guard(opt.params());
   AdaptStats stats;
+  TrainSession sess(session, SessionFingerprint{"vp", llm_->config().name, seed, lr, steps},
+                    session_params(*this, cfg_.train_backbone ? llm_.get() : nullptr), opt,
+                    guard);
+  const int start = sess.resume(rng, stats);
+  const double prior_s = stats.seconds;  // wall time from interrupted runs
   core::Timer timer;
-  for (int step = 0; step < steps; ++step) {
+  for (int step = start; step < steps; ++step) {
     opt.set_lr(lr * (1.0f - 0.7f * static_cast<float>(step) / static_cast<float>(steps)));
     const auto& sample =
         dataset[static_cast<std::size_t>(rng.randint(0, static_cast<std::int64_t>(dataset.size()) - 1))];
@@ -107,21 +113,28 @@ VpAdapter::AdaptStats VpAdapter::adapt(std::span<const vp::VpSample> dataset, in
     auto l = loss(sample);
     core::fault::corrupt("adapter.step", l.mutable_data());
     const float lv = l.item();
-    if (!guard.loss_ok(lv)) continue;  // poisoned step: skip before backward
-    if (step == 0) stats.initial_loss = lv;
-    stats.final_loss = lv;
-    l.backward();
-    if (!guard.grads_ok()) {
-      opt.zero_grad();
-      continue;
+    if (guard.loss_ok(lv)) {
+      if (step == 0) stats.initial_loss = lv;
+      stats.final_loss = lv;
+      l.backward();
+      if (guard.grads_ok()) {
+        opt.clip_grad_norm(1.0);
+        opt.step();
+        guard.after_step();
+      } else {
+        opt.zero_grad();  // poisoned gradients: drop the step
+      }
     }
-    opt.clip_grad_norm(1.0);
-    opt.step();
-    guard.after_step();
+    stats.seconds = prior_s + timer.elapsed_s();
+    stats.skipped_steps = guard.skipped_steps();
+    stats.restores = guard.restores();
+    if (sess.after_step(step, rng, stats)) break;  // drained on SIGINT/SIGTERM
   }
-  stats.seconds = timer.elapsed_s();
+  stats.seconds = prior_s + timer.elapsed_s();
   stats.skipped_steps = guard.skipped_steps();
   stats.restores = guard.restores();
+  if (!stats.interrupted) sess.finish(steps, rng, stats);
+  stats.checkpoints = sess.checkpoints_written();
   return stats;
 }
 

@@ -16,6 +16,7 @@
 #include "llm/minigpt.hpp"
 #include "netllm/encoders.hpp"
 #include "netllm/heads.hpp"
+#include "netllm/session.hpp"
 #include "nn/module.hpp"
 
 namespace netllm::adapt {
@@ -47,19 +48,16 @@ class VpAdapter final : public nn::Module, public vp::VpPredictor {
   /// Teacher-forced SL loss for one sample (Eq. 1 with MSE).
   tensor::Tensor loss(const vp::VpSample& sample) const;
 
-  struct AdaptStats {
-    float initial_loss = 0.0f;
-    float final_loss = 0.0f;
-    double seconds = 0.0;
-    int skipped_steps = 0;  // steps vetoed for non-finite loss/gradients
-    int restores = 0;       // last-good snapshot restores (corrupt params)
-  };
+  using AdaptStats = ::netllm::adapt::AdaptStats;
   /// The `Adapt` API (Fig. 9): fine-tune encoder + head + LoRA over the
   /// dataset; the LLM backbone stays frozen throughout. Resilient to
   /// non-finite losses/gradients (poisoned steps are skipped) and to
   /// parameter corruption (restored from a periodic in-memory snapshot).
+  /// With `session.dir` set the run is durable: it checkpoints periodically,
+  /// drains cleanly on SIGINT/SIGTERM, and resumes bitwise-identically (see
+  /// session.hpp).
   AdaptStats adapt(std::span<const vp::VpSample> dataset, int steps, float lr,
-                   std::uint64_t seed);
+                   std::uint64_t seed, const SessionOptions& session = {});
 
   /// Trainable parameters only (encoder + head + LoRA). The frozen backbone
   /// is intentionally excluded so snapshots are per-task adaptation deltas.

@@ -1,8 +1,95 @@
 #include "tensor/optim.hpp"
 
 #include <cmath>
+#include <cstring>
+#include <stdexcept>
 
 namespace netllm::tensor {
+
+namespace {
+
+template <typename T>
+void append_pod(std::string& buf, const T& v) {
+  buf.append(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+/// Bounds-checked cursor over a state blob; running past the end means the
+/// blob was truncated or produced by an incompatible writer.
+class BlobReader {
+ public:
+  BlobReader(std::string_view blob, const char* who) : blob_(blob), who_(who) {}
+
+  template <typename T>
+  T pod() {
+    T v{};
+    take(sizeof(T), &v);
+    return v;
+  }
+
+  void floats(std::span<float> dst) { take(dst.size() * sizeof(float), dst.data()); }
+
+  void expect_tag(const char (&tag)[5]) {
+    char got[4];
+    take(sizeof(got), got);
+    if (std::memcmp(got, tag, 4) != 0) {
+      throw std::runtime_error(std::string(who_) +
+                               ": state blob was written by a different optimizer kind");
+    }
+  }
+
+  void expect_done() const {
+    if (pos_ != blob_.size()) {
+      throw std::runtime_error(std::string(who_) + ": trailing bytes in state blob");
+    }
+  }
+
+ private:
+  void take(std::size_t len, void* dst) {
+    if (len > blob_.size() - pos_) {
+      throw std::runtime_error(std::string(who_) + ": truncated state blob");
+    }
+    std::memcpy(dst, blob_.data() + pos_, len);
+    pos_ += len;
+  }
+
+  std::string_view blob_;
+  std::size_t pos_ = 0;
+  const char* who_;
+};
+
+/// Shared header: per-parameter element counts. Reading it validates the
+/// blob against the live parameter list and names the first offender.
+void write_header(std::string& out, const char (&tag)[5], const std::vector<Tensor>& params) {
+  out.append(tag, 4);
+  append_pod(out, static_cast<std::uint64_t>(params.size()));
+  for (const auto& p : params) append_pod(out, static_cast<std::int64_t>(p.numel()));
+}
+
+void read_header(BlobReader& r, const char (&tag)[5], const std::vector<Tensor>& params,
+                 std::span<const std::string> names, const char* who) {
+  r.expect_tag(tag);
+  const auto count = r.pod<std::uint64_t>();
+  if (count != params.size()) {
+    throw std::runtime_error(std::string(who) + ": state has " + std::to_string(count) +
+                             " parameters, optimizer has " + std::to_string(params.size()));
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const auto numel = r.pod<std::int64_t>();
+    if (numel != params[i].numel()) {
+      throw std::runtime_error(std::string(who) + ": parameter '" +
+                               Optimizer::param_label(names, i) + "' has " +
+                               std::to_string(numel) + " scalars in the saved state but " +
+                               std::to_string(params[i].numel()) + " in the model");
+    }
+  }
+}
+
+}  // namespace
+
+std::string Optimizer::param_label(std::span<const std::string> names, std::size_t i) {
+  if (i < names.size()) return names[i];
+  return "param[" + std::to_string(i) + "]";
+}
 
 void Optimizer::zero_grad() {
   for (auto& p : params_) p.zero_grad();
@@ -79,6 +166,42 @@ void Adam::step() {
       value[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
     }
   }
+}
+
+void Sgd::save_state(std::string& out) const { write_header(out, "sgd1", params_); }
+
+void Sgd::load_state(std::string_view blob, std::span<const std::string> param_names) {
+  BlobReader r(blob, "Sgd::load_state");
+  read_header(r, "sgd1", params_, param_names, "Sgd::load_state");
+  r.expect_done();  // SGD is stateless beyond the parameters themselves
+}
+
+void Adam::save_state(std::string& out) const {
+  write_header(out, "adm1", params_);
+  append_pod(out, t_);
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    out.append(reinterpret_cast<const char*>(m_[k].data()), m_[k].size() * sizeof(float));
+    out.append(reinterpret_cast<const char*>(v_[k].data()), v_[k].size() * sizeof(float));
+  }
+}
+
+void Adam::load_state(std::string_view blob, std::span<const std::string> param_names) {
+  BlobReader r(blob, "Adam::load_state");
+  read_header(r, "adm1", params_, param_names, "Adam::load_state");
+  const auto t = r.pod<std::int64_t>();
+  // Read into fresh buffers first so a truncated blob cannot leave the
+  // moments half-overwritten.
+  std::vector<std::vector<float>> m(params_.size()), v(params_.size());
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    m[k].resize(static_cast<std::size_t>(params_[k].numel()));
+    v[k].resize(static_cast<std::size_t>(params_[k].numel()));
+    r.floats(m[k]);
+    r.floats(v[k]);
+  }
+  r.expect_done();
+  t_ = t;
+  m_ = std::move(m);
+  v_ = std::move(v);
 }
 
 std::int64_t Adam::state_bytes() const {

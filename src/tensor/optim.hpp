@@ -3,6 +3,8 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "tensor/tensor.hpp"
@@ -30,6 +32,23 @@ class Optimizer {
   /// Bytes held by this optimizer's state (e.g. Adam moments).
   virtual std::int64_t state_bytes() const = 0;
 
+  /// Append the optimizer's complete resume state (kind tag, per-parameter
+  /// sizes, step count, moment buffers) to `out` as an opaque byte blob.
+  /// Every Optimizer implements the pair — an optimizer without it would
+  /// silently resume durable sessions with fresh moments, which breaks the
+  /// bitwise kill/resume equivalence the session layer guarantees.
+  virtual void save_state(std::string& out) const = 0;
+
+  /// Restore a `save_state` blob. Throws std::runtime_error when the blob
+  /// was produced by a different optimizer kind or when any parameter's
+  /// element count differs — the offender is named via `param_names[i]`
+  /// when provided (falling back to "param[i]").
+  virtual void load_state(std::string_view blob,
+                          std::span<const std::string> param_names = {}) = 0;
+
+  /// Name for error messages: `param_names[i]` or "param[i]".
+  static std::string param_label(std::span<const std::string> names, std::size_t i);
+
  protected:
   std::vector<Tensor> params_;
 };
@@ -39,6 +58,9 @@ class Sgd final : public Optimizer {
   Sgd(std::vector<Tensor> params, float lr) : Optimizer(std::move(params)), lr_(lr) {}
   void step() override;
   std::int64_t state_bytes() const override { return 0; }
+  void save_state(std::string& out) const override;
+  void load_state(std::string_view blob,
+                  std::span<const std::string> param_names = {}) override;
 
  private:
   float lr_;
@@ -55,8 +77,12 @@ class Adam final : public Optimizer {
        float eps = 1e-8f, float weight_decay = 0.0f);
   void step() override;
   std::int64_t state_bytes() const override;
+  void save_state(std::string& out) const override;
+  void load_state(std::string_view blob,
+                  std::span<const std::string> param_names = {}) override;
   void set_lr(float lr) { lr_ = lr; }
   float lr() const { return lr_; }
+  std::int64_t step_count() const { return t_; }
 
  private:
   float lr_, beta1_, beta2_, eps_, weight_decay_;

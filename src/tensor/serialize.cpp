@@ -22,7 +22,8 @@ namespace netllm::tensor {
 namespace {
 
 constexpr char kMagic[4] = {'N', 'L', 'L', 'M'};
-constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kVersion = 2;         // plain weight snapshots
+constexpr std::uint32_t kSessionVersion = 3;  // weights + session sections
 constexpr std::uint32_t kMaxRank = 16;  // sanity bound while parsing
 
 template <typename T>
@@ -104,17 +105,19 @@ std::string LoadReport::summary() const {
   if (!missing.empty()) s += "; missing: " + join_names(missing);
   if (!mismatched.empty()) s += "; shape mismatch: " + join_names(mismatched);
   if (!extra.empty()) s += "; extra (ignored): " + join_names(extra);
+  if (!sections.empty()) s += "; session sections: " + join_names(sections);
   return s;
 }
 
-void save_params(const std::string& path, const NamedParams& params) {
-  reject_duplicates(params, "save_params");
+namespace {
 
-  // Serialise the whole container in memory first: the CRC footer needs the
-  // final image, and a single write keeps the atomic-rename story simple.
+/// Serialise the whole container in memory first: the CRC footer needs the
+/// final image, and a single write keeps the atomic-rename story simple.
+/// v2 image (no sections) or v3 session record (with sections).
+std::string build_image(const NamedParams& params, const SessionSections* sections) {
   std::string buf;
   buf.append(kMagic, sizeof(kMagic));
-  append_pod(buf, kVersion);
+  append_pod(buf, sections ? kSessionVersion : kVersion);
   append_pod(buf, static_cast<std::uint32_t>(params.size()));
   for (const auto& [name, t] : params) {
     append_pod(buf, static_cast<std::uint32_t>(name.size()));
@@ -125,8 +128,21 @@ void save_params(const std::string& path, const NamedParams& params) {
     append_pod(buf, core::crc32(t.data().data(), payload_bytes));
     buf.append(reinterpret_cast<const char*>(t.data().data()), payload_bytes);
   }
+  if (sections) {
+    append_pod(buf, static_cast<std::uint32_t>(sections->size()));
+    for (const auto& [name, blob] : *sections) {
+      append_pod(buf, static_cast<std::uint32_t>(name.size()));
+      buf.append(name.data(), name.size());
+      append_pod(buf, core::crc32(blob.data(), blob.size()));
+      append_pod(buf, static_cast<std::uint64_t>(blob.size()));
+      buf.append(blob.data(), blob.size());
+    }
+  }
   append_pod(buf, core::crc32(buf.data(), buf.size()));
+  return buf;
+}
 
+void write_image_atomic(const std::string& path, const std::string& buf) {
   // Atomic write: tmp file, fsync, rename. A crash (or injected fault) at
   // any point leaves the previous snapshot at `path` untouched; the torn
   // tmp file is unlinked so failed saves do not accumulate.
@@ -164,6 +180,19 @@ void save_params(const std::string& path, const NamedParams& params) {
   }
 }
 
+}  // namespace
+
+void save_params(const std::string& path, const NamedParams& params) {
+  reject_duplicates(params, "save_params");
+  write_image_atomic(path, build_image(params, nullptr));
+}
+
+void save_session(const std::string& path, const NamedParams& params,
+                  const SessionSections& sections) {
+  reject_duplicates(params, "save_session");
+  write_image_atomic(path, build_image(params, &sections));
+}
+
 void save_params_retry(const std::string& path, const NamedParams& params,
                        const SaveRetryOptions& opts) {
   int backoff_ms = opts.initial_backoff_ms;
@@ -179,7 +208,8 @@ void save_params_retry(const std::string& path, const NamedParams& params,
   }
 }
 
-LoadReport load_params_report(const std::string& path, const NamedParams& params) {
+LoadReport load_params_report(const std::string& path, const NamedParams& params,
+                              SessionSections* sections_out) {
   reject_duplicates(params, "load_params");
 
   std::ifstream is(path, std::ios::binary);
@@ -193,10 +223,11 @@ LoadReport load_params_report(const std::string& path, const NamedParams& params
     throw std::runtime_error("load_params: bad magic in " + path);
   }
   const auto version = r.pod<std::uint32_t>();
-  if (version != 1 && version != kVersion) {
+  if (version != 1 && version != kVersion && version != kSessionVersion) {
     throw std::runtime_error("load_params: unsupported version " + std::to_string(version) +
                              " in " + path);
   }
+  if (sections_out) sections_out->clear();
   if (version >= 2) {
     // Whole-file integrity first: catches corruption in headers and names,
     // where per-tensor CRCs cannot reach.
@@ -264,6 +295,33 @@ LoadReport load_params_report(const std::string& path, const NamedParams& params
     std::copy(data.begin(), data.end(), dst.begin());
     matched.insert(name);
     ++report.loaded;
+  }
+  if (version >= 3) {
+    // Session sections: named opaque blobs, each with its own CRC so a
+    // damaged section is attributed by name like a damaged tensor.
+    std::unordered_set<std::string> seen_sections;
+    const auto section_count = r.pod<std::uint32_t>();
+    for (std::uint32_t i = 0; i < section_count; ++i) {
+      const auto name_len = r.pod<std::uint32_t>();
+      std::string name = r.str(name_len);
+      if (!seen_sections.insert(name).second) {
+        throw std::runtime_error("load_params: duplicate session section '" + name + "' in " +
+                                 path);
+      }
+      const auto stored_crc = r.pod<std::uint32_t>();
+      const auto blob_len = r.pod<std::uint64_t>();
+      if (blob_len > r.remaining()) {
+        throw std::runtime_error("load_params: truncated session section '" + name + "' in " +
+                                 path);
+      }
+      std::string blob = r.str(static_cast<std::size_t>(blob_len));
+      if (core::crc32(blob.data(), blob.size()) != stored_crc) {
+        throw std::runtime_error("load_params: checksum mismatch for session section '" + name +
+                                 "' in " + path);
+      }
+      report.sections.push_back(name);
+      if (sections_out) sections_out->emplace_back(std::move(name), std::move(blob));
+    }
   }
   for (const auto& [name, t] : params) {
     if (!matched.contains(name)) {

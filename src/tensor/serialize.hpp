@@ -1,6 +1,7 @@
 // Named-parameter snapshots: save/load a model's weights to a simple binary
-// container. Used by the `Adapt` API to return LLM snapshots (Fig. 9) and by
-// the benches to reuse trained baselines across experiments.
+// container. Used by the `Adapt` API to return LLM snapshots (Fig. 9), by
+// the benches to reuse trained baselines across experiments, and by the
+// durable-session layer (netllm/session.hpp) as the checkpoint format.
 //
 // Container format v2 (little-endian):
 //   magic "NLLM" | u32 version=2 | u32 count |
@@ -9,12 +10,22 @@
 //                       | f32 data[numel]
 //   footer: u32 file_crc — CRC-32 of every byte before the footer
 //
-// v1 (legacy: no checksums, no footer) is still readable. Saves are atomic:
-// the container is written to `path + ".tmp"`, fsync'd, then renamed over
-// `path`, so an interrupted save leaves the previous snapshot intact. A
-// corrupted container (bit flip, truncation) is always rejected at load —
-// per-tensor CRCs name the damaged tensor; the file CRC catches everything
-// else.
+// Format v3 ("session record") appends named opaque sections between the
+// tensors and the footer — optimizer moments, RNG stream state, loop
+// counters — so one atomic file captures everything a killed `adapt()` run
+// needs to continue bitwise-identically:
+//   ... tensors as v2 ... |
+//   u32 section_count |
+//   repeat: u32 name_len | name bytes | u32 blob_crc | u64 blob_len | blob |
+//   footer: u32 file_crc
+//
+// v1 (legacy: no checksums, no footer) is still readable, and v1/v2 files
+// load under the v3 reader as weights-only — `LoadReport::sections` stays
+// empty instead of erroring. Saves are atomic: the container is written to
+// `path + ".tmp"`, fsync'd, then renamed over `path`, so an interrupted
+// save leaves the previous snapshot intact. A corrupted container (bit
+// flip, truncation) is always rejected at load — per-tensor and per-section
+// CRCs name the damaged entry; the file CRC catches everything else.
 #pragma once
 
 #include <string>
@@ -27,11 +38,20 @@ namespace netllm::tensor {
 
 using NamedParams = std::vector<std::pair<std::string, Tensor>>;
 
+/// Named opaque byte blobs carried by a v3 session record alongside the
+/// tensors (e.g. "optimizer", "rng", "loop").
+using SessionSections = std::vector<std::pair<std::string, std::string>>;
+
 /// Atomically writes a v2 container. Throws std::runtime_error on I/O
 /// failure or duplicate names in `params`.
 /// Fault-injection sites: "serialize.write", "serialize.fsync",
 /// "serialize.rename".
 void save_params(const std::string& path, const NamedParams& params);
+
+/// Atomically writes a v3 session record: `params` plus the given sections.
+/// Same error contract and fault sites as `save_params`.
+void save_session(const std::string& path, const NamedParams& params,
+                  const SessionSections& sections);
 
 struct SaveRetryOptions {
   int attempts = 4;             // total tries, including the first
@@ -54,10 +74,15 @@ struct LoadReport {
   std::vector<std::string> missing;     // wanted by `params`, absent from file
   std::vector<std::string> extra;       // in file, not wanted by `params`
   std::vector<std::string> mismatched;  // name matched but shapes differ
+  std::vector<std::string> sections;    // session section names present (v3)
 
   /// Extra entries are tolerated (partial snapshots compose); missing or
   /// shape-mismatched parameters are not.
   bool ok() const { return missing.empty() && mismatched.empty(); }
+  /// True when the file carried session sections (v3 record). v1/v2 weight
+  /// snapshots simply report false — absent sections are flagged, not an
+  /// error, so old files keep loading as weights-only.
+  bool has_session() const { return !sections.empty(); }
   /// One-line human-readable digest for error messages and logs.
   std::string summary() const;
 };
@@ -65,8 +90,10 @@ struct LoadReport {
 /// Verifies the container (magic, version, CRCs, bounds) and copies every
 /// name-and-shape-matched tensor into `params`. Throws std::runtime_error on
 /// corruption or duplicate names; records missing/extra/mismatched names in
-/// the returned report instead of throwing.
-LoadReport load_params_report(const std::string& path, const NamedParams& params);
+/// the returned report instead of throwing. When `sections_out` is non-null
+/// it receives the v3 session sections (cleared for v1/v2 files).
+LoadReport load_params_report(const std::string& path, const NamedParams& params,
+                              SessionSections* sections_out = nullptr);
 
 /// Strict variant: additionally throws (naming the offenders) unless the
 /// report is `ok()`. Loads values *into* the given tensors.

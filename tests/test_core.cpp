@@ -4,10 +4,17 @@
 
 #include <chrono>
 #include <cmath>
+#include <csignal>
+#include <fstream>
+#include <regex>
+#include <set>
 #include <sstream>
+#include <string>
 #include <thread>
 
+#include "core/fault.hpp"
 #include "core/rng.hpp"
+#include "core/signal.hpp"
 #include "core/stats.hpp"
 #include "core/table.hpp"
 #include "core/timer.hpp"
@@ -219,4 +226,101 @@ TEST(StopWatch, DoubleStartBanksRunningInterval) {
   std::this_thread::sleep_for(std::chrono::milliseconds(20));
   sw.stop();
   EXPECT_GE(sw.total_s(), 0.030);
+}
+
+// ---- Rng state round trips (durable-session satellite) ----
+
+TEST(Rng, StateRoundTripResumesStreamBitwise) {
+  nc::Rng rng(123);
+  for (int i = 0; i < 17; ++i) rng.next_u64();  // advance into the stream
+  const auto st = rng.state();
+  nc::Rng other(999);  // different seed: state must fully overwrite it
+  other.set_state(st);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(rng.next_u64(), other.next_u64());
+    EXPECT_EQ(rng.randint(0, 1000), other.randint(0, 1000));
+    EXPECT_EQ(rng.uniform(-1.0, 1.0), other.uniform(-1.0, 1.0));
+  }
+}
+
+TEST(Rng, StateRoundTripPreservesCachedGaussian) {
+  nc::Rng rng(7);
+  // Box-Muller draws two variates per transform and caches the second. An
+  // odd number of draws leaves one cached — a resumed stream must emit it
+  // next, or gaussian consumers diverge by exactly one draw after restore.
+  (void)rng.gaussian();
+  const auto st = rng.state();
+  EXPECT_TRUE(st.has_cached_gaussian);
+  nc::Rng other(8);
+  other.set_state(st);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(rng.gaussian(), other.gaussian());
+}
+
+TEST(Rng, StateWithoutCachedGaussianRestoresCleanly) {
+  nc::Rng rng(7);
+  (void)rng.gaussian();
+  (void)rng.gaussian();  // even count: cache drained
+  const auto st = rng.state();
+  EXPECT_FALSE(st.has_cached_gaussian);
+  nc::Rng other(9);
+  other.set_state(st);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(rng.gaussian(), other.gaussian());
+}
+
+// ---- Stop flag & signal guard (durable-session satellite) ----
+
+TEST(Signal, StopFlagIsStickyUntilCleared) {
+  nc::clear_stop();
+  EXPECT_FALSE(nc::stop_requested());
+  nc::request_stop();
+  EXPECT_TRUE(nc::stop_requested());
+  EXPECT_TRUE(nc::stop_requested());  // sticky: reads do not consume it
+  nc::clear_stop();
+  EXPECT_FALSE(nc::stop_requested());
+}
+
+TEST(Signal, GuardRoutesSigtermToStopFlag) {
+  nc::clear_stop();
+  {
+    nc::SignalGuard guard;
+    EXPECT_FALSE(nc::stop_requested());
+    std::raise(SIGTERM);
+    EXPECT_TRUE(nc::stop_requested());
+  }
+  // The guard restored the previous disposition; the flag itself persists
+  // until explicitly cleared so a drain in progress still sees it.
+  EXPECT_TRUE(nc::stop_requested());
+  nc::clear_stop();
+}
+
+TEST(Signal, GuardRoutesSigintToStopFlag) {
+  nc::clear_stop();
+  nc::SignalGuard guard;
+  std::raise(SIGINT);
+  EXPECT_TRUE(nc::stop_requested());
+  nc::clear_stop();
+}
+
+// ---- Fault-site enumeration vs DESIGN.md (durable-session satellite) ----
+
+TEST(Fault, SitesEnumerationMatchesDesignDoc) {
+  std::set<std::string> code_sites;
+  for (const char* s : nc::fault::sites()) code_sites.insert(s);
+  ASSERT_FALSE(code_sites.empty());
+
+  std::ifstream is(std::string(NETLLM_SOURCE_DIR) + "/DESIGN.md");
+  ASSERT_TRUE(is.good()) << "DESIGN.md not found under NETLLM_SOURCE_DIR";
+  const std::string doc((std::istreambuf_iterator<char>(is)),
+                        std::istreambuf_iterator<char>());
+  // Sites are documented as `"<component>.<point>"` (backtick-quoted); that
+  // spelling is reserved for fault sites in DESIGN.md.
+  std::set<std::string> doc_sites;
+  const std::regex pat("`\"([a-z_]+\\.[a-z_]+)\"`");
+  for (auto it = std::sregex_iterator(doc.begin(), doc.end(), pat);
+       it != std::sregex_iterator(); ++it) {
+    doc_sites.insert((*it)[1].str());
+  }
+  // Both directions: every documented site must exist in the registry, and
+  // every registered site must be documented.
+  EXPECT_EQ(doc_sites, code_sites);
 }

@@ -282,3 +282,92 @@ TEST_F(SerializeFaults, SaveRetryGivesUpAndRethrows) {
   fault::disarm_all();
   std::filesystem::remove(path.string() + ".tmp");
 }
+
+// ---- v3 session records (durable-session satellite) ----
+
+TEST_F(SerializeFaults, V3SessionRoundTripCarriesSections) {
+  const auto path = tmp_path("netllm_v3_roundtrip.bin");
+  Rng rng(4);
+  auto w = nt::Tensor::randn({3, 3}, rng, 1.0f, true);
+  const nt::SessionSections sections = {{"fingerprint", "task=vp;seed=7"},
+                                        {"rng", std::string("\x01\x02\x00\x7f", 4)}};
+  nt::save_session(path.string(), {{"w", w}}, sections);
+
+  auto w2 = nt::Tensor::zeros({3, 3}, true);
+  nt::SessionSections loaded;
+  const auto report = nt::load_params_report(path.string(), {{"w", w2}}, &loaded);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.version, 3u);
+  EXPECT_TRUE(report.has_session());
+  ASSERT_EQ(report.sections.size(), 2u);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].first, "fingerprint");
+  EXPECT_EQ(loaded[0].second, "task=vp;seed=7");
+  EXPECT_EQ(loaded[1].first, "rng");
+  EXPECT_EQ(loaded[1].second, std::string("\x01\x02\x00\x7f", 4));
+  for (std::int64_t i = 0; i < w.numel(); ++i) EXPECT_EQ(w2.data()[i], w.data()[i]);
+  EXPECT_NE(report.summary().find("session sections"), std::string::npos);
+}
+
+TEST_F(SerializeFaults, V3SectionBitFlipNamesTheSection) {
+  const auto path = tmp_path("netllm_v3_secflip.bin");
+  auto w = nt::Tensor::from({1.0f}, {1}, true);
+  const std::string payload = "SECTION-PAYLOAD-0123456789";
+  nt::save_session(path.string(), {{"w", w}}, {{"optimizer", payload}});
+
+  std::string image = read_file(path);
+  const auto off = image.find(payload);
+  ASSERT_NE(off, std::string::npos);
+  image[off + 3] ^= 0x10;  // flip a bit inside the section blob...
+  // ...and re-stamp the file CRC so only the per-section CRC can catch it.
+  const std::size_t body = image.size() - sizeof(std::uint32_t);
+  const std::uint32_t crc = netllm::core::crc32(image.data(), body);
+  std::memcpy(image.data() + body, &crc, sizeof(crc));
+  write_file(path, image);
+
+  nt::SessionSections loaded;
+  try {
+    (void)nt::load_params_report(path.string(), {{"w", w}}, &loaded);
+    FAIL() << "expected checksum mismatch";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("optimizer"), std::string::npos) << e.what();
+  }
+}
+
+TEST_F(SerializeFaults, V1LoadsUnderV3ReaderWithoutSessionSections) {
+  const auto path = tmp_path("netllm_v1_under_v3.bin");
+  write_file(path, v1_container({{"w", {1.5f, -2.0f, 0.25f}}}));
+  auto w = nt::Tensor::zeros({3}, true);
+  nt::SessionSections loaded = {{"stale", "junk"}};  // must be cleared
+  const auto report = nt::load_params_report(path.string(), {{"w", w}}, &loaded);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.version, 1u);
+  EXPECT_FALSE(report.has_session());
+  EXPECT_TRUE(report.sections.empty());
+  EXPECT_TRUE(loaded.empty());
+  EXPECT_EQ(w.at(0), 1.5f);
+}
+
+TEST_F(SerializeFaults, V2LoadsUnderV3ReaderWithoutSessionSections) {
+  const auto path = tmp_path("netllm_v2_under_v3.bin");
+  auto w = nt::Tensor::from({2.0f, 4.0f}, {2}, true);
+  nt::save_params(path.string(), {{"w", w}});  // plain snapshots stay v2
+  auto w2 = nt::Tensor::zeros({2}, true);
+  nt::SessionSections loaded = {{"stale", "junk"}};
+  const auto report = nt::load_params_report(path.string(), {{"w", w2}}, &loaded);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.version, 2u);
+  EXPECT_FALSE(report.has_session());
+  EXPECT_TRUE(loaded.empty());
+  EXPECT_EQ(w2.at(1), 4.0f);
+}
+
+TEST_F(SerializeFaults, V3TruncatedSectionRejected) {
+  const auto path = tmp_path("netllm_v3_trunc.bin");
+  auto w = nt::Tensor::from({1.0f}, {1}, true);
+  nt::save_session(path.string(), {{"w", w}}, {{"rng", std::string(64, 'r')}});
+  const std::string image = read_file(path);
+  write_file(path, image.substr(0, image.size() - 20));  // cut into the section
+  EXPECT_THROW((void)nt::load_params_report(path.string(), {{"w", w}}, nullptr),
+               std::runtime_error);
+}

@@ -368,3 +368,94 @@ TEST(Memory, InstrumentationTracksAllocations) {
     EXPECT_GE(nt::peak_float_count(), before + 1000);
   }
 }
+
+// ---- Optimizer state round trips (durable-session satellite) ----
+
+namespace {
+
+/// One noisy quadratic-descent step shared by the resume-equivalence tests.
+void noisy_quadratic_step(nt::Adam& opt, nt::Tensor& x, int t) {
+  opt.zero_grad();
+  auto loss = nt::mul(x, x);
+  loss.backward();
+  x.node()->grad[0] += 0.1f * std::sin(0.37f * static_cast<float>(t));
+  opt.step();
+}
+
+}  // namespace
+
+TEST(Optim, SgdStateRoundTrips) {
+  auto x = nt::Tensor::from({5.0f}, {1}, true);
+  nt::Sgd opt({x}, 0.1f);
+  std::string blob;
+  opt.save_state(blob);
+  EXPECT_FALSE(blob.empty());  // tagged header even though SGD is stateless
+  nt::Sgd other({x}, 0.1f);
+  EXPECT_NO_THROW(other.load_state(blob));
+}
+
+TEST(Optim, SgdRejectsAdamState) {
+  auto x = nt::Tensor::from({5.0f}, {1}, true);
+  nt::Adam adam({x}, 0.1f);
+  std::string blob;
+  adam.save_state(blob);
+  nt::Sgd sgd({x}, 0.1f);
+  EXPECT_THROW(sgd.load_state(blob), std::runtime_error);
+}
+
+TEST(Optim, AdamStateRoundTripResumesBitwise) {
+  // adapt(2N) ≡ adapt(N) -> save -> restore -> adapt(N), at the optimizer
+  // level: moments and step count must survive the round trip exactly.
+  auto a = nt::Tensor::from({4.0f}, {1}, true);
+  nt::Adam ref({a}, 0.05f);
+  for (int t = 0; t < 40; ++t) noisy_quadratic_step(ref, a, t);
+
+  auto b = nt::Tensor::from({4.0f}, {1}, true);
+  nt::Adam first({b}, 0.05f);
+  for (int t = 0; t < 20; ++t) noisy_quadratic_step(first, b, t);
+  std::string blob;
+  first.save_state(blob);
+  const float mid = b.at(0);
+
+  auto c = nt::Tensor::from({mid}, {1}, true);
+  nt::Adam second({c}, 0.05f);
+  second.load_state(blob);
+  EXPECT_EQ(second.step_count(), 20);
+  for (int t = 20; t < 40; ++t) noisy_quadratic_step(second, c, t);
+
+  // Bitwise, not approximate: a fresh-moment resume would only be close.
+  EXPECT_EQ(a.at(0), c.at(0));
+}
+
+TEST(Optim, AdamLoadStateNamesOffendingParam) {
+  auto a = nt::Tensor::zeros({2}, true);
+  auto b = nt::Tensor::zeros({3}, true);
+  nt::Adam src({a, b}, 1e-3f);
+  std::string blob;
+  src.save_state(blob);
+
+  auto a2 = nt::Tensor::zeros({2}, true);
+  auto b2 = nt::Tensor::zeros({4}, true);  // wrong size
+  nt::Adam dst({a2, b2}, 1e-3f);
+  const std::string names[] = {"enc.w", "head.w"};
+  try {
+    dst.load_state(blob, names);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("head.w"), std::string::npos) << e.what();
+  }
+  // Failed loads must not half-overwrite: the destination still steps from
+  // fresh state without throwing.
+  EXPECT_EQ(dst.step_count(), 0);
+}
+
+TEST(Optim, AdamLoadStateRejectsParamCountMismatch) {
+  auto a = nt::Tensor::zeros({2}, true);
+  nt::Adam src({a}, 1e-3f);
+  std::string blob;
+  src.save_state(blob);
+  auto b = nt::Tensor::zeros({2}, true);
+  auto c = nt::Tensor::zeros({2}, true);
+  nt::Adam dst({b, c}, 1e-3f);
+  EXPECT_THROW(dst.load_state(blob), std::runtime_error);
+}
