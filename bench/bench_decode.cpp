@@ -1,0 +1,175 @@
+// Decode & serving throughput (DESIGN.md §10): cached vs uncached greedy
+// generation at max_seq-length answers (tokens/s + p50/p99 per-answer
+// latency), and the batched InferenceEngine at batch = 1/4/16. Emits
+// BENCH_decode.json (path overridable via argv[1]); run_benches.sh wires it
+// into the standard sweep. The cached row is the same computation as the
+// uncached Fig. 2 baseline — test_decode pins the streams bitwise — so the
+// ratio is pure KV-cache effect, not a model change.
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/stats.hpp"
+#include "core/timer.hpp"
+#include "llm/minigpt.hpp"
+#include "llm/tokenizer.hpp"
+#include "netllm/api.hpp"
+#include "support/bench_common.hpp"
+
+namespace ad = netllm::adapt;
+namespace vp = netllm::vp;
+using netllm::core::Rng;
+using netllm::core::Table;
+using netllm::core::Timer;
+using netllm::core::percentile;
+using netllm::core::print_banner;
+
+namespace {
+
+struct Row {
+  std::string label;
+  double items_per_s = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+Row measure_generate(const netllm::llm::MiniGpt& gpt, const std::vector<std::vector<int>>& prompts,
+                     int max_new, bool use_cache) {
+  std::vector<double> per_answer_ms;
+  Timer total;
+  for (const auto& p : prompts) {
+    Timer t;
+    const auto out = gpt.generate(p, max_new, /*stop_token=*/-1, use_cache);
+    per_answer_ms.push_back(t.elapsed_ms());
+    if (out.size() != static_cast<std::size_t>(max_new)) {
+      std::cerr << "[bench] unexpected early stop\n";
+    }
+  }
+  Row row;
+  row.label = use_cache ? "cached" : "uncached";
+  row.items_per_s =
+      static_cast<double>(prompts.size()) * max_new / std::max(total.elapsed_s(), 1e-9);
+  row.p50_ms = percentile(per_answer_ms, 50.0);
+  row.p99_ms = percentile(per_answer_ms, 99.0);
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_decode.json";
+  std::cout << "Decode & serving throughput (KV cache + batched engine)\n";
+
+  // ---- cached vs uncached generation at max_seq-length answers ----
+  netllm::llm::MiniGptConfig cfg;  // the default backbone (d_model 64, 4 layers)
+  cfg.vocab = netllm::llm::Tokenizer().vocab_size();
+  Rng rng(7);
+  netllm::llm::MiniGpt gpt(cfg, rng);
+
+  constexpr int kAnswers = 10;
+  constexpr std::size_t kPromptLen = 8;
+  const int max_new = static_cast<int>(cfg.max_seq) - static_cast<int>(kPromptLen);
+  std::vector<std::vector<int>> prompts;
+  Rng prng(21);
+  for (int a = 0; a < kAnswers; ++a) {
+    std::vector<int> p(kPromptLen);
+    for (auto& t : p) t = static_cast<int>(prng.randint(3, cfg.vocab - 1));
+    prompts.push_back(std::move(p));
+  }
+  // Sanity: both paths must emit the same stream (pinned hard in test_decode).
+  if (gpt.generate(prompts[0], max_new, -1, false) != gpt.generate(prompts[0], max_new, -1, true)) {
+    std::cerr << "[bench] cached/uncached streams diverge — results invalid\n";
+    return 1;
+  }
+
+  const Row uncached = measure_generate(gpt, prompts, max_new, false);
+  const Row cached = measure_generate(gpt, prompts, max_new, true);
+  const double speedup = cached.items_per_s / std::max(uncached.items_per_s, 1e-9);
+
+  print_banner(std::cout, "greedy generation, answers of " + std::to_string(cfg.max_seq) +
+                              " total tokens (" + std::to_string(kAnswers) + " answers)");
+  Table dec({"path", "tokens/s", "p50 ms/answer", "p99 ms/answer"});
+  for (const Row* r : {&uncached, &cached}) {
+    dec.add_row({r->label, Table::num(r->items_per_s, 1), Table::num(r->p50_ms, 2),
+                 Table::num(r->p99_ms, 2)});
+  }
+  dec.print(std::cout);
+  std::cout << "cached / uncached tokens-per-s ratio: " << Table::num(speedup, 1) << "x\n";
+
+  // ---- batched serving: VP requests through the InferenceEngine ----
+  auto llm = std::make_shared<netllm::llm::MiniGpt>(
+      [&] {
+        auto c = cfg;
+        c.max_seq = 112;  // room for the VP token layout
+        return c;
+      }(),
+      rng);
+  ad::VpAdapterConfig vp_cfg;
+  vp_cfg.lora_rank = 2;
+  Rng arng(11);
+  auto adapter = std::make_shared<ad::VpAdapter>(llm, vp_cfg, arng);
+  auto setting = vp::vp_default_train();
+  setting.num_traces = 2;
+  const auto samples = vp::build_dataset(setting, 16);
+
+  print_banner(std::cout, "batched VP serving (requests/s, per-request p50/p99)");
+  Table bt({"batch", "requests/s", "p50 ms", "p99 ms", "fallbacks"});
+  std::vector<Row> batch_rows;
+  std::vector<std::size_t> batch_fallbacks;
+  for (const int batch : {1, 4, 16}) {
+    auto engine = ad::api::Serve(adapter);
+    const int iters = 48 / batch;  // same total request volume per row
+    std::vector<double> per_request_ms;
+    std::size_t requests = 0, fallbacks = 0;
+    Timer total;
+    for (int it = 0; it < iters; ++it) {
+      for (int b = 0; b < batch; ++b) {
+        const auto& s = samples[static_cast<std::size_t>((it * batch + b) % samples.size())];
+        engine->submit(netllm::serve::VpRequest{s.history, s.saliency, 4});
+      }
+      const auto report = engine->run();
+      requests += report.requests;
+      fallbacks += report.fallback;
+      for (const auto& resp : engine->vp_responses()) {
+        per_request_ms.push_back(resp.meta.latency_ms);
+      }
+    }
+    Row row;
+    row.label = std::to_string(batch);
+    row.items_per_s = static_cast<double>(requests) / std::max(total.elapsed_s(), 1e-9);
+    row.p50_ms = percentile(per_request_ms, 50.0);
+    row.p99_ms = percentile(per_request_ms, 99.0);
+    batch_rows.push_back(row);
+    batch_fallbacks.push_back(fallbacks);
+    bt.add_row({row.label, Table::num(row.items_per_s, 1), Table::num(row.p50_ms, 2),
+                Table::num(row.p99_ms, 2), std::to_string(fallbacks)});
+  }
+  bt.print(std::cout);
+
+  // ---- JSON export ----
+  std::ofstream json(out_path);
+  json << "{\n  \"decode\": [\n";
+  for (const Row* r : {&uncached, &cached}) {
+    json << "    {\"mode\": \"" << r->label << "\", \"answers\": " << kAnswers
+         << ", \"tokens_per_answer\": " << max_new << ", \"tokens_per_s\": " << r->items_per_s
+         << ", \"p50_ms\": " << r->p50_ms << ", \"p99_ms\": " << r->p99_ms << "}"
+         << (r == &cached ? "\n" : ",\n");
+  }
+  json << "  ],\n  \"speedup_tokens_per_s\": " << speedup << ",\n  \"batch\": [\n";
+  for (std::size_t i = 0; i < batch_rows.size(); ++i) {
+    const auto& r = batch_rows[i];
+    json << "    {\"batch\": " << r.label << ", \"requests_per_s\": " << r.items_per_s
+         << ", \"p50_ms\": " << r.p50_ms << ", \"p99_ms\": " << r.p99_ms
+         << ", \"fallbacks\": " << batch_fallbacks[i] << "}"
+         << (i + 1 == batch_rows.size() ? "\n" : ",\n");
+  }
+  json << "  ]\n}\n";
+  std::cout << "wrote " << out_path << "\n";
+  if (speedup < 3.0) {
+    std::cerr << "[bench] WARNING: cached speedup " << speedup << "x below the 3x floor\n";
+  }
+  return 0;
+}

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Regenerates every paper table/figure. Output: bench_output.txt
 # Also emits BENCH_kernels.json (serial vs threaded matmul GFLOP/s;
-# items_per_second == FLOP/s) and BENCH_session.json (durable-session
-# checkpoint save/restore latency + steps/s at each checkpoint cadence).
+# items_per_second == FLOP/s), BENCH_session.json (durable-session
+# checkpoint save/restore latency + steps/s at each checkpoint cadence) and
+# BENCH_decode.json (cached vs uncached tokens/s + batched-serving latency).
 set -euo pipefail
 cd "$(dirname "$0")"
 {
@@ -21,6 +22,9 @@ echo
 echo "##### BENCH_session.json (checkpoint latency + cadence overhead)"
 ./build/bench/bench_session \
   --benchmark_out=BENCH_session.json --benchmark_out_format=json 2>&1
+echo
+echo "##### BENCH_decode.json (KV-cached decode + batched serving)"
+./build/bench/bench_decode BENCH_decode.json 2>&1
 echo
 echo "FLEET-DONE"
 } > bench_output.txt 2>&1

@@ -23,9 +23,11 @@ MiniGpt::MiniGpt(const MiniGptConfig& cfg, core::Rng& rng) : cfg_(cfg) {
   lm_head_ = std::make_shared<nn::Linear>(cfg.d_model, cfg.vocab, rng, /*bias=*/false);
 }
 
-Tensor MiniGpt::run_blocks(const Tensor& x) const {
+Tensor MiniGpt::run_blocks(const Tensor& x, DecodeState* st) const {
   Tensor h = x;
-  for (const auto& block : blocks_) h = block->forward(h);
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    h = blocks_[i]->forward(h, st ? &st->layers[i] : nullptr);
+  }
   return final_ln_->forward(h);
 }
 
@@ -43,25 +45,103 @@ Tensor MiniGpt::lm_loss(std::span<const int> ids) const {
   return cross_entropy_rows(logits, targets);
 }
 
-std::vector<int> MiniGpt::generate(std::vector<int> prompt, int max_new, int stop_token) const {
-  std::vector<int> out;
-  for (int step = 0; step < max_new; ++step) {
-    if (static_cast<std::int64_t>(prompt.size()) >= cfg_.max_seq) break;
-    auto logits = forward_tokens(prompt);
-    const auto v = cfg_.vocab;
-    const auto last = logits.data().subspan(static_cast<std::size_t>((logits.dim(0) - 1) * v),
-                                            static_cast<std::size_t>(v));
-    int best = 0;
-    for (std::int64_t j = 1; j < v; ++j) {
-      if (last[static_cast<std::size_t>(j)] > last[static_cast<std::size_t>(best)]) {
-        best = static_cast<int>(j);
-      }
+namespace {
+
+/// Greedy pick over the last row of a [T, vocab] logits tensor.
+int argmax_last_row(const Tensor& logits) {
+  const auto v = logits.dim(1);
+  const auto last = logits.data().subspan(static_cast<std::size_t>((logits.dim(0) - 1) * v),
+                                          static_cast<std::size_t>(v));
+  int best = 0;
+  for (std::int64_t j = 1; j < v; ++j) {
+    if (last[static_cast<std::size_t>(j)] > last[static_cast<std::size_t>(best)]) {
+      best = static_cast<int>(j);
     }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::vector<int> MiniGpt::generate(std::vector<int> prompt, int max_new, int stop_token) const {
+  return generate(std::move(prompt), max_new, stop_token, /*use_cache=*/false);
+}
+
+std::vector<int> MiniGpt::generate(std::vector<int> ctx, int max_new, int stop_token,
+                                   bool use_cache) const {
+  if (ctx.empty()) throw std::invalid_argument("MiniGpt::generate: empty prompt");
+  std::vector<int> out;
+  // Context for each step is a sliding window of the last `max_seq` tokens —
+  // long prompts are clamped instead of walking past pos_embed_.
+  const auto window = [&]() -> std::span<const int> {
+    const auto t = std::min<std::size_t>(ctx.size(), static_cast<std::size_t>(cfg_.max_seq));
+    return {ctx.data() + (ctx.size() - t), t};
+  };
+
+  if (!use_cache) {
+    for (int step = 0; step < max_new; ++step) {
+      const int best = argmax_last_row(forward_tokens(window()));
+      if (best == stop_token) break;
+      out.push_back(best);
+      ctx.push_back(best);
+    }
+    return out;
+  }
+
+  auto st = make_decode_state();
+  Tensor logits = prefill(window(), st);
+  for (int step = 0; step < max_new; ++step) {
+    const int best = argmax_last_row(logits);
     if (best == stop_token) break;
     out.push_back(best);
-    prompt.push_back(best);
+    ctx.push_back(best);
+    if (step + 1 == max_new) break;  // next logits would never be read
+    if (st.len() >= cfg_.max_seq) {
+      // The window slid: every cached position pairs with a different
+      // positional embedding now, so the cache is stale. Rebuild it from the
+      // shifted window — same floats as the uncached path's next forward.
+      st.clear();
+      logits = prefill(window(), st);
+    } else {
+      logits = decode_step(best, st);
+    }
   }
   return out;
+}
+
+DecodeState MiniGpt::make_decode_state() const {
+  DecodeState st;
+  st.layers.resize(blocks_.size());
+  for (auto& c : st.layers) c.d_model = cfg_.d_model;
+  return st;
+}
+
+Tensor MiniGpt::prefill(std::span<const int> ids, DecodeState& st) const {
+  if (st.layers.size() != blocks_.size() || st.len() != 0) {
+    throw std::invalid_argument("MiniGpt::prefill: state must be empty and sized for this model");
+  }
+  const auto t = static_cast<std::int64_t>(ids.size());
+  if (t == 0 || t > cfg_.max_seq) {
+    throw std::invalid_argument("MiniGpt: sequence length out of range");
+  }
+  auto x = add(tok_embed_->forward(ids), slice_rows(pos_embed_, 0, t));
+  return lm_head_->forward(run_blocks(x, &st));
+}
+
+Tensor MiniGpt::decode_step(int token, DecodeState& st) const {
+  if (st.layers.size() != blocks_.size()) {
+    throw std::invalid_argument("MiniGpt::decode_step: state not sized for this model");
+  }
+  const auto pos = st.len();
+  if (pos >= cfg_.max_seq) {
+    throw std::invalid_argument("MiniGpt::decode_step: cache is full (max_seq positions)");
+  }
+  const int ids[1] = {token};
+  auto h = add(tok_embed_->forward(ids), slice_rows(pos_embed_, pos, 1));
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    h = blocks_[i]->forward_step(h, st.layers[i]);
+  }
+  return lm_head_->forward(final_ln_->forward(h));
 }
 
 Tensor MiniGpt::forward_embeddings(const Tensor& embeds) const {

@@ -33,6 +33,17 @@ struct MiniGptConfig {
   std::int64_t max_seq = 96;
 };
 
+/// Per-layer KV caches for one in-flight decode. Obtain from
+/// `MiniGpt::make_decode_state`, feed through `prefill`/`decode_step`.
+struct DecodeState {
+  std::vector<nn::KvCache> layers;  // one per transformer block
+
+  std::int64_t len() const { return layers.empty() ? 0 : layers.front().len; }
+  void clear() {
+    for (auto& c : layers) c.clear();
+  }
+};
+
 class MiniGpt final : public nn::Module {
  public:
   MiniGpt(const MiniGptConfig& cfg, core::Rng& rng);
@@ -44,8 +55,26 @@ class MiniGpt final : public nn::Module {
   tensor::Tensor lm_loss(std::span<const int> ids) const;
   /// Greedy autoregressive decoding; re-runs the full forward per new token
   /// (no KV cache — the per-answer latency this produces is the phenomenon
-  /// Fig. 2 right measures). Stops at `stop_token` or `max_new` tokens.
+  /// Fig. 2 right measures). Prompts longer than `max_seq` are clamped to a
+  /// sliding window of the last `max_seq` tokens, and generation keeps
+  /// sliding that window. Stops at `stop_token` or `max_new` tokens.
   std::vector<int> generate(std::vector<int> prompt, int max_new, int stop_token) const;
+  /// Same decoding, selectable path: `use_cache=true` runs the KV-cached
+  /// incremental decode (DESIGN.md §10) and emits a bitwise-identical token
+  /// stream; `use_cache=false` is the uncached baseline above.
+  std::vector<int> generate(std::vector<int> prompt, int max_new, int stop_token,
+                            bool use_cache) const;
+
+  // ---- incremental decode (KV cache) ----
+  /// Empty per-layer caches sized for this model.
+  DecodeState make_decode_state() const;
+  /// Run the whole prompt through the blocks once, capturing every K/V row;
+  /// returns logits [T, vocab]. `st` must be freshly made or cleared.
+  tensor::Tensor prefill(std::span<const int> ids, DecodeState& st) const;
+  /// Feed one new token at position `st.len()`; returns logits [1, vocab].
+  /// Throws once the cache holds `max_seq` positions — callers handle the
+  /// sliding window (see `generate`).
+  tensor::Tensor decode_step(int token, DecodeState& st) const;
 
   // ---- embedding path (NetLLM) ----
   /// embeds: [T, d_model] token-like vectors from the multimodal encoder.
@@ -66,7 +95,7 @@ class MiniGpt final : public nn::Module {
   const MiniGptConfig& config() const { return cfg_; }
 
  private:
-  tensor::Tensor run_blocks(const tensor::Tensor& x) const;
+  tensor::Tensor run_blocks(const tensor::Tensor& x, DecodeState* st = nullptr) const;
 
   MiniGptConfig cfg_;
   std::shared_ptr<nn::Embedding> tok_embed_;

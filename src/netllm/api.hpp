@@ -16,6 +16,7 @@
 #include "netllm/abr_adapter.hpp"
 #include "netllm/cjs_adapter.hpp"
 #include "netllm/guarded.hpp"
+#include "netllm/serve.hpp"
 #include "netllm/vp_adapter.hpp"
 
 namespace netllm::adapt::api {
@@ -177,6 +178,19 @@ inline std::shared_ptr<GuardedAbrPolicy> Guard(std::shared_ptr<abr::AbrPolicy> p
 inline std::shared_ptr<GuardedSchedPolicy> Guard(std::shared_ptr<cjs::SchedPolicy> policy,
                                                  GuardConfig cfg = {}) {
   return std::make_shared<GuardedSchedPolicy>(std::move(policy), nullptr, std::move(cfg));
+}
+
+// ---- Batched serving (KV-cache era, DESIGN.md §10) ----
+// Queue concurrent VP/ABR/CJS requests and drain them over the shared
+// thread pool, each request individually guarded (budget, validity,
+// breaker, rule-based fallback). Any subset of the three models may be
+// null; submitting to a missing backend throws.
+
+inline std::shared_ptr<serve::InferenceEngine> Serve(
+    std::shared_ptr<vp::VpPredictor> vp_model, std::shared_ptr<abr::AbrPolicy> abr_policy = nullptr,
+    std::shared_ptr<cjs::SchedPolicy> cjs_policy = nullptr, serve::EngineConfig cfg = {}) {
+  return std::make_shared<serve::InferenceEngine>(std::move(vp_model), std::move(abr_policy),
+                                                  std::move(cjs_policy), std::move(cfg));
 }
 
 }  // namespace netllm::adapt::api

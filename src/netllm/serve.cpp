@@ -1,0 +1,272 @@
+#include "netllm/serve.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "baselines/abr/rule_based.hpp"
+#include "baselines/cjs/rule_based.hpp"
+#include "baselines/vp/rule_based.hpp"
+#include "core/fault.hpp"
+#include "core/stats.hpp"
+#include "core/threadpool.hpp"
+#include "core/timer.hpp"
+
+namespace netllm::serve {
+
+InferenceEngine::InferenceEngine(std::shared_ptr<vp::VpPredictor> vp_model,
+                                 std::shared_ptr<abr::AbrPolicy> abr_policy,
+                                 std::shared_ptr<cjs::SchedPolicy> cjs_policy, EngineConfig cfg,
+                                 std::shared_ptr<vp::VpPredictor> vp_fallback,
+                                 std::shared_ptr<abr::AbrPolicy> abr_fallback,
+                                 std::shared_ptr<cjs::SchedPolicy> cjs_fallback)
+    : cfg_(std::move(cfg)),
+      vp_model_(std::move(vp_model)),
+      vp_fallback_(vp_fallback ? std::move(vp_fallback)
+                               : std::make_shared<baselines::LinearRegressionVp>()),
+      abr_policy_(std::move(abr_policy)),
+      abr_fallback_(abr_fallback ? std::move(abr_fallback) : std::make_shared<baselines::Bba>()),
+      cjs_policy_(std::move(cjs_policy)),
+      cjs_fallback_(cjs_fallback ? std::move(cjs_fallback)
+                                 : std::make_shared<baselines::FifoScheduler>()) {
+  if (!vp_model_ && !abr_policy_ && !cjs_policy_) {
+    throw std::invalid_argument("InferenceEngine: need at least one model");
+  }
+}
+
+void InferenceEngine::bump(const char* task, const char* name, std::int64_t delta) {
+  if (!cfg_.counter_prefix.empty()) {
+    core::counter_add(cfg_.counter_prefix + task + "." + name, delta);
+  }
+}
+
+template <typename Action, typename Primary, typename Validate, typename Fallback>
+Action InferenceEngine::decide(Guard& g, const char* task, Primary&& primary, Validate&& valid,
+                               Fallback&& fallback, ResponseMeta& meta) {
+  {
+    std::lock_guard<std::mutex> lock(g.mu);
+    if (g.cooldown_left > 0) {
+      --g.cooldown_left;
+      ++g.counters.fallback;
+      bump(task, "fallback");
+      meta.source = Source::kFallback;
+      return fallback();
+    }
+  }
+  enum class Fail { kNone, kException, kInvalid, kLatency };
+  Fail fail = Fail::kNone;
+  Action action{};
+  core::Timer timer;
+  try {
+    // The injection site fires inside the guarded region: an armed
+    // `serve.batch` plan (throw / delay past the budget) is handled exactly
+    // like an organic LLM-path failure — this one request falls back.
+    core::fault::check("serve.batch");
+    action = primary();
+    if (cfg_.latency_budget_ms > 0.0 && timer.elapsed_ms() > cfg_.latency_budget_ms) {
+      fail = Fail::kLatency;
+    } else if (!valid(action)) {
+      fail = Fail::kInvalid;
+    }
+  } catch (const std::exception&) {
+    fail = Fail::kException;
+  }
+  std::lock_guard<std::mutex> lock(g.mu);
+  if (fail == Fail::kNone) {
+    g.consecutive_failures = 0;
+    ++g.counters.llm_ok;
+    bump(task, "llm_ok");
+    meta.source = Source::kLlm;
+    return action;
+  }
+  switch (fail) {
+    case Fail::kException:
+      ++g.counters.fail_exception;
+      bump(task, "fail.exception");
+      break;
+    case Fail::kInvalid:
+      ++g.counters.fail_invalid;
+      bump(task, "fail.invalid");
+      break;
+    default:
+      ++g.counters.fail_latency;
+      bump(task, "fail.latency");
+      break;
+  }
+  if (++g.consecutive_failures >= cfg_.breaker_threshold) {
+    g.consecutive_failures = 0;
+    g.cooldown_left = cfg_.breaker_cooldown;
+    ++g.counters.breaker_trips;
+    bump(task, "breaker.trips");
+  }
+  ++g.counters.fallback;
+  bump(task, "fallback");
+  meta.source = Source::kFallback;
+  return fallback();
+}
+
+std::size_t InferenceEngine::submit(VpRequest req) {
+  if (!vp_model_) throw std::invalid_argument("InferenceEngine: no VP model");
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  vp_queue_.push_back(std::move(req));
+  return vp_queue_.size() - 1;
+}
+
+std::size_t InferenceEngine::submit(AbrRequest req) {
+  if (!abr_policy_) throw std::invalid_argument("InferenceEngine: no ABR policy");
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  abr_queue_.push_back(std::move(req));
+  return abr_queue_.size() - 1;
+}
+
+std::size_t InferenceEngine::submit(CjsRequest req) {
+  if (!cjs_policy_) throw std::invalid_argument("InferenceEngine: no CJS policy");
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  cjs_queue_.push_back(std::move(req));
+  return cjs_queue_.size() - 1;
+}
+
+std::size_t InferenceEngine::pending() const {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  return vp_queue_.size() + abr_queue_.size() + cjs_queue_.size();
+}
+
+VpResponse InferenceEngine::serve_vp(const VpRequest& req) {
+  VpResponse resp;
+  core::Timer timer;
+  resp.viewports = decide<std::vector<vp::Viewport>>(
+      vp_guard_, "vp",
+      [&] { return vp_model_->predict(req.history, req.saliency, req.horizon); },
+      [&](const std::vector<vp::Viewport>& out) {
+        if (out.size() != static_cast<std::size_t>(req.horizon)) return false;
+        for (const auto& v : out) {
+          if (!std::isfinite(v.roll) || !std::isfinite(v.pitch) || !std::isfinite(v.yaw)) {
+            return false;
+          }
+        }
+        return true;
+      },
+      [&] { return vp_fallback_->predict(req.history, req.saliency, req.horizon); }, resp.meta);
+  resp.meta.latency_ms = timer.elapsed_ms();
+  return resp;
+}
+
+AbrResponse InferenceEngine::serve_abr(const AbrRequest& req) {
+  AbrResponse resp;
+  core::Timer timer;
+  std::lock_guard<std::mutex> lock(abr_mu_);
+  resp.level = decide<int>(
+      abr_guard_, "abr", [&] { return abr_policy_->choose_level(req.obs); },
+      [&](int level) { return level >= 0 && level < req.obs.num_levels; },
+      [&] { return abr_fallback_->choose_level(req.obs); }, resp.meta);
+  resp.meta.latency_ms = timer.elapsed_ms();
+  return resp;
+}
+
+CjsResponse InferenceEngine::serve_cjs(const CjsRequest& req) {
+  CjsResponse resp;
+  core::Timer timer;
+  std::lock_guard<std::mutex> lock(cjs_mu_);
+  resp.action = decide<cjs::SchedAction>(
+      cjs_guard_, "cjs", [&] { return cjs_policy_->choose(req.obs); },
+      [&](const cjs::SchedAction& a) {
+        return a.runnable_index >= 0 &&
+               a.runnable_index < static_cast<int>(req.obs.runnable_rows.size()) &&
+               a.cap_choice >= 0 && a.cap_choice < cjs::kNumCapChoices;
+      },
+      [&] { return cjs_fallback_->choose(req.obs); }, resp.meta);
+  resp.meta.latency_ms = timer.elapsed_ms();
+  return resp;
+}
+
+BatchReport InferenceEngine::run() {
+  std::vector<VpRequest> vp_jobs;
+  std::vector<AbrRequest> abr_jobs;
+  std::vector<CjsRequest> cjs_jobs;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    vp_jobs.swap(vp_queue_);
+    abr_jobs.swap(abr_queue_);
+    cjs_jobs.swap(cjs_queue_);
+  }
+  vp_responses_.assign(vp_jobs.size(), {});
+  abr_responses_.assign(abr_jobs.size(), {});
+  cjs_responses_.assign(cjs_jobs.size(), {});
+
+  // One flat index space over the three queues; contiguous chunks land on
+  // pool workers, and each request's tensor ops run inline inside its worker
+  // (no nested parallelism) — so responses are independent of thread count.
+  const auto n_vp = static_cast<std::int64_t>(vp_jobs.size());
+  const auto n_abr = static_cast<std::int64_t>(abr_jobs.size());
+  const auto n_total = n_vp + n_abr + static_cast<std::int64_t>(cjs_jobs.size());
+  core::parallel_for(n_total, 1, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      if (i < n_vp) {
+        vp_responses_[static_cast<std::size_t>(i)] = serve_vp(vp_jobs[static_cast<std::size_t>(i)]);
+      } else if (i < n_vp + n_abr) {
+        const auto j = static_cast<std::size_t>(i - n_vp);
+        abr_responses_[j] = serve_abr(abr_jobs[j]);
+      } else {
+        const auto j = static_cast<std::size_t>(i - n_vp - n_abr);
+        cjs_responses_[j] = serve_cjs(cjs_jobs[j]);
+      }
+    }
+  });
+
+  BatchReport report;
+  report.requests = static_cast<std::size_t>(n_total);
+  std::vector<double> latencies;
+  latencies.reserve(report.requests);
+  auto account = [&](const ResponseMeta& meta) {
+    (meta.source == Source::kLlm ? report.llm : report.fallback) += 1;
+    latencies.push_back(meta.latency_ms);
+  };
+  for (const auto& r : vp_responses_) account(r.meta);
+  for (const auto& r : abr_responses_) account(r.meta);
+  for (const auto& r : cjs_responses_) account(r.meta);
+  if (!latencies.empty()) {
+    report.p50_ms = core::percentile(latencies, 50.0);
+    report.p99_ms = core::percentile(latencies, 99.0);
+  }
+  return report;
+}
+
+void InferenceEngine::begin_abr_session() {
+  std::lock_guard<std::mutex> lock(abr_mu_);
+  if (abr_policy_) abr_policy_->begin_session();
+  abr_fallback_->begin_session();
+}
+
+void InferenceEngine::observe_abr_result(const abr::ChunkResult& result, double chunk_qoe) {
+  std::lock_guard<std::mutex> lock(abr_mu_);
+  if (abr_policy_) abr_policy_->observe_result(result, chunk_qoe);
+  abr_fallback_->observe_result(result, chunk_qoe);
+}
+
+void InferenceEngine::begin_cjs_episode() {
+  std::lock_guard<std::mutex> lock(cjs_mu_);
+  if (cjs_policy_) cjs_policy_->begin_episode();
+  cjs_fallback_->begin_episode();
+}
+
+void InferenceEngine::observe_cjs_reward(double reward) {
+  std::lock_guard<std::mutex> lock(cjs_mu_);
+  if (cjs_policy_) cjs_policy_->observe_reward(reward);
+  cjs_fallback_->observe_reward(reward);
+}
+
+adapt::GuardCounters InferenceEngine::counters() const {
+  adapt::GuardCounters total;
+  for (const Guard* g : {&vp_guard_, &abr_guard_, &cjs_guard_}) {
+    std::lock_guard<std::mutex> lock(g->mu);
+    total.llm_ok += g->counters.llm_ok;
+    total.fallback += g->counters.fallback;
+    total.fail_exception += g->counters.fail_exception;
+    total.fail_invalid += g->counters.fail_invalid;
+    total.fail_latency += g->counters.fail_latency;
+    total.breaker_trips += g->counters.breaker_trips;
+  }
+  return total;
+}
+
+}  // namespace netllm::serve

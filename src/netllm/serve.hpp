@@ -1,0 +1,159 @@
+// Batched inference front end (DESIGN.md §10): queue VP/ABR/CJS
+// embedding-path requests, drain them concurrently over the shared
+// `core::ThreadPool`, and guard every request individually with the
+// latency-budget / validity / circuit-breaker rules from `netllm/guarded`
+// plus a rule-based fallback (LR / BBA / FIFO) — one poisoned or faulted
+// request degrades to its fallback without touching the rest of the batch.
+//
+// Determinism: each request's tensor work runs inside a `parallel_for`
+// worker, where nested parallel ops execute inline (DESIGN.md §8), so every
+// response is bitwise identical to serving that request alone, at any
+// `NETLLM_THREADS`. Only the interleaving of the shared counters varies.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "envs/abr/policy.hpp"
+#include "envs/cjs/simulator.hpp"
+#include "envs/vp/dataset.hpp"
+#include "netllm/guarded.hpp"
+
+namespace netllm::serve {
+
+/// Which path produced a response.
+enum class Source { kLlm, kFallback };
+
+struct ResponseMeta {
+  Source source = Source::kFallback;
+  double latency_ms = 0.0;  // wall time of this request's decision
+};
+
+struct VpRequest {
+  std::vector<vp::Viewport> history;
+  tensor::Tensor saliency;
+  int horizon = 0;
+};
+struct VpResponse {
+  std::vector<vp::Viewport> viewports;
+  ResponseMeta meta;
+};
+
+struct AbrRequest {
+  abr::Observation obs;
+};
+struct AbrResponse {
+  int level = 0;
+  ResponseMeta meta;
+};
+
+struct CjsRequest {
+  cjs::SchedObservation obs;
+};
+struct CjsResponse {
+  cjs::SchedAction action;
+  ResponseMeta meta;
+};
+
+/// Aggregate result of one `run()` drain.
+struct BatchReport {
+  std::size_t requests = 0;
+  std::size_t llm = 0;       // served by the LLM path
+  std::size_t fallback = 0;  // served by the rule-based fallback
+  double p50_ms = 0.0;       // per-request decision latency percentiles
+  double p99_ms = 0.0;
+};
+
+struct EngineConfig {
+  double latency_budget_ms = 0.0;       // 0 = no deadline (as GuardConfig)
+  int breaker_threshold = 3;            // consecutive failures opening the breaker
+  int breaker_cooldown = 8;             // requests served by fallback while open
+  std::string counter_prefix = "serve.";  // core::stats namespace
+};
+
+/// KV-cache-era serving substrate: one engine owns up to three adapted
+/// models (any subset), a per-task guard state and a per-task fallback.
+/// `submit` enqueues (thread-safe) and returns the index of the matching
+/// response slot; `run()` drains the queue and fills `*_responses()`.
+class InferenceEngine {
+ public:
+  /// Any model may be null — submitting a request for a missing model
+  /// throws. Null fallbacks default to LinearRegressionVp / Bba /
+  /// FifoScheduler, matching the guarded wrappers.
+  InferenceEngine(std::shared_ptr<vp::VpPredictor> vp_model,
+                  std::shared_ptr<abr::AbrPolicy> abr_policy,
+                  std::shared_ptr<cjs::SchedPolicy> cjs_policy, EngineConfig cfg = {},
+                  std::shared_ptr<vp::VpPredictor> vp_fallback = nullptr,
+                  std::shared_ptr<abr::AbrPolicy> abr_fallback = nullptr,
+                  std::shared_ptr<cjs::SchedPolicy> cjs_fallback = nullptr);
+
+  std::size_t submit(VpRequest req);
+  std::size_t submit(AbrRequest req);
+  std::size_t submit(CjsRequest req);
+  std::size_t pending() const;
+
+  /// Drain every queued request across the thread pool. Responses from a
+  /// previous run are discarded; indices returned by `submit` since the last
+  /// `run()` index into the fresh response vectors. VP requests execute
+  /// fully concurrently (`VpPredictor::predict` is stateless); ABR/CJS
+  /// decisions serialize on their policy's mutex because those policies keep
+  /// rolling context.
+  BatchReport run();
+
+  const std::vector<VpResponse>& vp_responses() const { return vp_responses_; }
+  const std::vector<AbrResponse>& abr_responses() const { return abr_responses_; }
+  const std::vector<CjsResponse>& cjs_responses() const { return cjs_responses_; }
+
+  // Session lifecycle passthroughs: both the primary and its fallback see
+  // real outcomes, mirroring the guarded wrappers, so a stateful policy pair
+  // stays consistent with the actual session between batches.
+  void begin_abr_session();
+  void observe_abr_result(const abr::ChunkResult& result, double chunk_qoe);
+  void begin_cjs_episode();
+  void observe_cjs_reward(double reward);
+
+  /// Summed guard counters across the three tasks.
+  adapt::GuardCounters counters() const;
+  const EngineConfig& config() const { return cfg_; }
+
+ private:
+  /// Thread-safe port of GuardEngine's budget/validity/breaker state: the
+  /// primary runs outside the lock; only the bookkeeping transitions lock.
+  struct Guard {
+    mutable std::mutex mu;
+    adapt::GuardCounters counters;
+    int consecutive_failures = 0;
+    int cooldown_left = 0;
+  };
+
+  template <typename Action, typename Primary, typename Validate, typename Fallback>
+  Action decide(Guard& g, const char* task, Primary&& primary, Validate&& valid,
+                Fallback&& fallback, ResponseMeta& meta);
+  void bump(const char* task, const char* name, std::int64_t delta = 1);
+
+  VpResponse serve_vp(const VpRequest& req);
+  AbrResponse serve_abr(const AbrRequest& req);
+  CjsResponse serve_cjs(const CjsRequest& req);
+
+  EngineConfig cfg_;
+  std::shared_ptr<vp::VpPredictor> vp_model_, vp_fallback_;
+  std::shared_ptr<abr::AbrPolicy> abr_policy_, abr_fallback_;
+  std::shared_ptr<cjs::SchedPolicy> cjs_policy_, cjs_fallback_;
+
+  Guard vp_guard_, abr_guard_, cjs_guard_;
+  std::mutex abr_mu_, cjs_mu_;  // serialize stateful policy calls
+
+  mutable std::mutex queue_mu_;
+  std::vector<VpRequest> vp_queue_;
+  std::vector<AbrRequest> abr_queue_;
+  std::vector<CjsRequest> cjs_queue_;
+
+  std::vector<VpResponse> vp_responses_;
+  std::vector<AbrResponse> abr_responses_;
+  std::vector<CjsResponse> cjs_responses_;
+};
+
+}  // namespace netllm::serve

@@ -20,6 +20,23 @@ Tensor concat_cols(const std::vector<Tensor>& xs) {
 
 }  // namespace
 
+void KvCache::clear() {
+  len = 0;
+  k.clear();
+  v.clear();
+}
+
+void KvCache::append(std::span<const float> k_row, std::span<const float> v_row) {
+  if (d_model == 0) d_model = static_cast<std::int64_t>(k_row.size());
+  if (static_cast<std::int64_t>(k_row.size()) != d_model ||
+      static_cast<std::int64_t>(v_row.size()) != d_model) {
+    throw std::invalid_argument("KvCache::append: row width does not match d_model");
+  }
+  k.insert(k.end(), k_row.begin(), k_row.end());
+  v.insert(v.end(), v_row.begin(), v_row.end());
+  ++len;
+}
+
 MultiHeadAttention::MultiHeadAttention(std::int64_t d_model, std::int64_t n_heads, bool causal,
                                        core::Rng& rng)
     : d_model_(d_model), n_heads_(n_heads), d_head_(d_model / n_heads), causal_(causal) {
@@ -38,13 +55,8 @@ Tensor MultiHeadAttention::project(const std::shared_ptr<Linear>& base,
   return lora ? lora->forward(x) : base->forward(x);
 }
 
-Tensor MultiHeadAttention::forward(const Tensor& x) const {
-  if (x.rank() != 2 || x.dim(1) != d_model_) {
-    throw std::invalid_argument("MultiHeadAttention: expected [T, d_model] input");
-  }
-  const auto q = project(wq_, lq_, x);
-  const auto k = project(wk_, lk_, x);
-  const auto v = project(wv_, lv_, x);
+Tensor MultiHeadAttention::attend(const Tensor& q, const Tensor& k, const Tensor& v,
+                                  bool causal) const {
   const float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(d_head_));
 
   // Heads are independent in the forward pass (they only read q/k/v and
@@ -59,11 +71,51 @@ Tensor MultiHeadAttention::forward(const Tensor& x) const {
       const auto kh = slice_cols(k, h * d_head_, d_head_);
       const auto vh = slice_cols(v, h * d_head_, d_head_);
       auto scores = scale(matmul(qh, transpose(kh)), inv_sqrt);
-      auto attn = causal_ ? causal_masked_softmax(scores) : softmax_rows(scores);
+      auto attn = causal ? causal_masked_softmax(scores) : softmax_rows(scores);
       heads[static_cast<std::size_t>(h)] = matmul(attn, vh);
     }
   });
   return project(wo_, lo_, concat_cols(heads));
+}
+
+Tensor MultiHeadAttention::forward(const Tensor& x, KvCache* cache) const {
+  if (x.rank() != 2 || x.dim(1) != d_model_) {
+    throw std::invalid_argument("MultiHeadAttention: expected [T, d_model] input");
+  }
+  const auto q = project(wq_, lq_, x);
+  const auto k = project(wk_, lk_, x);
+  const auto v = project(wv_, lv_, x);
+  if (cache) {
+    // Capture the K/V rows for incremental decoding. A [1, d] x [d, d]
+    // matmul row accumulates in the same order as the matching row of the
+    // full [T, d] x [d, d] product, so these rows are bitwise what
+    // forward_step would have appended token by token.
+    const std::size_t d = static_cast<std::size_t>(d_model_);
+    for (std::int64_t i = 0; i < x.dim(0); ++i) {
+      cache->append(k.data().subspan(static_cast<std::size_t>(i) * d, d),
+                    v.data().subspan(static_cast<std::size_t>(i) * d, d));
+    }
+  }
+  return attend(q, k, v, causal_);
+}
+
+Tensor MultiHeadAttention::forward_step(const Tensor& x_t, KvCache& cache) const {
+  if (x_t.rank() != 2 || x_t.dim(0) != 1 || x_t.dim(1) != d_model_) {
+    throw std::invalid_argument("MultiHeadAttention::forward_step: expected [1, d_model] input");
+  }
+  const auto q = project(wq_, lq_, x_t);
+  const auto k = project(wk_, lk_, x_t);
+  const auto v = project(wv_, lv_, x_t);
+  cache.append(k.data(), v.data());
+  // Materialise the cache as plain value tensors: decoding is inference-only,
+  // so the graph never needs to reach back into earlier steps. Attending with
+  // a full-row softmax over the cache equals the causal-masked last row of
+  // the full forward — softmax_rows and causal_masked_softmax share the same
+  // per-row kernel, and the masked zero weights contribute no terms to the
+  // attn·V accumulation (the matmul kernel skips exact zeros).
+  const auto kc = Tensor::from(cache.k, {cache.len, d_model_});
+  const auto vc = Tensor::from(cache.v, {cache.len, d_model_});
+  return attend(q, kc, vc, /*causal=*/false);
 }
 
 void MultiHeadAttention::collect_params(NamedParams& out, const std::string& prefix) const {
@@ -111,8 +163,17 @@ Tensor TransformerBlock::ff(const Tensor& x) const {
   return lfc2_ ? lfc2_->forward(h) : fc2_->forward(h);
 }
 
-Tensor TransformerBlock::forward(const Tensor& x) const {
-  auto h = add(x, attn_->forward(ln1_->forward(x)));
+Tensor TransformerBlock::forward(const Tensor& x, KvCache* cache) const {
+  auto h = add(x, attn_->forward(ln1_->forward(x), cache));
+  return add(h, ff(ln2_->forward(h)));
+}
+
+Tensor TransformerBlock::forward_step(const Tensor& x_t, KvCache& cache) const {
+  // layer_norm, the residual adds and the MLP are all row-wise, so running
+  // them on the single new row produces the same floats as the last row of
+  // the full-sequence forward; attention is the only cross-row op and goes
+  // through the cache.
+  auto h = add(x_t, attn_->forward_step(ln1_->forward(x_t), cache));
   return add(h, ff(ln2_->forward(h)));
 }
 

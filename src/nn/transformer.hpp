@@ -8,6 +8,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/rng.hpp"
@@ -16,12 +17,33 @@
 
 namespace netllm::nn {
 
+/// Per-layer key/value cache for incremental decoding. Rows are the post-
+/// projection K/V vectors of the positions processed so far, in position
+/// order, exactly as the full forward would compute them — the cached decode
+/// path is bitwise identical to re-running the whole sequence (see
+/// DESIGN.md §10), which `tests/test_decode.cpp` pins.
+struct KvCache {
+  std::int64_t d_model = 0;  // set on first append; checked afterwards
+  std::int64_t len = 0;      // cached positions
+  std::vector<float> k, v;   // [len, d_model], row-major
+
+  void clear();
+  void append(std::span<const float> k_row, std::span<const float> v_row);
+};
+
 /// Multi-head self-attention over a [T, D] sequence.
 class MultiHeadAttention final : public Module {
  public:
   MultiHeadAttention(std::int64_t d_model, std::int64_t n_heads, bool causal, core::Rng& rng);
 
-  Tensor forward(const Tensor& x) const;
+  /// Full-sequence forward. With `cache` given (prefill), the K/V rows of
+  /// every position are appended to it so decoding can continue with
+  /// `forward_step`.
+  Tensor forward(const Tensor& x, KvCache* cache = nullptr) const;
+  /// Incremental decode: project the single new position x_t [1, D], append
+  /// its K/V rows to the cache and attend over the whole cache. Produces the
+  /// same floats as the last row of `forward` over the full sequence.
+  Tensor forward_step(const Tensor& x_t, KvCache& cache) const;
   void collect_params(tensor::NamedParams& out, const std::string& prefix) const override;
 
   /// Wrap q/k/v/o projections with LoRA; returns the new low-rank tensors.
@@ -30,6 +52,7 @@ class MultiHeadAttention final : public Module {
  private:
   Tensor project(const std::shared_ptr<Linear>& base, const std::shared_ptr<LoRALinear>& lora,
                  const Tensor& x) const;
+  Tensor attend(const Tensor& q, const Tensor& k, const Tensor& v, bool causal) const;
 
   std::int64_t d_model_, n_heads_, d_head_;
   bool causal_;
@@ -43,7 +66,11 @@ class TransformerBlock final : public Module {
   TransformerBlock(std::int64_t d_model, std::int64_t n_heads, std::int64_t d_ff, bool causal,
                    core::Rng& rng);
 
-  Tensor forward(const Tensor& x) const;
+  /// Full-sequence forward; with `cache` given the attention K/V rows are
+  /// captured for incremental decoding (prefill).
+  Tensor forward(const Tensor& x, KvCache* cache = nullptr) const;
+  /// Incremental decode over one new position (see MultiHeadAttention).
+  Tensor forward_step(const Tensor& x_t, KvCache& cache) const;
   void collect_params(tensor::NamedParams& out, const std::string& prefix) const override;
   std::vector<Tensor> enable_lora(std::int64_t rank, float alpha, core::Rng& rng);
 

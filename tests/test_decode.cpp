@@ -1,0 +1,403 @@
+// KV-cached decode + batched serving suite (ctest -L inference).
+//
+// The load-bearing claim of DESIGN.md §10 is that the cached decode path is
+// the *same computation* as the uncached Fig. 2 baseline, not an
+// approximation: prefill + decode_step reuse the row-wise tensor kernels
+// whose accumulation order is position-independent, so logits — and
+// therefore greedy token streams — must match bitwise, at any thread count.
+// These tests pin that equality, the sliding-window clamp for prompts at or
+// past `max_seq`, and the serving engine's per-request fault isolation.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "baselines/abr/rule_based.hpp"
+#include "baselines/cjs/rule_based.hpp"
+#include "baselines/vp/rule_based.hpp"
+#include "core/fault.hpp"
+#include "core/stats.hpp"
+#include "core/threadpool.hpp"
+#include "llm/minigpt.hpp"
+#include "llm/tokenizer.hpp"
+#include "netllm/api.hpp"
+
+namespace ad = netllm::adapt;
+namespace llm = netllm::llm;
+namespace nc = netllm::core;
+namespace serve = netllm::serve;
+namespace vp = netllm::vp;
+namespace fault = netllm::core::fault;
+using netllm::core::Rng;
+using netllm::tensor::Tensor;
+
+namespace {
+
+/// Restores the default global pool size when a test exits.
+struct ThreadGuard {
+  ~ThreadGuard() { nc::set_global_threads(0); }
+};
+
+llm::MiniGptConfig tiny_config(std::int64_t max_seq = 48) {
+  llm::MiniGptConfig cfg;
+  cfg.vocab = llm::Tokenizer().vocab_size();
+  cfg.d_model = 16;
+  cfg.n_heads = 2;
+  cfg.n_layers = 2;
+  cfg.d_ff = 32;
+  cfg.max_seq = max_seq;
+  return cfg;
+}
+
+std::shared_ptr<llm::MiniGpt> tiny_llm(std::uint64_t seed, std::int64_t max_seq = 48) {
+  Rng rng(seed);
+  return std::make_shared<llm::MiniGpt>(tiny_config(max_seq), rng);
+}
+
+std::vector<int> random_prompt(std::size_t len, Rng& rng, std::int64_t vocab) {
+  std::vector<int> p(len);
+  for (auto& t : p) t = static_cast<int>(rng.randint(3, vocab - 1));
+  return p;
+}
+
+std::vector<float> to_vec(const Tensor& t) {
+  return {t.data().begin(), t.data().end()};
+}
+
+class Decode : public ::testing::Test {
+ protected:
+  void TearDown() override { fault::disarm_all(); }
+};
+
+}  // namespace
+
+// ---------- cached vs uncached equivalence ----------
+
+TEST_F(Decode, CachedMatchesUncachedOverRandomizedPromptsAndSeeds) {
+  for (std::uint64_t seed : {1u, 9u, 33u}) {
+    auto gpt = tiny_llm(seed);
+    Rng rng(seed * 101 + 5);
+    for (std::size_t prompt_len : {1u, 2u, 7u, 19u}) {
+      const auto prompt = random_prompt(prompt_len, rng, gpt->config().vocab);
+      const int max_new = static_cast<int>(rng.randint(2, 12));
+      const auto uncached = gpt->generate(prompt, max_new, /*stop_token=*/-1);
+      const auto cached = gpt->generate(prompt, max_new, /*stop_token=*/-1, /*use_cache=*/true);
+      ASSERT_EQ(uncached, cached) << "seed=" << seed << " prompt_len=" << prompt_len;
+      ASSERT_EQ(uncached.size(), static_cast<std::size_t>(max_new));
+    }
+  }
+}
+
+TEST_F(Decode, CachedMatchesUncachedWithStopToken) {
+  auto gpt = tiny_llm(4);
+  Rng rng(77);
+  const auto prompt = random_prompt(5, rng, gpt->config().vocab);
+  // Use the first greedily generated token as the stop token: both paths
+  // must agree on the (empty) stream and on a later stop mid-stream.
+  const auto ref = gpt->generate(prompt, 8, -1);
+  ASSERT_FALSE(ref.empty());
+  for (int stop : {ref.front(), ref.back()}) {
+    EXPECT_EQ(gpt->generate(prompt, 8, stop), gpt->generate(prompt, 8, stop, true));
+  }
+}
+
+TEST_F(Decode, StepLogitsBitwiseEqualFullForward) {
+  auto gpt = tiny_llm(12);
+  Rng rng(3);
+  const auto tokens = random_prompt(10, rng, gpt->config().vocab);
+
+  auto st = gpt->make_decode_state();
+  const std::size_t prefill_len = 4;
+  Tensor logits = gpt->prefill(std::span<const int>(tokens.data(), prefill_len), st);
+  // Last prefill row vs full forward over the same prefix: bitwise equal.
+  const auto v = static_cast<std::size_t>(gpt->config().vocab);
+  {
+    const auto full = gpt->forward_tokens(std::span<const int>(tokens.data(), prefill_len));
+    const auto a = to_vec(logits);
+    const auto b = to_vec(full);
+    ASSERT_EQ(a, b);  // prefill returns the full [T, vocab] logits
+  }
+  // Each decode_step row vs the last row of the uncached forward over the
+  // grown prefix — element-for-element float equality, no tolerance.
+  for (std::size_t t = prefill_len; t < tokens.size(); ++t) {
+    logits = gpt->decode_step(tokens[t], st);
+    const auto full = gpt->forward_tokens(std::span<const int>(tokens.data(), t + 1));
+    const auto step_row = to_vec(logits);
+    const auto full_data = to_vec(full);
+    ASSERT_EQ(step_row.size(), v);
+    for (std::size_t j = 0; j < v; ++j) {
+      ASSERT_EQ(step_row[j], full_data[t * v + j]) << "t=" << t << " j=" << j;
+    }
+  }
+}
+
+TEST_F(Decode, PrefillCacheEqualsTokenByTokenCache) {
+  auto gpt = tiny_llm(21);
+  Rng rng(13);
+  const auto tokens = random_prompt(9, rng, gpt->config().vocab);
+
+  auto st_prefill = gpt->make_decode_state();
+  gpt->prefill(tokens, st_prefill);
+
+  auto st_steps = gpt->make_decode_state();
+  for (std::size_t t = 0; t < tokens.size(); ++t) gpt->decode_step(tokens[t], st_steps);
+
+  ASSERT_EQ(st_prefill.layers.size(), st_steps.layers.size());
+  ASSERT_EQ(st_prefill.len(), static_cast<std::int64_t>(tokens.size()));
+  for (std::size_t l = 0; l < st_prefill.layers.size(); ++l) {
+    const auto& a = st_prefill.layers[l];
+    const auto& b = st_steps.layers[l];
+    ASSERT_EQ(a.len, b.len);
+    ASSERT_EQ(a.k, b.k) << "layer " << l;  // bitwise: vector<float> equality
+    ASSERT_EQ(a.v, b.v) << "layer " << l;
+  }
+}
+
+TEST_F(Decode, BitwiseIdenticalAcrossThreadCounts) {
+  ThreadGuard guard;
+  auto gpt = tiny_llm(8);
+  Rng rng(91);
+  const auto prompt = random_prompt(6, rng, gpt->config().vocab);
+
+  nc::set_global_threads(1);
+  const auto uncached_1 = gpt->generate(prompt, 10, -1, false);
+  const auto cached_1 = gpt->generate(prompt, 10, -1, true);
+  auto st1 = gpt->make_decode_state();
+  const auto logits_1 = to_vec(gpt->prefill(prompt, st1));
+
+  nc::set_global_threads(4);
+  const auto uncached_4 = gpt->generate(prompt, 10, -1, false);
+  const auto cached_4 = gpt->generate(prompt, 10, -1, true);
+  auto st4 = gpt->make_decode_state();
+  const auto logits_4 = to_vec(gpt->prefill(prompt, st4));
+
+  EXPECT_EQ(uncached_1, cached_1);
+  EXPECT_EQ(uncached_1, uncached_4);
+  EXPECT_EQ(cached_1, cached_4);
+  EXPECT_EQ(logits_1, logits_4);  // float-exact across pool sizes
+  for (std::size_t l = 0; l < st1.layers.size(); ++l) {
+    EXPECT_EQ(st1.layers[l].k, st4.layers[l].k);
+    EXPECT_EQ(st1.layers[l].v, st4.layers[l].v);
+  }
+}
+
+// ---------- sliding window (prompts at or past max_seq) ----------
+
+TEST_F(Decode, LongPromptClampsToSlidingWindow) {
+  auto gpt = tiny_llm(5, /*max_seq=*/16);
+  Rng rng(55);
+  const auto long_prompt = random_prompt(40, rng, gpt->config().vocab);  // >> max_seq
+  const std::vector<int> tail(long_prompt.end() - 16, long_prompt.end());
+
+  // Used to walk past pos_embed_ (or return {}); now both paths serve the
+  // window of the last max_seq tokens and agree with the explicit tail.
+  const auto uncached = gpt->generate(long_prompt, 5, -1, false);
+  const auto cached = gpt->generate(long_prompt, 5, -1, true);
+  ASSERT_EQ(uncached.size(), 5u);
+  EXPECT_EQ(uncached, cached);
+  EXPECT_EQ(uncached, gpt->generate(tail, 5, -1, false));
+}
+
+TEST_F(Decode, GenerationSlidesAcrossTheContextBoundary) {
+  auto gpt = tiny_llm(6, /*max_seq=*/12);
+  Rng rng(19);
+  // Prompt nearly fills the context; generation must cross max_seq and keep
+  // going (the pre-fix code stopped dead at the boundary).
+  const auto prompt = random_prompt(10, rng, gpt->config().vocab);
+  const int max_new = 8;  // crosses 12 two tokens in
+  const auto uncached = gpt->generate(prompt, max_new, -1, false);
+  const auto cached = gpt->generate(prompt, max_new, -1, true);
+  ASSERT_EQ(uncached.size(), static_cast<std::size_t>(max_new));
+  EXPECT_EQ(uncached, cached);
+}
+
+TEST_F(Decode, DecodeStepThrowsWhenCacheFull) {
+  auto gpt = tiny_llm(2, /*max_seq=*/8);
+  Rng rng(1);
+  const auto tokens = random_prompt(8, rng, gpt->config().vocab);
+  auto st = gpt->make_decode_state();
+  gpt->prefill(tokens, st);
+  EXPECT_THROW(gpt->decode_step(3, st), std::invalid_argument);
+  // generate() handles the same boundary internally via the sliding window.
+  EXPECT_EQ(gpt->generate(tokens, 3, -1, true).size(), 3u);
+}
+
+// ---------- batched serving engine ----------
+
+namespace {
+
+serve::VpRequest vp_request(const vp::VpSample& sample, int horizon = 4) {
+  return {sample.history, sample.saliency, horizon};
+}
+
+std::vector<vp::VpSample> vp_samples(int n) {
+  auto setting = vp::vp_default_train();
+  setting.num_traces = 1;
+  return vp::build_dataset(setting, n);
+}
+
+std::shared_ptr<ad::VpAdapter> vp_adapter(std::uint64_t seed = 1) {
+  ad::VpAdapterConfig cfg;
+  cfg.lora_rank = 2;
+  cfg.lora_alpha = 4.0f;
+  Rng rng(seed);
+  return std::make_shared<ad::VpAdapter>(tiny_llm(seed, 112), cfg, rng);
+}
+
+}  // namespace
+
+TEST_F(Decode, EngineBatchMatchesIndividualPredictions) {
+  auto adapter = vp_adapter();
+  auto engine = ad::api::Serve(adapter);
+  const auto samples = vp_samples(6);
+  for (const auto& s : samples) engine->submit(vp_request(s));
+  EXPECT_EQ(engine->pending(), samples.size());
+
+  const auto report = engine->run();
+  EXPECT_EQ(engine->pending(), 0u);
+  EXPECT_EQ(report.requests, samples.size());
+  EXPECT_EQ(report.llm, samples.size());
+  EXPECT_EQ(report.fallback, 0u);
+  EXPECT_GE(report.p99_ms, report.p50_ms);
+
+  ASSERT_EQ(engine->vp_responses().size(), samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const auto& resp = engine->vp_responses()[i];
+    EXPECT_EQ(resp.meta.source, serve::Source::kLlm);
+    const auto direct = adapter->predict(samples[i].history, samples[i].saliency, 4);
+    ASSERT_EQ(resp.viewports.size(), direct.size());
+    for (std::size_t j = 0; j < direct.size(); ++j) {
+      // Bitwise: the batched request ran the identical serial computation.
+      EXPECT_EQ(resp.viewports[j].roll, direct[j].roll);
+      EXPECT_EQ(resp.viewports[j].pitch, direct[j].pitch);
+      EXPECT_EQ(resp.viewports[j].yaw, direct[j].yaw);
+    }
+  }
+}
+
+TEST_F(Decode, EngineBatchBitwiseIdenticalAcrossThreadCounts) {
+  ThreadGuard guard;
+  const auto samples = vp_samples(5);
+  auto run_at = [&](int threads) {
+    nc::set_global_threads(threads);
+    auto engine = ad::api::Serve(vp_adapter(3));
+    for (const auto& s : samples) engine->submit(vp_request(s));
+    engine->run();
+    return engine->vp_responses();
+  };
+  const auto serial = run_at(1);
+  const auto threaded = run_at(4);
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial[i].viewports.size(), threaded[i].viewports.size());
+    for (std::size_t j = 0; j < serial[i].viewports.size(); ++j) {
+      EXPECT_EQ(serial[i].viewports[j].roll, threaded[i].viewports[j].roll);
+      EXPECT_EQ(serial[i].viewports[j].pitch, threaded[i].viewports[j].pitch);
+      EXPECT_EQ(serial[i].viewports[j].yaw, threaded[i].viewports[j].yaw);
+    }
+  }
+}
+
+TEST_F(Decode, EngineRoutesMixedBatchAcrossAllThreeTasks) {
+  auto engine = ad::api::Serve(std::make_shared<netllm::baselines::LinearRegressionVp>(),
+                               std::make_shared<netllm::baselines::Bba>(),
+                               std::make_shared<netllm::baselines::FifoScheduler>());
+  const auto samples = vp_samples(2);
+  engine->submit(vp_request(samples[0]));
+  engine->submit(vp_request(samples[1]));
+
+  netllm::abr::Observation obs;
+  obs.past_throughput_mbps.assign(netllm::abr::Observation::kHistory, 3.0);
+  obs.past_delay_s.assign(netllm::abr::Observation::kHistory, 0.1);
+  obs.next_chunk_sizes_mbytes = {0.5, 1.0, 2.0, 4.0};
+  obs.future_chunk_sizes_mbytes.assign(netllm::abr::Observation::kHorizon * 4, 1.0);
+  obs.buffer_s = 10.0;
+  obs.chunks_remaining = 10;
+  obs.num_levels = 4;
+  engine->submit(serve::AbrRequest{obs});
+
+  netllm::cjs::SchedObservation sobs;
+  sobs.node_features = Tensor::zeros({2, netllm::cjs::SchedObservation::kNodeFeatures});
+  sobs.topology.num_nodes = 2;
+  sobs.topology.children = {{}, {}};
+  sobs.runnable_rows = {0, 1};
+  sobs.job_of_row = {0, 1};
+  sobs.job_arrival_of_row = {0.0, 1.0};
+  sobs.idle_executors = 4;
+  sobs.total_executors = 8;
+  engine->submit(serve::CjsRequest{sobs});
+
+  const auto report = engine->run();
+  EXPECT_EQ(report.requests, 4u);
+  EXPECT_EQ(report.llm, 4u);
+  ASSERT_EQ(engine->abr_responses().size(), 1u);
+  const int level = engine->abr_responses()[0].level;
+  EXPECT_GE(level, 0);
+  EXPECT_LT(level, 4);
+  ASSERT_EQ(engine->cjs_responses().size(), 1u);
+  EXPECT_EQ(engine->cjs_responses()[0].action.runnable_index, 0);  // FIFO: earliest arrival
+}
+
+TEST_F(Decode, MidBatchFaultDegradesOneRequestWithoutPoisoningTheRest) {
+  ThreadGuard guard;
+  nc::set_global_threads(1);  // deterministic order: jobs run in submit order
+  nc::counters_reset();
+  auto adapter = vp_adapter(7);
+  auto engine = ad::api::Serve(adapter);
+  const auto samples = vp_samples(4);
+  for (const auto& s : samples) engine->submit(vp_request(s));
+
+  // Fire exactly on the second request's guarded region.
+  fault::arm("serve.batch", {.kind = fault::FaultKind::Throw, .after = 1, .times = 1});
+  const auto report = engine->run();
+
+  EXPECT_EQ(report.requests, 4u);
+  EXPECT_EQ(report.llm, 3u);
+  EXPECT_EQ(report.fallback, 1u);
+  const auto counters = engine->counters();
+  EXPECT_EQ(counters.fail_exception, 1);
+  EXPECT_EQ(counters.llm_ok, 3);
+  EXPECT_EQ(counters.fallback, 1);
+  EXPECT_EQ(nc::counter_value("serve.vp.fallback"), 1);
+
+  ASSERT_EQ(engine->vp_responses().size(), 4u);
+  EXPECT_EQ(engine->vp_responses()[1].meta.source, serve::Source::kFallback);
+  for (std::size_t i : {0u, 2u, 3u}) {
+    const auto& resp = engine->vp_responses()[i];
+    EXPECT_EQ(resp.meta.source, serve::Source::kLlm) << "request " << i;
+    // Untouched requests still serve the exact LLM-path answer.
+    const auto direct = adapter->predict(samples[i].history, samples[i].saliency, 4);
+    ASSERT_EQ(resp.viewports.size(), direct.size());
+    for (std::size_t j = 0; j < direct.size(); ++j) {
+      EXPECT_EQ(resp.viewports[j].yaw, direct[j].yaw);
+    }
+  }
+  // The degraded request still got a *valid* answer (the LR baseline).
+  ASSERT_EQ(engine->vp_responses()[1].viewports.size(), 4u);
+}
+
+TEST_F(Decode, EngineBreakerOpensUnderSustainedFaults) {
+  ThreadGuard guard;
+  nc::set_global_threads(1);
+  auto engine = ad::api::Serve(vp_adapter(11));
+  const auto samples = vp_samples(1);
+
+  fault::arm("serve.batch", {.kind = fault::FaultKind::Throw, .times = -1});
+  // breaker_threshold=3 consecutive exceptions open the breaker; the
+  // following requests are served by the fallback without touching the LLM.
+  for (int i = 0; i < 5; ++i) engine->submit(vp_request(samples[0]));
+  const auto report = engine->run();
+  EXPECT_EQ(report.fallback, 5u);
+  EXPECT_EQ(report.llm, 0u);
+  const auto counters = engine->counters();
+  EXPECT_EQ(counters.breaker_trips, 1);
+  EXPECT_EQ(counters.fail_exception, 3);  // 3 probes, then the breaker served
+}
+
+TEST_F(Decode, EngineRejectsRequestsForMissingModels) {
+  auto engine = ad::api::Serve(std::make_shared<netllm::baselines::LinearRegressionVp>());
+  EXPECT_THROW(engine->submit(serve::AbrRequest{}), std::invalid_argument);
+  EXPECT_THROW(engine->submit(serve::CjsRequest{}), std::invalid_argument);
+  EXPECT_THROW(ad::api::Serve(nullptr), std::invalid_argument);
+}

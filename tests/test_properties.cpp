@@ -3,7 +3,9 @@
 // the figure benches.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <functional>
 
 #include "baselines/cjs/rule_based.hpp"
 #include "core/rng.hpp"
@@ -80,6 +82,39 @@ TEST_P(TokenizerProperty, EncodeDecodeRoundTrip) {
     text.push_back(pool[static_cast<std::size_t>(rng.randint(0, static_cast<std::int64_t>(pool.size()) - 1))]);
   }
   EXPECT_EQ(tok.decode(tok.encode(text)), text);
+}
+
+// Over *arbitrary* bytes (uppercase, punctuation outside the alphabet),
+// decode∘encode equals the fold: uppercase lowercased, unknown chars -> ' '.
+TEST_P(TokenizerProperty, EncodeDecodeEqualsFold) {
+  netllm::llm::Tokenizer tok;
+  Rng rng(GetParam() + 100);
+  std::string text;
+  const auto len = rng.randint(1, 120);
+  for (std::int64_t i = 0; i < len; ++i) {
+    text.push_back(static_cast<char>(rng.randint(1, 126)));
+  }
+  std::string folded;
+  for (char c : text) {
+    const char f = (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+    folded.push_back(tok.char_to_id(f).has_value() ? f : ' ');
+  }
+  EXPECT_EQ(tok.decode(tok.encode(text)), folded);
+}
+
+// Regression for the PR 2 char_to_id case-folding fix: the single-char
+// lookup must agree with encode() on uppercase input.
+TEST(TokenizerRegression, CharToIdFoldsUppercaseLikeEncode) {
+  netllm::llm::Tokenizer tok;
+  for (char c = 'A'; c <= 'Z'; ++c) {
+    const auto upper = tok.char_to_id(c);
+    const auto lower = tok.char_to_id(static_cast<char>(c - 'A' + 'a'));
+    ASSERT_TRUE(upper.has_value()) << c;
+    ASSERT_TRUE(lower.has_value()) << c;
+    EXPECT_EQ(*upper, *lower) << c;
+  }
+  EXPECT_EQ(tok.encode("ABC xyz"), tok.encode("abc xyz"));
+  EXPECT_EQ(tok.decode(tok.encode("MiXeD CaSe 42")), "mixed case 42");
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TokenizerProperty, ::testing::Range<std::uint64_t>(1, 9));
@@ -251,3 +286,72 @@ TEST_P(AttentionProperty, OutputFiniteAndShaped) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Lengths, AttentionProperty, ::testing::Values(1, 2, 33, 112));
+
+// ---------- attention backward: finite-difference gradient checks ----------
+// The attention backward was previously covered only transitively (test_nn
+// trains through it); these pin every parameter's analytic gradient against
+// central differences, for the raw MHA and for a full pre-LN block.
+
+namespace {
+
+/// Central-difference check over every element of every input (the idiom
+/// from test_autograd, replicated here for the composite-module suites).
+void fd_check_gradients(const std::vector<nt::Tensor>& inputs,
+                        const std::function<nt::Tensor()>& loss_fn, float eps = 1e-3f,
+                        float tol = 2e-2f) {
+  for (const auto& in : inputs) in.zero_grad();
+  auto loss = loss_fn();
+  ASSERT_EQ(loss.numel(), 1);
+  loss.backward();
+  std::vector<std::vector<float>> analytic;
+  for (const auto& in : inputs) {
+    analytic.emplace_back(in.grad().begin(), in.grad().end());
+  }
+  for (std::size_t k = 0; k < inputs.size(); ++k) {
+    auto data = const_cast<nt::Tensor&>(inputs[k]).mutable_data();
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      const float orig = data[i];
+      data[i] = orig + eps;
+      const float up = loss_fn().item();
+      data[i] = orig - eps;
+      const float down = loss_fn().item();
+      data[i] = orig;
+      const float numeric = (up - down) / (2.0f * eps);
+      const float a = analytic[k][i];
+      const float denom = std::max({std::abs(numeric), std::abs(a), 1.0f});
+      EXPECT_NEAR(a / denom, numeric / denom, tol)
+          << "input " << k << " element " << i << " analytic=" << a << " numeric=" << numeric;
+    }
+  }
+}
+
+}  // namespace
+
+class AttentionGradProperty : public ::testing::TestWithParam<bool> {};
+
+TEST_P(AttentionGradProperty, MultiHeadAttentionGradientsMatchFiniteDifferences) {
+  const bool causal = GetParam();
+  Rng rng(17);
+  nn::MultiHeadAttention mha(8, 2, causal, rng);
+  auto x = nt::Tensor::randn({3, 8}, rng, 0.7f, /*requires_grad=*/true);
+  auto inputs = mha.trainable_parameters();
+  inputs.push_back(x);
+  fd_check_gradients(inputs, [&] {
+    auto y = mha.forward(x);
+    return nt::mean_all(nt::mul(y, y));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Masks, AttentionGradProperty, ::testing::Values(false, true));
+
+TEST(TransformerBlockGradProperty, BlockGradientsMatchFiniteDifferences) {
+  Rng rng(29);
+  nn::TransformerBlock block(8, 2, 12, /*causal=*/true, rng);
+  auto x = nt::Tensor::randn({3, 8}, rng, 0.7f, /*requires_grad=*/true);
+  auto inputs = block.trainable_parameters();
+  inputs.push_back(x);
+  fd_check_gradients(inputs, [&] {
+    auto y = block.forward(x);
+    return nt::mean_all(nt::mul(y, y));
+  });
+}
