@@ -2,8 +2,12 @@
 # Regenerates every paper table/figure. Output: bench_output.txt
 # Also emits BENCH_kernels.json (serial vs threaded matmul GFLOP/s;
 # items_per_second == FLOP/s), BENCH_session.json (durable-session
-# checkpoint save/restore latency + steps/s at each checkpoint cadence) and
-# BENCH_decode.json (cached vs uncached tokens/s + batched-serving latency).
+# checkpoint save/restore latency + steps/s at each checkpoint cadence),
+# BENCH_decode.json (cached vs uncached tokens/s + batched-serving latency)
+# and BENCH_metrics.json (observability hot-path cost + serve overhead on vs
+# off) with the full metrics-registry dump in metrics.json.
+# Every BENCH_*.json (and metrics.json) is validated at the end; an empty or
+# unparseable file fails the sweep loudly instead of archiving garbage.
 set -euo pipefail
 cd "$(dirname "$0")"
 {
@@ -25,6 +29,34 @@ echo "##### BENCH_session.json (checkpoint latency + cadence overhead)"
 echo
 echo "##### BENCH_decode.json (KV-cached decode + batched serving)"
 ./build/bench/bench_decode BENCH_decode.json 2>&1
+echo
+echo "##### BENCH_metrics.json + metrics.json (observability overhead)"
+./build/bench/bench_metrics BENCH_metrics.json metrics.json 2>&1
+echo
+echo "##### validating JSON artifacts"
+fail=0
+for f in BENCH_*.json metrics.json; do
+  if [ ! -s "$f" ]; then
+    echo "INVALID: $f is missing or empty"
+    fail=1
+  elif command -v python3 >/dev/null 2>&1; then
+    if python3 -m json.tool "$f" >/dev/null 2>&1; then
+      echo "ok: $f"
+    else
+      echo "INVALID: $f does not parse as JSON"
+      fail=1
+    fi
+  elif ! grep -q '}' "$f"; then
+    echo "INVALID: $f has no closing brace"
+    fail=1
+  else
+    echo "ok (no python3, brace check only): $f"
+  fi
+done
+if [ "$fail" -ne 0 ]; then
+  echo "FLEET-FAILED: invalid benchmark JSON artifacts"
+  exit 1
+fi
 echo
 echo "FLEET-DONE"
 } > bench_output.txt 2>&1

@@ -1,0 +1,314 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+namespace netllm::core::metrics {
+
+namespace detail {
+
+std::atomic<int> g_enabled{-1};
+
+int enabled_slow() {
+  int on = 1;
+  if (const char* env = std::getenv("NETLLM_METRICS")) {
+    std::string v(env);
+    std::transform(v.begin(), v.end(), v.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+    if (v == "0" || v == "off" || v == "false" || v == "no") on = 0;
+  }
+  int expected = -1;
+  g_enabled.compare_exchange_strong(expected, on, std::memory_order_relaxed);
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+int shard() {
+  static std::atomic<int> next{0};
+  thread_local const int idx = next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return idx;
+}
+
+}  // namespace detail
+
+bool enabled() { return detail::on(); }
+
+void set_enabled(bool on) { detail::g_enabled.store(on ? 1 : 0, std::memory_order_relaxed); }
+
+// ---- histogram ----
+
+namespace {
+
+/// Bucket owning `ms` (clamped). log2 of the value relative to kMinMs,
+/// scaled to kBucketsPerOctave buckets per doubling.
+int bucket_of(double ms) {
+  if (!(ms > Histogram::kMinMs)) return 0;  // NaN and tiny values land in bucket 0
+  const double oct = std::log2(ms / Histogram::kMinMs);
+  const int idx = static_cast<int>(oct * Histogram::kBucketsPerOctave);
+  return std::min(idx, Histogram::kBuckets - 1);
+}
+
+double bucket_lo(int idx) {
+  return Histogram::kMinMs *
+         std::exp2(static_cast<double>(idx) / Histogram::kBucketsPerOctave);
+}
+
+/// Geometric midpoint — the representative value reported for a bucket.
+double bucket_mid(int idx) {
+  return bucket_lo(idx) * std::exp2(0.5 / Histogram::kBucketsPerOctave);
+}
+
+void atomic_min(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur && !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur && !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Histogram::record(double ms) noexcept {
+  if (!detail::on()) return;
+  if (std::isnan(ms)) return;
+  auto& sh = shards_[detail::shard()];
+  sh.buckets[bucket_of(ms)].fetch_add(1, std::memory_order_relaxed);
+  sh.sum.fetch_add(ms, std::memory_order_relaxed);
+  sh.count.fetch_add(1, std::memory_order_relaxed);
+  atomic_min(sh.min, ms);
+  atomic_max(sh.max, ms);
+}
+
+std::int64_t Histogram::count() const noexcept {
+  std::int64_t n = 0;
+  for (const auto& sh : shards_) n += sh.count.load(std::memory_order_relaxed);
+  return n;
+}
+
+double Histogram::sum() const noexcept {
+  double s = 0.0;
+  for (const auto& sh : shards_) s += sh.sum.load(std::memory_order_relaxed);
+  return s;
+}
+
+HistogramSnapshot Histogram::snapshot() const noexcept {
+  HistogramSnapshot out;
+  std::int64_t merged[kBuckets] = {};
+  bool any = false;
+  for (const auto& sh : shards_) {
+    const auto n = sh.count.load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    for (int b = 0; b < kBuckets; ++b) {
+      merged[b] += sh.buckets[b].load(std::memory_order_relaxed);
+    }
+    out.count += n;
+    out.sum += sh.sum.load(std::memory_order_relaxed);
+    const double mn = sh.min.load(std::memory_order_relaxed);
+    const double mx = sh.max.load(std::memory_order_relaxed);
+    out.min = any ? std::min(out.min, mn) : mn;
+    out.max = any ? std::max(out.max, mx) : mx;
+    any = true;
+  }
+  if (out.count == 0) return out;
+
+  auto pct = [&](double p) {
+    // Same rank definition as core::percentile: position p/100 * (n-1),
+    // resolved to the geometric midpoint of the bucket holding that rank.
+    const double pos = p / 100.0 * static_cast<double>(out.count - 1);
+    const auto rank = static_cast<std::int64_t>(pos);
+    std::int64_t seen = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      seen += merged[b];
+      if (seen > rank) return bucket_mid(b);
+    }
+    return bucket_mid(kBuckets - 1);
+  };
+  out.p50 = pct(50.0);
+  out.p90 = pct(90.0);
+  out.p99 = pct(99.0);
+  return out;
+}
+
+double Histogram::percentile(double p) const noexcept {
+  const auto snap = snapshot();
+  if (snap.count == 0) return 0.0;
+  std::int64_t merged[kBuckets] = {};
+  for (const auto& sh : shards_) {
+    for (int b = 0; b < kBuckets; ++b) {
+      merged[b] += sh.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  const double pos = std::clamp(p, 0.0, 100.0) / 100.0 * static_cast<double>(snap.count - 1);
+  const auto rank = static_cast<std::int64_t>(pos);
+  std::int64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += merged[b];
+    if (seen > rank) return bucket_mid(b);
+  }
+  return bucket_mid(kBuckets - 1);
+}
+
+void Histogram::reset() noexcept {
+  for (auto& sh : shards_) {
+    for (auto& b : sh.buckets) b.store(0, std::memory_order_relaxed);
+    sh.sum.store(0.0, std::memory_order_relaxed);
+    sh.min.store(std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+    sh.max.store(-std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+    sh.count.store(0, std::memory_order_relaxed);
+  }
+}
+
+// ---- registry ----
+
+namespace {
+
+/// Deques give handle-address stability across growth; the maps only hold
+/// pointers into them. One mutex guards registration and whole-registry
+/// operations (snapshot/reset) — never the record paths.
+struct Registry {
+  std::mutex mu;
+  std::deque<Counter> counter_store;
+  std::deque<Gauge> gauge_store;
+  std::deque<Histogram> histogram_store;
+  std::map<std::string, Counter*> counters;
+  std::map<std::string, Gauge*> gauges;
+  std::map<std::string, Histogram*> histograms;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: handles must outlive statics
+  return *r;
+}
+
+}  // namespace
+
+Counter& counter(std::string_view name) {
+  auto& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.counters.find(std::string(name));
+  if (it != r.counters.end()) return *it->second;
+  r.counter_store.emplace_back();
+  return *r.counters.emplace(std::string(name), &r.counter_store.back()).first->second;
+}
+
+Gauge& gauge(std::string_view name) {
+  auto& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.gauges.find(std::string(name));
+  if (it != r.gauges.end()) return *it->second;
+  r.gauge_store.emplace_back();
+  return *r.gauges.emplace(std::string(name), &r.gauge_store.back()).first->second;
+}
+
+Histogram& histogram(std::string_view name) {
+  auto& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.histograms.find(std::string(name));
+  if (it != r.histograms.end()) return *it->second;
+  r.histogram_store.emplace_back();
+  return *r.histograms.emplace(std::string(name), &r.histogram_store.back()).first->second;
+}
+
+Snapshot snapshot() {
+  auto& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  Snapshot out;
+  out.counters.reserve(r.counters.size());
+  for (const auto& [name, c] : r.counters) out.counters.emplace_back(name, c->value());
+  out.gauges.reserve(r.gauges.size());
+  for (const auto& [name, g] : r.gauges) out.gauges.emplace_back(name, g->value());
+  out.histograms.reserve(r.histograms.size());
+  for (const auto& [name, h] : r.histograms) out.histograms.emplace_back(name, h->snapshot());
+  return out;
+}
+
+void reset() {
+  auto& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& [name, c] : r.counters) c->reset();
+  for (auto& [name, g] : r.gauges) g->reset();
+  for (auto& [name, h] : r.histograms) h->reset();
+}
+
+namespace {
+
+void json_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "0";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string to_json() {
+  const auto snap = snapshot();
+  std::string out = "{\n  \"enabled\": ";
+  out += enabled() ? "true" : "false";
+  out += ",\n  \"counters\": {";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    out += i ? ",\n    \"" : "\n    \"";
+    out += snap.counters[i].first;
+    out += "\": " + std::to_string(snap.counters[i].second);
+  }
+  out += snap.counters.empty() ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    out += i ? ",\n    \"" : "\n    \"";
+    out += snap.gauges[i].first;
+    out += "\": ";
+    json_number(out, snap.gauges[i].second);
+  }
+  out += snap.gauges.empty() ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    const auto& [name, h] = snap.histograms[i];
+    out += i ? ",\n    \"" : "\n    \"";
+    out += name;
+    out += "\": {\"count\": " + std::to_string(h.count) + ", \"sum_ms\": ";
+    json_number(out, h.sum);
+    out += ", \"min_ms\": ";
+    json_number(out, h.min);
+    out += ", \"max_ms\": ";
+    json_number(out, h.max);
+    out += ", \"p50_ms\": ";
+    json_number(out, h.p50);
+    out += ", \"p90_ms\": ";
+    json_number(out, h.p90);
+    out += ", \"p99_ms\": ";
+    json_number(out, h.p99);
+    out += "}";
+  }
+  out += snap.histograms.empty() ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+void write_json(const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::trunc);
+    if (!os) throw std::runtime_error("metrics::write_json: cannot open " + tmp);
+    os << to_json();
+    if (!os.flush()) throw std::runtime_error("metrics::write_json: write failed for " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw std::runtime_error("metrics::write_json: rename to " + path + " failed");
+  }
+}
+
+}  // namespace netllm::core::metrics

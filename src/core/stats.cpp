@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
-#include <mutex>
 #include <stdexcept>
+
+#include "core/metrics.hpp"
 
 namespace netllm::core {
 
@@ -90,39 +90,29 @@ double reduction_pct(double ours, double theirs) {
   return 100.0 * (theirs - ours) / denom;
 }
 
-namespace {
-
-std::mutex& counter_mutex() {
-  static std::mutex m;
-  return m;
-}
-
-std::map<std::string, std::int64_t>& counter_map() {
-  static std::map<std::string, std::int64_t> counters;
-  return counters;
-}
-
-}  // namespace
+// ---- legacy named-counter shim ----
+// Since the core::metrics registry landed (DESIGN.md §11) these string-keyed
+// entry points are a compatibility facade over it: `counter_add(name)` is
+// `metrics::counter(name).add()` — one registry lookup per call, then the
+// same sharded lock-free slot a pre-registered handle would bump. Hot paths
+// should register a handle once instead; both views share storage.
 
 void counter_add(const std::string& name, std::int64_t delta) {
-  std::lock_guard<std::mutex> lock(counter_mutex());
-  counter_map()[name] += delta;
+  metrics::counter(name).add(delta);
 }
 
 std::int64_t counter_value(const std::string& name) {
-  std::lock_guard<std::mutex> lock(counter_mutex());
-  auto it = counter_map().find(name);
-  return it == counter_map().end() ? 0 : it->second;
+  return metrics::counter(name).value();
 }
 
 std::vector<std::pair<std::string, std::int64_t>> counters_snapshot() {
-  std::lock_guard<std::mutex> lock(counter_mutex());
-  return {counter_map().begin(), counter_map().end()};
+  return metrics::snapshot().counters;
 }
 
 void counters_reset() {
-  std::lock_guard<std::mutex> lock(counter_mutex());
-  counter_map().clear();
+  for (auto& [name, value] : metrics::snapshot().counters) {
+    if (value != 0) metrics::counter(name).reset();
+  }
 }
 
 }  // namespace netllm::core

@@ -43,9 +43,13 @@ double improvement_pct(double ours, double theirs);
 /// metric, in percent: 100 * (theirs - ours) / |theirs|.
 double reduction_pct(double ours, double theirs);
 
-// ---- named counters ----
+// ---- named counters (legacy shim) ----
 // Process-wide, thread-safe event counters (e.g. "guard.abr.fallback",
 // "adapt.skipped_steps"). Counting an unknown name creates it at zero.
+// Backed by the core::metrics registry (metrics.hpp) since DESIGN.md §11:
+// each call resolves the name under the registry lock, then bumps the same
+// lock-free sharded slot a pre-registered `metrics::Counter` handle uses.
+// New hot-path call sites should hold a handle instead of calling these.
 
 void counter_add(const std::string& name, std::int64_t delta = 1);
 std::int64_t counter_value(const std::string& name);

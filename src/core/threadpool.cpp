@@ -1,5 +1,7 @@
 #include "core/threadpool.hpp"
 
+#include "core/trace.hpp"
+
 #include <algorithm>
 #include <condition_variable>
 #include <cstdlib>
@@ -133,8 +135,13 @@ void ThreadPool::parallel_for(std::int64_t n, std::int64_t grain,
     if (!sync.error) sync.error = std::current_exception();
   }
 
-  std::unique_lock<std::mutex> lk(sync.mu);
-  sync.cv.wait(lk, [&] { return sync.remaining == 0; });
+  {
+    // Attribute the caller's idle time waiting on workers (its own chunk is
+    // done) — the lane-imbalance signal for the pool.wait trace phase.
+    trace::Span wait_span(trace::Phase::kPoolWait);
+    std::unique_lock<std::mutex> lk(sync.mu);
+    sync.cv.wait(lk, [&] { return sync.remaining == 0; });
+  }
   if (sync.error) std::rethrow_exception(sync.error);
 }
 

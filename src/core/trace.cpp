@@ -1,0 +1,49 @@
+#include "core/trace.hpp"
+
+#include <array>
+
+namespace netllm::core::trace {
+
+namespace {
+
+constexpr int kPhases = static_cast<int>(Phase::kCount);
+
+constexpr const char* kNames[kPhases] = {
+    "encode", "prefill", "decode_step", "head", "guard", "checkpoint", "pool.wait",
+};
+
+struct PhaseSlot {
+  metrics::Histogram* hist;
+  metrics::Counter* count;
+};
+
+/// One registry lookup per phase for the process lifetime; Span/record then
+/// go straight to the handles.
+std::array<PhaseSlot, kPhases>& slots() {
+  static std::array<PhaseSlot, kPhases> s = [] {
+    std::array<PhaseSlot, kPhases> out{};
+    for (int i = 0; i < kPhases; ++i) {
+      const std::string base = std::string("trace.") + kNames[i];
+      out[static_cast<std::size_t>(i)] = {&metrics::histogram(base),
+                                          &metrics::counter(base + ".count")};
+    }
+    return out;
+  }();
+  return s;
+}
+
+}  // namespace
+
+const char* phase_name(Phase p) { return kNames[static_cast<int>(p)]; }
+
+metrics::Histogram& phase_histogram(Phase p) {
+  return *slots()[static_cast<std::size_t>(p)].hist;
+}
+
+void record(Phase p, double ms) {
+  auto& slot = slots()[static_cast<std::size_t>(p)];
+  slot.hist->record(ms);
+  slot.count->add();
+}
+
+}  // namespace netllm::core::trace

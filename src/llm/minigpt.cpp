@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/fault.hpp"
+#include "core/trace.hpp"
 
 namespace netllm::llm {
 
@@ -80,7 +81,18 @@ std::vector<int> MiniGpt::generate(std::vector<int> ctx, int max_new, int stop_t
 
   if (!use_cache) {
     for (int step = 0; step < max_new; ++step) {
-      const int best = argmax_last_row(forward_tokens(window()));
+      // Trace attribution (DESIGN.md §11): the first full forward is the
+      // prompt prefill; every later re-forward is this path's decode step —
+      // a full T-row forward per token, which is the Fig. 2 cost the KV
+      // cache removes. The span taxonomy makes that visible per phase.
+      int best;
+      if (step == 0) {
+        core::trace::Span span(core::trace::Phase::kPrefill);
+        best = argmax_last_row(forward_tokens(window()));
+      } else {
+        core::trace::Span span(core::trace::Phase::kDecodeStep);
+        best = argmax_last_row(forward_tokens(window()));
+      }
       if (best == stop_token) break;
       out.push_back(best);
       ctx.push_back(best);
@@ -89,7 +101,7 @@ std::vector<int> MiniGpt::generate(std::vector<int> ctx, int max_new, int stop_t
   }
 
   auto st = make_decode_state();
-  Tensor logits = prefill(window(), st);
+  Tensor logits = prefill(window(), st);  // prefill() carries its own span
   for (int step = 0; step < max_new; ++step) {
     const int best = argmax_last_row(logits);
     if (best == stop_token) break;
@@ -124,6 +136,7 @@ Tensor MiniGpt::prefill(std::span<const int> ids, DecodeState& st) const {
   if (t == 0 || t > cfg_.max_seq) {
     throw std::invalid_argument("MiniGpt: sequence length out of range");
   }
+  core::trace::Span span(core::trace::Phase::kPrefill);
   auto x = add(tok_embed_->forward(ids), slice_rows(pos_embed_, 0, t));
   return lm_head_->forward(run_blocks(x, &st));
 }
@@ -136,6 +149,7 @@ Tensor MiniGpt::decode_step(int token, DecodeState& st) const {
   if (pos >= cfg_.max_seq) {
     throw std::invalid_argument("MiniGpt::decode_step: cache is full (max_seq positions)");
   }
+  core::trace::Span span(core::trace::Phase::kDecodeStep);
   const int ids[1] = {token};
   auto h = add(tok_embed_->forward(ids), slice_rows(pos_embed_, pos, 1));
   for (std::size_t i = 0; i < blocks_.size(); ++i) {
@@ -150,6 +164,9 @@ Tensor MiniGpt::forward_embeddings(const Tensor& embeds) const {
   }
   const auto t = embeds.dim(0);
   if (t > cfg_.max_seq) throw std::invalid_argument("MiniGpt::forward_embeddings: sequence too long");
+  // The embedding-path backbone forward is a full-sequence pass, so it is
+  // attributed to the prefill phase — for serving *and* adaptation forwards.
+  core::trace::Span span(core::trace::Phase::kPrefill);
   auto features = run_blocks(add(embeds, slice_rows(pos_embed_, 0, t)));
   // Fault-injection site for the serving/robustness tests: armed plans can
   // throw, delay past a latency budget, or poison the features with NaN/Inf.

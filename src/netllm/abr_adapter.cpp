@@ -4,7 +4,9 @@
 #include <stdexcept>
 
 #include "core/fault.hpp"
+#include "core/metrics.hpp"
 #include "core/timer.hpp"
+#include "core/trace.hpp"
 #include "netllm/resilience.hpp"
 #include "tensor/optim.hpp"
 
@@ -137,9 +139,17 @@ int AbrAdapter::choose_level(const abr::Observation& obs) {
   }
   const std::vector<AbrStep> steps(context_.begin(), context_.end());
   const std::vector<float> rtg(context_rtg_.begin(), context_rtg_.end());
-  auto window = build_window(steps, rtg, /*open_last=*/true);
+  // Per-phase spans (DESIGN.md §11): encoder → backbone (prefill, inside
+  // forward_embeddings) → networking head.
+  auto window = [&] {
+    core::trace::Span span(core::trace::Phase::kEncode);
+    return build_window(steps, rtg, /*open_last=*/true);
+  }();
   auto features = llm_->forward_embeddings(window.sequence);
-  const int level = head_->argmax(slice_rows(features, window.predict_positions.back(), 1));
+  const int level = [&] {
+    core::trace::Span span(core::trace::Phase::kHead);
+    return head_->argmax(slice_rows(features, window.predict_positions.back(), 1));
+  }();
   context_.back().action = level;  // feed the chosen action back next step
   return std::min(level, obs.num_levels - 1);
 }
@@ -193,10 +203,13 @@ AbrAdapter::AdaptStats AbrAdapter::adapt(std::span<const AbrTrajectory> pool, in
                     guard);
   const int start = sess.resume(rng, stats);
   const double prior_s = stats.seconds;  // wall time from interrupted runs
+  auto& step_hist = core::metrics::histogram("adapt.abr.step_ms");
+  auto& step_count = core::metrics::counter("adapt.abr.steps");
   core::Timer timer;
   const auto w = static_cast<std::size_t>(cfg_.context_window);
   constexpr int kBatch = 3;  // windows per gradient step
   for (int step = start; step < steps; ++step) {
+    core::Timer step_timer;
     // Linear learning-rate decay to 30% — stabilises the late phase of the
     // offline fit without a separate schedule object.
     opt.set_lr(lr * (1.0f - 0.7f * static_cast<float>(step) / static_cast<float>(steps)));
@@ -249,6 +262,8 @@ AbrAdapter::AdaptStats AbrAdapter::adapt(std::span<const AbrTrajectory> pool, in
     stats.seconds = prior_s + timer.elapsed_s();
     stats.skipped_steps = guard.skipped_steps();
     stats.restores = guard.restores();
+    step_hist.record(step_timer.elapsed_ms());
+    step_count.add();
     if (sess.after_step(step, rng, stats)) break;  // drained on SIGINT/SIGTERM
   }
   stats.seconds = prior_s + timer.elapsed_s();

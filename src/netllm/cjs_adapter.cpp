@@ -5,7 +5,9 @@
 #include <stdexcept>
 
 #include "core/fault.hpp"
+#include "core/metrics.hpp"
 #include "core/timer.hpp"
+#include "core/trace.hpp"
 #include "netllm/resilience.hpp"
 #include "tensor/optim.hpp"
 
@@ -106,12 +108,20 @@ cjs::SchedAction CjsAdapter::choose(const cjs::SchedObservation& obs) {
   context_.push_back(std::move(step));
   while (static_cast<int>(context_.size()) > cfg_.context_window) context_.pop_front();
   const std::vector<StepContext> steps(context_.begin(), context_.end());
-  auto window = build_window(steps, /*open_last=*/true);
+  // Per-phase spans (DESIGN.md §11): encoder → backbone (prefill, inside
+  // forward_embeddings) → networking heads.
+  auto window = [&] {
+    core::trace::Span span(core::trace::Phase::kEncode);
+    return build_window(steps, /*open_last=*/true);
+  }();
   auto features = llm_->forward_embeddings(window.sequence);
   auto feature = slice_rows(features, window.predict_positions.back(), 1);
   cjs::SchedAction action;
-  action.runnable_index = stage_head_->argmax(feature, window.candidates.back());
-  action.cap_choice = cap_head_->argmax(feature);
+  {
+    core::trace::Span span(core::trace::Phase::kHead);
+    action.runnable_index = stage_head_->argmax(feature, window.candidates.back());
+    action.cap_choice = cap_head_->argmax(feature);
+  }
   context_.back().action = action;
   return action;
 }
@@ -168,9 +178,12 @@ CjsAdapter::AdaptStats CjsAdapter::adapt(std::span<const CjsTrajectory> pool, in
                     guard);
   const int start = sess.resume(rng, stats);
   const double prior_s = stats.seconds;  // wall time from interrupted runs
+  auto& step_hist = core::metrics::histogram("adapt.cjs.step_ms");
+  auto& step_count = core::metrics::counter("adapt.cjs.steps");
   core::Timer timer;
   const auto w = static_cast<std::size_t>(cfg_.context_window);
   for (int step = start; step < steps; ++step) {
+    core::Timer step_timer;
     opt.set_lr(lr * (1.0f - 0.7f * static_cast<float>(step) / static_cast<float>(steps)));
     const auto traj_idx = rng.weighted_choice(sample_weights);
     const auto& traj = pool[traj_idx];
@@ -231,6 +244,8 @@ CjsAdapter::AdaptStats CjsAdapter::adapt(std::span<const CjsTrajectory> pool, in
     stats.seconds = prior_s + timer.elapsed_s();
     stats.skipped_steps = guard.skipped_steps();
     stats.restores = guard.restores();
+    step_hist.record(step_timer.elapsed_ms());
+    step_count.add();
     if (sess.after_step(step, rng, stats)) break;  // drained on SIGINT/SIGTERM
   }
   stats.seconds = prior_s + timer.elapsed_s();

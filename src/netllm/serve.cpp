@@ -11,6 +11,7 @@
 #include "core/stats.hpp"
 #include "core/threadpool.hpp"
 #include "core/timer.hpp"
+#include "core/trace.hpp"
 
 namespace netllm::serve {
 
@@ -32,30 +33,53 @@ InferenceEngine::InferenceEngine(std::shared_ptr<vp::VpPredictor> vp_model,
   if (!vp_model_ && !abr_policy_ && !cjs_policy_) {
     throw std::invalid_argument("InferenceEngine: need at least one model");
   }
+  // Resolve all metric handles once; the serve path never assembles a name.
+  vp_metrics_ = make_task_metrics("vp");
+  abr_metrics_ = make_task_metrics("abr");
+  cjs_metrics_ = make_task_metrics("cjs");
 }
 
-void InferenceEngine::bump(const char* task, const char* name, std::int64_t delta) {
-  if (!cfg_.counter_prefix.empty()) {
-    core::counter_add(cfg_.counter_prefix + task + "." + name, delta);
-  }
+InferenceEngine::TaskMetrics InferenceEngine::make_task_metrics(const char* task) const {
+  TaskMetrics m;
+  if (cfg_.counter_prefix.empty()) return m;  // metrics opted out for this engine
+  const std::string base = cfg_.counter_prefix + task + ".";
+  m.llm_ok = &core::metrics::counter(base + "llm_ok");
+  m.fallback = &core::metrics::counter(base + "fallback");
+  m.fail_exception = &core::metrics::counter(base + "fail.exception");
+  m.fail_invalid = &core::metrics::counter(base + "fail.invalid");
+  m.fail_latency = &core::metrics::counter(base + "fail.latency");
+  m.breaker_trips = &core::metrics::counter(base + "breaker.trips");
+  m.queue_wait_ms = &core::metrics::histogram(base + "queue_wait_ms");
+  m.compute_ms = &core::metrics::histogram(base + "compute_ms");
+  return m;
 }
 
 template <typename Action, typename Primary, typename Validate, typename Fallback>
-Action InferenceEngine::decide(Guard& g, const char* task, Primary&& primary, Validate&& valid,
+Action InferenceEngine::decide(Guard& g, TaskMetrics& m, Primary&& primary, Validate&& valid,
                                Fallback&& fallback, ResponseMeta& meta) {
+  bool cooling = false;
   {
+    core::trace::Span span(core::trace::Phase::kGuard);
     std::lock_guard<std::mutex> lock(g.mu);
     if (g.cooldown_left > 0) {
       --g.cooldown_left;
       ++g.counters.fallback;
-      bump(task, "fallback");
-      meta.source = Source::kFallback;
-      return fallback();
+      if (m.fallback) m.fallback->add();
+      cooling = true;
     }
+  }
+  if (cooling) {
+    // The fallback executes OUTSIDE g.mu: a slow (or stateful, or throwing)
+    // fallback must not serialize every other request's guard bookkeeping.
+    meta.source = Source::kFallback;
+    return fallback();
   }
   enum class Fail { kNone, kException, kInvalid, kLatency };
   Fail fail = Fail::kNone;
   Action action{};
+  // The latency budget is enforced on the primary model call below — never
+  // on time spent waiting for a policy mutex (reported as queue_wait_ms by
+  // the caller). A contended-but-fast request must not trip the breaker.
   core::Timer timer;
   try {
     // The injection site fires inside the guarded region: an armed
@@ -70,60 +94,69 @@ Action InferenceEngine::decide(Guard& g, const char* task, Primary&& primary, Va
     }
   } catch (const std::exception&) {
     fail = Fail::kException;
+  } catch (...) {
+    // A primary throwing something not derived from std::exception (an int,
+    // a bespoke error type from a plugged-in model) must degrade this one
+    // request, not escape into parallel_for and poison the whole batch.
+    fail = Fail::kException;
   }
-  std::lock_guard<std::mutex> lock(g.mu);
-  if (fail == Fail::kNone) {
-    g.consecutive_failures = 0;
-    ++g.counters.llm_ok;
-    bump(task, "llm_ok");
-    meta.source = Source::kLlm;
-    return action;
+  {
+    core::trace::Span span(core::trace::Phase::kGuard);
+    std::lock_guard<std::mutex> lock(g.mu);
+    if (fail == Fail::kNone) {
+      g.consecutive_failures = 0;
+      ++g.counters.llm_ok;
+      if (m.llm_ok) m.llm_ok->add();
+      meta.source = Source::kLlm;
+      return action;
+    }
+    switch (fail) {
+      case Fail::kException:
+        ++g.counters.fail_exception;
+        if (m.fail_exception) m.fail_exception->add();
+        break;
+      case Fail::kInvalid:
+        ++g.counters.fail_invalid;
+        if (m.fail_invalid) m.fail_invalid->add();
+        break;
+      default:
+        ++g.counters.fail_latency;
+        if (m.fail_latency) m.fail_latency->add();
+        break;
+    }
+    if (++g.consecutive_failures >= cfg_.breaker_threshold) {
+      g.consecutive_failures = 0;
+      g.cooldown_left = cfg_.breaker_cooldown;
+      ++g.counters.breaker_trips;
+      if (m.breaker_trips) m.breaker_trips->add();
+    }
+    ++g.counters.fallback;
+    if (m.fallback) m.fallback->add();
   }
-  switch (fail) {
-    case Fail::kException:
-      ++g.counters.fail_exception;
-      bump(task, "fail.exception");
-      break;
-    case Fail::kInvalid:
-      ++g.counters.fail_invalid;
-      bump(task, "fail.invalid");
-      break;
-    default:
-      ++g.counters.fail_latency;
-      bump(task, "fail.latency");
-      break;
-  }
-  if (++g.consecutive_failures >= cfg_.breaker_threshold) {
-    g.consecutive_failures = 0;
-    g.cooldown_left = cfg_.breaker_cooldown;
-    ++g.counters.breaker_trips;
-    bump(task, "breaker.trips");
-  }
-  ++g.counters.fallback;
-  bump(task, "fallback");
+  // As above: the failure-path fallback also runs outside g.mu.
   meta.source = Source::kFallback;
   return fallback();
 }
 
-std::size_t InferenceEngine::submit(VpRequest req) {
+Ticket InferenceEngine::submit(VpRequest req) {
   if (!vp_model_) throw std::invalid_argument("InferenceEngine: no VP model");
   std::lock_guard<std::mutex> lock(queue_mu_);
   vp_queue_.push_back(std::move(req));
-  return vp_queue_.size() - 1;
+  return Ticket{submit_epoch_, vp_queue_.size() - 1};
 }
 
-std::size_t InferenceEngine::submit(AbrRequest req) {
+Ticket InferenceEngine::submit(AbrRequest req) {
   if (!abr_policy_) throw std::invalid_argument("InferenceEngine: no ABR policy");
   std::lock_guard<std::mutex> lock(queue_mu_);
   abr_queue_.push_back(std::move(req));
-  return abr_queue_.size() - 1;
+  return Ticket{submit_epoch_, abr_queue_.size() - 1};
 }
 
-std::size_t InferenceEngine::submit(CjsRequest req) {
+Ticket InferenceEngine::submit(CjsRequest req) {
   if (!cjs_policy_) throw std::invalid_argument("InferenceEngine: no CJS policy");
   std::lock_guard<std::mutex> lock(queue_mu_);
   cjs_queue_.push_back(std::move(req));
-  return cjs_queue_.size() - 1;
+  return Ticket{submit_epoch_, cjs_queue_.size() - 1};
 }
 
 std::size_t InferenceEngine::pending() const {
@@ -131,11 +164,41 @@ std::size_t InferenceEngine::pending() const {
   return vp_queue_.size() + abr_queue_.size() + cjs_queue_.size();
 }
 
+namespace {
+
+[[noreturn]] void throw_stale(const char* task, const Ticket& t, std::uint64_t completed) {
+  throw StaleTicket(std::string("InferenceEngine: stale ") + task + " ticket: epoch " +
+                    std::to_string(t.epoch) + " vs completed batch " +
+                    std::to_string(completed) +
+                    (t.epoch > completed ? " (batch not drained yet — call run())"
+                                         : " (a later run() replaced these responses)"));
+}
+
+}  // namespace
+
+const VpResponse& InferenceEngine::vp_response(const Ticket& t) const {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  if (t.epoch != completed_epoch_) throw_stale("vp", t, completed_epoch_);
+  return vp_responses_.at(t.index);
+}
+
+const AbrResponse& InferenceEngine::abr_response(const Ticket& t) const {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  if (t.epoch != completed_epoch_) throw_stale("abr", t, completed_epoch_);
+  return abr_responses_.at(t.index);
+}
+
+const CjsResponse& InferenceEngine::cjs_response(const Ticket& t) const {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  if (t.epoch != completed_epoch_) throw_stale("cjs", t, completed_epoch_);
+  return cjs_responses_.at(t.index);
+}
+
 VpResponse InferenceEngine::serve_vp(const VpRequest& req) {
   VpResponse resp;
   core::Timer timer;
   resp.viewports = decide<std::vector<vp::Viewport>>(
-      vp_guard_, "vp",
+      vp_guard_, vp_metrics_,
       [&] { return vp_model_->predict(req.history, req.saliency, req.horizon); },
       [&](const std::vector<vp::Viewport>& out) {
         if (out.size() != static_cast<std::size_t>(req.horizon)) return false;
@@ -147,7 +210,12 @@ VpResponse InferenceEngine::serve_vp(const VpRequest& req) {
         return true;
       },
       [&] { return vp_fallback_->predict(req.history, req.saliency, req.horizon); }, resp.meta);
-  resp.meta.latency_ms = timer.elapsed_ms();
+  // VP predictors are stateless — no policy mutex, so the whole request is
+  // compute.
+  resp.meta.compute_ms = timer.elapsed_ms();
+  resp.meta.latency_ms = resp.meta.compute_ms;
+  if (vp_metrics_.queue_wait_ms) vp_metrics_.queue_wait_ms->record(resp.meta.queue_wait_ms);
+  if (vp_metrics_.compute_ms) vp_metrics_.compute_ms->record(resp.meta.compute_ms);
   return resp;
 }
 
@@ -155,11 +223,18 @@ AbrResponse InferenceEngine::serve_abr(const AbrRequest& req) {
   AbrResponse resp;
   core::Timer timer;
   std::lock_guard<std::mutex> lock(abr_mu_);
+  // Rolling-context policies serialize: everything up to here is queueing
+  // behind other ABR requests, not this request's own work.
+  resp.meta.queue_wait_ms = timer.elapsed_ms();
+  core::Timer compute;
   resp.level = decide<int>(
-      abr_guard_, "abr", [&] { return abr_policy_->choose_level(req.obs); },
+      abr_guard_, abr_metrics_, [&] { return abr_policy_->choose_level(req.obs); },
       [&](int level) { return level >= 0 && level < req.obs.num_levels; },
       [&] { return abr_fallback_->choose_level(req.obs); }, resp.meta);
+  resp.meta.compute_ms = compute.elapsed_ms();
   resp.meta.latency_ms = timer.elapsed_ms();
+  if (abr_metrics_.queue_wait_ms) abr_metrics_.queue_wait_ms->record(resp.meta.queue_wait_ms);
+  if (abr_metrics_.compute_ms) abr_metrics_.compute_ms->record(resp.meta.compute_ms);
   return resp;
 }
 
@@ -167,15 +242,20 @@ CjsResponse InferenceEngine::serve_cjs(const CjsRequest& req) {
   CjsResponse resp;
   core::Timer timer;
   std::lock_guard<std::mutex> lock(cjs_mu_);
+  resp.meta.queue_wait_ms = timer.elapsed_ms();
+  core::Timer compute;
   resp.action = decide<cjs::SchedAction>(
-      cjs_guard_, "cjs", [&] { return cjs_policy_->choose(req.obs); },
+      cjs_guard_, cjs_metrics_, [&] { return cjs_policy_->choose(req.obs); },
       [&](const cjs::SchedAction& a) {
         return a.runnable_index >= 0 &&
                a.runnable_index < static_cast<int>(req.obs.runnable_rows.size()) &&
                a.cap_choice >= 0 && a.cap_choice < cjs::kNumCapChoices;
       },
       [&] { return cjs_fallback_->choose(req.obs); }, resp.meta);
+  resp.meta.compute_ms = compute.elapsed_ms();
   resp.meta.latency_ms = timer.elapsed_ms();
+  if (cjs_metrics_.queue_wait_ms) cjs_metrics_.queue_wait_ms->record(resp.meta.queue_wait_ms);
+  if (cjs_metrics_.compute_ms) cjs_metrics_.compute_ms->record(resp.meta.compute_ms);
   return resp;
 }
 
@@ -183,11 +263,16 @@ BatchReport InferenceEngine::run() {
   std::vector<VpRequest> vp_jobs;
   std::vector<AbrRequest> abr_jobs;
   std::vector<CjsRequest> cjs_jobs;
+  std::uint64_t epoch = 0;
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     vp_jobs.swap(vp_queue_);
     abr_jobs.swap(abr_queue_);
     cjs_jobs.swap(cjs_queue_);
+    // Close this generation: tickets issued from now on belong to the next
+    // drain, so a submit racing with run() can never alias into this batch.
+    epoch = submit_epoch_;
+    ++submit_epoch_;
   }
   vp_responses_.assign(vp_jobs.size(), {});
   abr_responses_.assign(abr_jobs.size(), {});
@@ -212,14 +297,22 @@ BatchReport InferenceEngine::run() {
       }
     }
   });
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    completed_epoch_ = epoch;  // tickets from this generation resolve now
+  }
 
   BatchReport report;
   report.requests = static_cast<std::size_t>(n_total);
-  std::vector<double> latencies;
+  std::vector<double> latencies, waits, computes;
   latencies.reserve(report.requests);
+  waits.reserve(report.requests);
+  computes.reserve(report.requests);
   auto account = [&](const ResponseMeta& meta) {
     (meta.source == Source::kLlm ? report.llm : report.fallback) += 1;
     latencies.push_back(meta.latency_ms);
+    waits.push_back(meta.queue_wait_ms);
+    computes.push_back(meta.compute_ms);
   };
   for (const auto& r : vp_responses_) account(r.meta);
   for (const auto& r : abr_responses_) account(r.meta);
@@ -227,6 +320,10 @@ BatchReport InferenceEngine::run() {
   if (!latencies.empty()) {
     report.p50_ms = core::percentile(latencies, 50.0);
     report.p99_ms = core::percentile(latencies, 99.0);
+    report.wait_p50_ms = core::percentile(waits, 50.0);
+    report.wait_p99_ms = core::percentile(waits, 99.0);
+    report.compute_p50_ms = core::percentile(computes, 50.0);
+    report.compute_p99_ms = core::percentile(computes, 99.0);
   }
   return report;
 }

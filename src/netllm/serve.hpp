@@ -12,11 +12,14 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "core/metrics.hpp"
 #include "envs/abr/policy.hpp"
 #include "envs/cjs/simulator.hpp"
 #include "envs/vp/dataset.hpp"
@@ -29,7 +32,13 @@ enum class Source { kLlm, kFallback };
 
 struct ResponseMeta {
   Source source = Source::kFallback;
-  double latency_ms = 0.0;  // wall time of this request's decision
+  double latency_ms = 0.0;     // end-to-end wall time: queue_wait + compute
+  double queue_wait_ms = 0.0;  // time blocked on the per-task policy mutex
+  // Time inside the guarded decision itself. The engine's latency budget is
+  // enforced against the primary model call in here — a request that waits
+  // long on a contended policy mutex but computes fast does NOT trip the
+  // budget; `queue_wait_ms` makes that contention visible separately.
+  double compute_ms = 0.0;
 };
 
 struct VpRequest {
@@ -58,25 +67,46 @@ struct CjsResponse {
   ResponseMeta meta;
 };
 
+/// Handle returned by `submit`: identifies one response slot in the batch
+/// generation (`epoch`) that will serve it. Tickets from a previous
+/// generation do not alias into the current one — looking them up throws
+/// `StaleTicket` instead of silently returning another request's answer.
+struct Ticket {
+  std::uint64_t epoch = 0;  // run() generation that serves this request
+  std::size_t index = 0;    // slot in that generation's response vector
+};
+
+/// A ticket was presented to the wrong batch generation: either its batch
+/// has not been drained by `run()` yet, or a later `run()` already replaced
+/// those responses.
+class StaleTicket : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
 /// Aggregate result of one `run()` drain.
 struct BatchReport {
   std::size_t requests = 0;
   std::size_t llm = 0;       // served by the LLM path
   std::size_t fallback = 0;  // served by the rule-based fallback
-  double p50_ms = 0.0;       // per-request decision latency percentiles
+  double p50_ms = 0.0;       // end-to-end decision latency percentiles
   double p99_ms = 0.0;
+  double wait_p50_ms = 0.0;  // mutex-wait share (queue_wait_ms percentiles)
+  double wait_p99_ms = 0.0;
+  double compute_p50_ms = 0.0;  // guarded-decision share (compute_ms)
+  double compute_p99_ms = 0.0;
 };
 
 struct EngineConfig {
   double latency_budget_ms = 0.0;       // 0 = no deadline (as GuardConfig)
   int breaker_threshold = 3;            // consecutive failures opening the breaker
   int breaker_cooldown = 8;             // requests served by fallback while open
-  std::string counter_prefix = "serve.";  // core::stats namespace
+  std::string counter_prefix = "serve.";  // metric namespace; empty disables
 };
 
 /// KV-cache-era serving substrate: one engine owns up to three adapted
 /// models (any subset), a per-task guard state and a per-task fallback.
-/// `submit` enqueues (thread-safe) and returns the index of the matching
+/// `submit` enqueues (thread-safe) and returns a `Ticket` for the matching
 /// response slot; `run()` drains the queue and fills `*_responses()`.
 class InferenceEngine {
  public:
@@ -90,18 +120,26 @@ class InferenceEngine {
                   std::shared_ptr<abr::AbrPolicy> abr_fallback = nullptr,
                   std::shared_ptr<cjs::SchedPolicy> cjs_fallback = nullptr);
 
-  std::size_t submit(VpRequest req);
-  std::size_t submit(AbrRequest req);
-  std::size_t submit(CjsRequest req);
+  Ticket submit(VpRequest req);
+  Ticket submit(AbrRequest req);
+  Ticket submit(CjsRequest req);
   std::size_t pending() const;
 
   /// Drain every queued request across the thread pool. Responses from a
-  /// previous run are discarded; indices returned by `submit` since the last
-  /// `run()` index into the fresh response vectors. VP requests execute
+  /// previous run are discarded; tickets issued by `submit` since the last
+  /// `run()` resolve into the fresh response vectors. VP requests execute
   /// fully concurrently (`VpPredictor::predict` is stateless); ABR/CJS
   /// decisions serialize on their policy's mutex because those policies keep
-  /// rolling context.
+  /// rolling context — their `ResponseMeta::queue_wait_ms` carries the wait.
   BatchReport run();
+
+  /// Resolve a ticket against the most recently completed batch. Throws
+  /// `StaleTicket` if the ticket's generation has not run yet or was already
+  /// replaced by a later `run()`, and `std::out_of_range` if the ticket was
+  /// issued for a different task's queue.
+  const VpResponse& vp_response(const Ticket& t) const;
+  const AbrResponse& abr_response(const Ticket& t) const;
+  const CjsResponse& cjs_response(const Ticket& t) const;
 
   const std::vector<VpResponse>& vp_responses() const { return vp_responses_; }
   const std::vector<AbrResponse>& abr_responses() const { return abr_responses_; }
@@ -121,7 +159,8 @@ class InferenceEngine {
 
  private:
   /// Thread-safe port of GuardEngine's budget/validity/breaker state: the
-  /// primary runs outside the lock; only the bookkeeping transitions lock.
+  /// primary AND the fallback run outside the lock; only the bookkeeping
+  /// transitions lock.
   struct Guard {
     mutable std::mutex mu;
     adapt::GuardCounters counters;
@@ -129,10 +168,24 @@ class InferenceEngine {
     int cooldown_left = 0;
   };
 
+  /// Pre-registered metric handles for one task (DESIGN.md §11): the hot
+  /// path bumps through these — no string assembly, no registry lookup, no
+  /// lock. All null when `counter_prefix` is empty.
+  struct TaskMetrics {
+    core::metrics::Counter* llm_ok = nullptr;
+    core::metrics::Counter* fallback = nullptr;
+    core::metrics::Counter* fail_exception = nullptr;
+    core::metrics::Counter* fail_invalid = nullptr;
+    core::metrics::Counter* fail_latency = nullptr;
+    core::metrics::Counter* breaker_trips = nullptr;
+    core::metrics::Histogram* queue_wait_ms = nullptr;
+    core::metrics::Histogram* compute_ms = nullptr;
+  };
+  TaskMetrics make_task_metrics(const char* task) const;
+
   template <typename Action, typename Primary, typename Validate, typename Fallback>
-  Action decide(Guard& g, const char* task, Primary&& primary, Validate&& valid,
+  Action decide(Guard& g, TaskMetrics& m, Primary&& primary, Validate&& valid,
                 Fallback&& fallback, ResponseMeta& meta);
-  void bump(const char* task, const char* name, std::int64_t delta = 1);
 
   VpResponse serve_vp(const VpRequest& req);
   AbrResponse serve_abr(const AbrRequest& req);
@@ -144,9 +197,12 @@ class InferenceEngine {
   std::shared_ptr<cjs::SchedPolicy> cjs_policy_, cjs_fallback_;
 
   Guard vp_guard_, abr_guard_, cjs_guard_;
+  TaskMetrics vp_metrics_, abr_metrics_, cjs_metrics_;
   std::mutex abr_mu_, cjs_mu_;  // serialize stateful policy calls
 
   mutable std::mutex queue_mu_;
+  std::uint64_t submit_epoch_ = 1;     // generation stamped onto new tickets
+  std::uint64_t completed_epoch_ = 0;  // generation the response vectors hold
   std::vector<VpRequest> vp_queue_;
   std::vector<AbrRequest> abr_queue_;
   std::vector<CjsRequest> cjs_queue_;

@@ -10,6 +10,7 @@
 
 #include "core/fault.hpp"
 #include "core/stats.hpp"
+#include "core/trace.hpp"
 
 namespace netllm::adapt {
 
@@ -217,6 +218,10 @@ int TrainSession::resume(core::Rng& rng, AdaptStats& stats) {
 
 void TrainSession::checkpoint(int next_step, core::Rng& rng, const AdaptStats& stats,
                               bool must_succeed) {
+  // End-to-end checkpoint latency (encode + CRC + fsync + rename + GC,
+  // including any retry backoff) lands in the trace.checkpoint histogram —
+  // the number to watch when tuning `checkpoint_every`.
+  core::trace::Span span(core::trace::Phase::kCheckpoint);
   tensor::SessionSections sections;
   sections.emplace_back(kSecFingerprint, fp_.canonical());
   {

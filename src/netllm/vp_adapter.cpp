@@ -3,7 +3,9 @@
 #include <stdexcept>
 
 #include "core/fault.hpp"
+#include "core/metrics.hpp"
 #include "core/timer.hpp"
+#include "core/trace.hpp"
 #include "netllm/resilience.hpp"
 #include "tensor/optim.hpp"
 
@@ -79,9 +81,17 @@ std::vector<vp::Viewport> VpAdapter::predict(std::span<const vp::Viewport> histo
   vp::Viewport cur = history.back();
   std::vector<vp::Viewport> generated;
   for (int k = 0; k < horizon; ++k) {
-    auto seq = build_sequence(history, generated, saliency);
+    // Per-phase spans (DESIGN.md §11): encoder → backbone (prefill, inside
+    // forward_embeddings) → networking head.
+    auto seq = [&] {
+      core::trace::Span span(core::trace::Phase::kEncode);
+      return build_sequence(history, generated, saliency);
+    }();
     auto features = llm_->forward_embeddings(seq);
-    auto delta = head_->forward(slice_rows(features, features.dim(0) - 1, 1));
+    auto delta = [&] {
+      core::trace::Span span(core::trace::Phase::kHead);
+      return head_->forward(slice_rows(features, features.dim(0) - 1, 1));
+    }();
     cur.roll += static_cast<double>(delta.at(0)) * cfg_.delta_scale_deg;
     cur.pitch += static_cast<double>(delta.at(1)) * cfg_.delta_scale_deg;
     cur.yaw += static_cast<double>(delta.at(2)) * cfg_.delta_scale_deg;
@@ -104,8 +114,11 @@ VpAdapter::AdaptStats VpAdapter::adapt(std::span<const vp::VpSample> dataset, in
                     guard);
   const int start = sess.resume(rng, stats);
   const double prior_s = stats.seconds;  // wall time from interrupted runs
+  auto& step_hist = core::metrics::histogram("adapt.vp.step_ms");
+  auto& step_count = core::metrics::counter("adapt.vp.steps");
   core::Timer timer;
   for (int step = start; step < steps; ++step) {
+    core::Timer step_timer;
     opt.set_lr(lr * (1.0f - 0.7f * static_cast<float>(step) / static_cast<float>(steps)));
     const auto& sample =
         dataset[static_cast<std::size_t>(rng.randint(0, static_cast<std::int64_t>(dataset.size()) - 1))];
@@ -128,6 +141,8 @@ VpAdapter::AdaptStats VpAdapter::adapt(std::span<const vp::VpSample> dataset, in
     stats.seconds = prior_s + timer.elapsed_s();
     stats.skipped_steps = guard.skipped_steps();
     stats.restores = guard.restores();
+    step_hist.record(step_timer.elapsed_ms());
+    step_count.add();
     if (sess.after_step(step, rng, stats)) break;  // drained on SIGINT/SIGTERM
   }
   stats.seconds = prior_s + timer.elapsed_s();

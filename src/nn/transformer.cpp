@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/metrics.hpp"
 #include "core/threadpool.hpp"
 
 namespace netllm::nn {
@@ -35,6 +36,12 @@ void KvCache::append(std::span<const float> k_row, std::span<const float> v_row)
   k.insert(k.end(), k_row.begin(), k_row.end());
   v.insert(v.end(), v_row.begin(), v_row.end());
   ++len;
+  // KV-cache growth feeds capacity planning: rows resident per decode and
+  // the bytes they pin (K and V) are the §10 memory budget inputs.
+  static core::metrics::Counter& rows = core::metrics::counter("kv.appended_rows");
+  static core::metrics::Counter& bytes = core::metrics::counter("kv.appended_bytes");
+  rows.add();
+  bytes.add(static_cast<std::int64_t>(2 * sizeof(float)) * d_model);
 }
 
 MultiHeadAttention::MultiHeadAttention(std::int64_t d_model, std::int64_t n_heads, bool causal,

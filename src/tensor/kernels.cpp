@@ -2,11 +2,33 @@
 
 #include <algorithm>
 
+#include "core/metrics.hpp"
 #include "core/threadpool.hpp"
 
 namespace netllm::tensor::kernels {
 
 namespace {
+
+/// Pre-registered handles for the public (threaded) matmul entry points:
+/// call count, multiply-add FLOPs and bytes touched. The bump is lock-free
+/// and the serial `_serial` references stay uncounted, so tests comparing
+/// serial vs threaded numerics do not double-count.
+struct MatmulMetrics {
+  core::metrics::Counter& calls = core::metrics::counter("kernels.matmul.calls");
+  core::metrics::Counter& flops = core::metrics::counter("kernels.matmul.flops");
+  core::metrics::Counter& bytes = core::metrics::counter("kernels.matmul.bytes");
+
+  void account(std::int64_t m, std::int64_t k, std::int64_t n) {
+    calls.add();
+    flops.add(2 * m * k * n);  // one multiply + one add per (i, p, j) triple
+    bytes.add(static_cast<std::int64_t>(sizeof(float)) * (m * k + k * n + 2 * m * n));
+  }
+};
+
+MatmulMetrics& matmul_metrics() {
+  static MatmulMetrics mm;
+  return mm;
+}
 
 // Minimum output rows per parallel chunk: below this the dispatch overhead
 // beats the win, and the paper-scale models (m <= 128) mostly stay inline.
@@ -86,6 +108,7 @@ void matmul_at_accum_serial(const float* a, const float* b, float* c, std::int64
 
 void matmul_accum(const float* a, const float* b, float* c, std::int64_t m,
                   std::int64_t k, std::int64_t n) {
+  matmul_metrics().account(m, k, n);
   core::parallel_for(m, kRowGrain, [=](std::int64_t r0, std::int64_t r1) {
     matmul_accum_range(a, b, c, r0, r1, k, n);
   });
@@ -93,6 +116,7 @@ void matmul_accum(const float* a, const float* b, float* c, std::int64_t m,
 
 void matmul_bt_accum(const float* a, const float* b, float* c, std::int64_t m,
                      std::int64_t k, std::int64_t n) {
+  matmul_metrics().account(m, k, n);
   core::parallel_for(m, kRowGrain, [=](std::int64_t r0, std::int64_t r1) {
     matmul_bt_accum_range(a, b, c, r0, r1, k, n);
   });
@@ -100,6 +124,7 @@ void matmul_bt_accum(const float* a, const float* b, float* c, std::int64_t m,
 
 void matmul_at_accum(const float* a, const float* b, float* c, std::int64_t m,
                      std::int64_t k, std::int64_t n) {
+  matmul_metrics().account(m, k, n);
   core::parallel_for(k, kRowGrain, [=](std::int64_t p0, std::int64_t p1) {
     matmul_at_accum_range(a, b, c, m, p0, p1, k, n);
   });
