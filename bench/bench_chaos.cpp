@@ -1,0 +1,239 @@
+// Chaos / overload resilience (DESIGN.md §12): drive the InferenceEngine at
+// 10x oversubscription (submitted load = 10x the admission-queue bound) with
+// seeded multi-site fault storms — throws and delays at `serve.batch`, NaN
+// corruption at `llm.forward` (which makes the adapted heads throw on
+// non-finite logits) — and score SLO attainment, shed rate, fallback rate
+// and retry volume through the metrics layer. A clean baseline wave (storms
+// disabled) runs first, so the storm rows have an in-file reference.
+//
+// Emits BENCH_chaos.json (path overridable via argv[1]); run_benches.sh
+// wires it into the standard sweep and validates the JSON. Any exception
+// escaping run() marks the wave failed — the engine's contract is that
+// every request resolves with a named source instead.
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/fault.hpp"
+#include "core/metrics.hpp"
+#include "core/rng.hpp"
+#include "core/stats.hpp"
+#include "core/timer.hpp"
+#include "llm/minigpt.hpp"
+#include "llm/tokenizer.hpp"
+#include "netllm/api.hpp"
+#include "support/bench_common.hpp"
+
+namespace ad = netllm::adapt;
+namespace fault = netllm::core::fault;
+namespace nm = netllm::core::metrics;
+namespace serve = netllm::serve;
+namespace vp = netllm::vp;
+using netllm::core::Rng;
+using netllm::core::Table;
+using netllm::core::Timer;
+using netllm::core::percentile;
+using netllm::core::print_banner;
+
+namespace {
+
+struct WaveResult {
+  std::string label;
+  std::size_t requests = 0;
+  std::size_t llm = 0;
+  std::size_t retried = 0;
+  std::size_t fallback = 0;
+  std::size_t shed = 0;
+  std::size_t rejected = 0;
+  std::size_t slo_miss = 0;
+  std::size_t retry_attempts = 0;
+  std::size_t escaped_exceptions = 0;  // must stay 0: nothing escapes run()
+  double slo_attainment = 1.0;
+  double e2e_p50_ms = 0.0;
+  double e2e_p99_ms = 0.0;
+  int storm_hits = 0;   // summed across armed sites
+  int storm_fired = 0;
+  double wall_s = 0.0;
+
+  double rate(std::size_t n) const {
+    return requests == 0 ? 0.0 : static_cast<double>(n) / static_cast<double>(requests);
+  }
+};
+
+/// One oversubscription wave: submit `oversub` x the queue bound in rounds
+/// that deliberately overflow it, drain each round, aggregate the reports.
+WaveResult run_wave(const std::string& label, const std::shared_ptr<ad::VpAdapter>& adapter,
+                    const std::vector<vp::VpSample>& samples, const serve::EngineConfig& cfg,
+                    int oversub) {
+  nm::reset();
+  auto engine = ad::api::Serve(adapter, nullptr, nullptr, cfg);
+  WaveResult w;
+  w.label = label;
+  const std::size_t target = cfg.max_queue * static_cast<std::size_t>(oversub);
+  std::size_t submitted = 0;
+  std::vector<double> e2e_ms;
+  std::size_t slo_misses = 0;
+  Timer total;
+  while (submitted < target) {
+    // Each round offers queue-bound + 50% extra, so the admission policy is
+    // genuinely exercised (ShedOldest victims / rejections every round).
+    const std::size_t burst = cfg.max_queue + cfg.max_queue / 2;
+    for (std::size_t i = 0; i < burst && submitted < target; ++i, ++submitted) {
+      const auto& s = samples[submitted % samples.size()];
+      try {
+        engine->submit(serve::VpRequest{s.history, s.saliency, 4});
+      } catch (const serve::Overloaded&) {
+        ++w.rejected;  // named rejection: counted, not an error
+      }
+    }
+    try {
+      const auto report = engine->run();
+      w.requests += report.requests;
+      w.llm += report.llm;
+      w.retried += report.retried;
+      w.fallback += report.fallback;
+      w.shed += report.shed;
+      slo_misses += report.slo_miss;
+      for (const auto& resp : engine->vp_responses()) {
+        e2e_ms.push_back(resp.meta.admission_wait_ms + resp.meta.latency_ms);
+      }
+    } catch (const std::exception& e) {
+      ++w.escaped_exceptions;
+      std::cerr << "[bench] ESCAPED exception from run(): " << e.what() << "\n";
+    }
+  }
+  w.wall_s = total.elapsed_s();
+  w.slo_attainment = w.requests == 0
+                         ? 1.0
+                         : 1.0 - static_cast<double>(slo_misses) / static_cast<double>(w.requests);
+  w.slo_miss = slo_misses;
+  w.retry_attempts = static_cast<std::size_t>(engine->counters().retries);
+  if (!e2e_ms.empty()) {
+    w.e2e_p50_ms = percentile(e2e_ms, 50.0);
+    w.e2e_p99_ms = percentile(e2e_ms, 99.0);
+  }
+  for (const char* site : {"serve.batch", "llm.forward"}) {
+    w.storm_hits += fault::hits(site);
+    w.storm_fired += fault::fired(site);
+  }
+  return w;
+}
+
+void add_row(Table& t, const WaveResult& w) {
+  t.add_row({w.label, std::to_string(w.requests), Table::num(w.slo_attainment, 3),
+             Table::num(w.rate(w.llm + w.retried), 3), Table::num(w.rate(w.shed), 3),
+             Table::num(w.rate(w.fallback), 3), std::to_string(w.retry_attempts),
+             std::to_string(w.rejected), std::to_string(w.storm_fired),
+             std::to_string(w.escaped_exceptions)});
+}
+
+void json_wave(std::ofstream& json, const WaveResult& w, bool last) {
+  json << "    {\"wave\": \"" << w.label << "\", \"requests\": " << w.requests
+       << ", \"llm\": " << w.llm << ", \"retried\": " << w.retried
+       << ", \"fallback\": " << w.fallback << ", \"shed\": " << w.shed
+       << ", \"rejected\": " << w.rejected << ", \"slo_miss\": " << w.slo_miss
+       << ", \"slo_attainment\": " << w.slo_attainment
+       << ", \"shed_rate\": " << w.rate(w.shed) << ", \"fallback_rate\": " << w.rate(w.fallback)
+       << ", \"retry_attempts\": " << w.retry_attempts << ", \"e2e_p50_ms\": " << w.e2e_p50_ms
+       << ", \"e2e_p99_ms\": " << w.e2e_p99_ms << ", \"storm_hits\": " << w.storm_hits
+       << ", \"storm_fired\": " << w.storm_fired
+       << ", \"escaped_exceptions\": " << w.escaped_exceptions << ", \"wall_s\": " << w.wall_s
+       << "}" << (last ? "\n" : ",\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_chaos.json";
+  std::cout << "Overload & fault-storm resilience (admission control + seeded storms)\n";
+
+  // Small adapted VP model: the real LLM serving path (so llm.forward NaN
+  // storms propagate organically into head exceptions), sized for bench time.
+  netllm::llm::MiniGptConfig cfg;
+  cfg.vocab = netllm::llm::Tokenizer().vocab_size();
+  cfg.max_seq = 112;
+  Rng rng(7);
+  auto llm = std::make_shared<netllm::llm::MiniGpt>(cfg, rng);
+  ad::VpAdapterConfig vp_cfg;
+  vp_cfg.lora_rank = 2;
+  Rng arng(11);
+  auto adapter = std::make_shared<ad::VpAdapter>(llm, vp_cfg, arng);
+  auto setting = vp::vp_default_train();
+  setting.num_traces = 2;
+  const auto samples = vp::build_dataset(setting, 16);
+
+  serve::EngineConfig ecfg;
+  ecfg.max_queue = 8;
+  ecfg.admission = serve::AdmissionPolicy::kShedOldest;
+  ecfg.deadline_ms = 200.0;
+  ecfg.retry_budget = 1;
+  ecfg.retry_backoff_ms = 0.5;
+  ecfg.breaker_threshold = 4;
+  ecfg.breaker_cooldown = 8;
+  constexpr int kOversub = 10;
+
+  // ---- wave 1: clean baseline (storms disabled) ----
+  fault::disarm_all();
+  const WaveResult baseline = run_wave("baseline", adapter, samples, ecfg, kOversub);
+
+  // ---- wave 2: throw storm on serve.batch + NaN storm on llm.forward ----
+  {
+    fault::StormPlan plan;
+    plan.seed = 42;
+    plan.horizon = 512;
+    plan.sites.push_back(
+        {.site = "serve.batch", .kind = fault::FaultKind::Throw, .p = 0.10, .burst = 3});
+    plan.sites.push_back(
+        {.site = "llm.forward", .kind = fault::FaultKind::CorruptNan, .p = 0.05, .burst = 2});
+    fault::arm_storm(plan);
+  }
+  const WaveResult throw_storm = run_wave("throw+nan storm", adapter, samples, ecfg, kOversub);
+  fault::disarm_all();
+
+  // ---- wave 3: delay storm on serve.batch + NaN storm on llm.forward ----
+  {
+    fault::StormPlan plan;
+    plan.seed = 43;
+    plan.horizon = 512;
+    plan.sites.push_back({.site = "serve.batch",
+                          .kind = fault::FaultKind::Delay,
+                          .p = 0.10,
+                          .burst = 2,
+                          .delay_ms = 20.0});
+    plan.sites.push_back(
+        {.site = "llm.forward", .kind = fault::FaultKind::CorruptNan, .p = 0.05, .burst = 2});
+    fault::arm_storm(plan);
+  }
+  const WaveResult delay_storm = run_wave("delay+nan storm", adapter, samples, ecfg, kOversub);
+  fault::disarm_all();
+
+  print_banner(std::cout, "waves at " + std::to_string(kOversub) + "x oversubscription (queue " +
+                              std::to_string(ecfg.max_queue) + ", ShedOldest, deadline " +
+                              Table::num(ecfg.deadline_ms, 0) + " ms)");
+  Table t({"wave", "requests", "SLO att.", "llm rate", "shed rate", "fallback rate", "retries",
+           "rejected", "storm fired", "escaped"});
+  for (const WaveResult* w : {&baseline, &throw_storm, &delay_storm}) add_row(t, *w);
+  t.print(std::cout);
+
+  // ---- JSON export ----
+  std::ofstream json(out_path);
+  json << "{\n  \"oversubscription\": " << kOversub << ",\n  \"max_queue\": " << ecfg.max_queue
+       << ",\n  \"deadline_ms\": " << ecfg.deadline_ms
+       << ",\n  \"retry_budget\": " << ecfg.retry_budget << ",\n  \"waves\": [\n";
+  json_wave(json, baseline, false);
+  json_wave(json, throw_storm, false);
+  json_wave(json, delay_storm, true);
+  json << "  ]\n}\n";
+  std::cout << "wrote " << out_path << "\n";
+
+  const std::size_t escaped =
+      baseline.escaped_exceptions + throw_storm.escaped_exceptions + delay_storm.escaped_exceptions;
+  if (escaped != 0) {
+    std::cerr << "[bench] FAILED: " << escaped << " exceptions escaped run()\n";
+    return 1;
+  }
+  return 0;
+}

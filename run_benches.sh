@@ -3,9 +3,11 @@
 # Also emits BENCH_kernels.json (serial vs threaded matmul GFLOP/s;
 # items_per_second == FLOP/s), BENCH_session.json (durable-session
 # checkpoint save/restore latency + steps/s at each checkpoint cadence),
-# BENCH_decode.json (cached vs uncached tokens/s + batched-serving latency)
-# and BENCH_metrics.json (observability hot-path cost + serve overhead on vs
-# off) with the full metrics-registry dump in metrics.json.
+# BENCH_decode.json (cached vs uncached tokens/s + batched-serving latency),
+# BENCH_metrics.json (observability hot-path cost + serve overhead on vs
+# off) with the full metrics-registry dump in metrics.json, and
+# BENCH_chaos.json (SLO attainment / shed / fallback rates under seeded
+# fault storms at 10x oversubscription).
 # Every BENCH_*.json (and metrics.json) is validated at the end; an empty or
 # unparseable file fails the sweep loudly instead of archiving garbage.
 set -euo pipefail
@@ -32,6 +34,9 @@ echo "##### BENCH_decode.json (KV-cached decode + batched serving)"
 echo
 echo "##### BENCH_metrics.json + metrics.json (observability overhead)"
 ./build/bench/bench_metrics BENCH_metrics.json metrics.json 2>&1
+echo
+echo "##### BENCH_chaos.json (admission control + fault-storm resilience)"
+./build/bench/bench_chaos BENCH_chaos.json 2>&1
 echo
 echo "##### validating JSON artifacts"
 fail=0

@@ -1,11 +1,15 @@
 #include "core/fault.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <limits>
 #include <mutex>
 #include <thread>
 #include <unordered_map>
+
+#include "core/metrics.hpp"
+#include "core/rng.hpp"
 
 namespace netllm::core::fault {
 
@@ -17,8 +21,15 @@ namespace {
 
 struct SiteState {
   FaultPlan plan;
+  // Non-empty for storm-armed sites: schedule[(hit - 1) % size] decides
+  // whether that hit fires, overriding the plan's after/times counting.
+  std::vector<std::uint8_t> schedule;
   int hits = 0;
   int fired = 0;
+  // Registry-export handles (resolved once at arm time, may be null when
+  // the metrics layer failed to hand them out).
+  metrics::Counter* hits_counter = nullptr;
+  metrics::Counter* fired_counter = nullptr;
 };
 
 std::mutex& registry_mutex() {
@@ -39,11 +50,35 @@ bool count_hit(const char* site, FaultPlan& plan_out) {
   if (it == registry().end()) return false;
   auto& s = it->second;
   ++s.hits;
-  const int past = s.hits - s.plan.after;  // 1-based index into the firing run
-  const bool fires = past >= 1 && (s.plan.times < 0 || past <= s.plan.times);
-  if (fires) ++s.fired;
+  if (s.hits_counter) s.hits_counter->add();
+  bool fires = false;
+  if (!s.schedule.empty()) {
+    // Storm schedule: hit N fires iff the precomputed slot says so — wall
+    // clock and thread interleaving cannot change which hits fire.
+    fires = s.schedule[static_cast<std::size_t>(s.hits - 1) % s.schedule.size()] != 0;
+  } else {
+    const int past = s.hits - s.plan.after;  // 1-based index into the firing run
+    fires = past >= 1 && (s.plan.times < 0 || past <= s.plan.times);
+  }
+  if (fires) {
+    ++s.fired;
+    if (s.fired_counter) s.fired_counter->add();
+  }
   plan_out = s.plan;
   return fires;
+}
+
+/// Insert/replace a site's state; `schedule` empty for plain plans.
+void arm_state(const std::string& site, FaultPlan plan, std::vector<std::uint8_t> schedule) {
+  // Resolve metric handles before taking the fault lock (registration locks
+  // the metrics registry; keep the two mutexes unnested).
+  metrics::Counter* hits_c = &metrics::counter("fault." + site + ".hits");
+  metrics::Counter* fired_c = &metrics::counter("fault." + site + ".fired");
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  SiteState state{std::move(plan), std::move(schedule), 0, 0, hits_c, fired_c};
+  auto [it, inserted] = registry().insert_or_assign(site, std::move(state));
+  (void)it;
+  if (inserted) detail::g_armed_sites.fetch_add(1, std::memory_order_relaxed);
 }
 
 [[noreturn]] void throw_injected(const char* site, const FaultPlan& plan) {
@@ -71,10 +106,47 @@ std::span<const char* const> sites() {
 }
 
 void arm(const std::string& site, FaultPlan plan) {
-  std::lock_guard<std::mutex> lock(registry_mutex());
-  auto [it, inserted] = registry().insert_or_assign(site, SiteState{std::move(plan)});
-  (void)it;
-  if (inserted) detail::g_armed_sites.fetch_add(1, std::memory_order_relaxed);
+  arm_state(site, std::move(plan), {});
+}
+
+void arm_storm(const StormPlan& plan) {
+  if (plan.horizon <= 0) {
+    throw std::invalid_argument("arm_storm: horizon must be positive");
+  }
+  const auto known = sites();
+  for (const auto& s : plan.sites) {
+    if (s.burst <= 0) {
+      throw std::invalid_argument("arm_storm: burst must be positive at site '" + s.site + "'");
+    }
+    if (std::find_if(known.begin(), known.end(),
+                     [&](const char* k) { return s.site == k; }) == known.end()) {
+      throw std::invalid_argument("arm_storm: unknown fault site '" + s.site +
+                                  "' (not in fault::sites())");
+    }
+  }
+  // One master stream; each site gets a split child in declaration order, so
+  // the same plan always produces the same per-site schedules.
+  Rng master(plan.seed);
+  for (const auto& s : plan.sites) {
+    Rng site_rng = master.split();
+    std::vector<std::uint8_t> schedule(static_cast<std::size_t>(plan.horizon), 0);
+    int burst_left = 0;
+    for (auto& slot : schedule) {
+      if (burst_left > 0) {
+        slot = 1;
+        --burst_left;
+      } else if (site_rng.bernoulli(s.p)) {
+        slot = 1;
+        burst_left = s.burst - 1;
+      }
+    }
+    FaultPlan fp;
+    fp.kind = s.kind;
+    fp.delay_ms = s.delay_ms;
+    fp.times = -1;  // the schedule, not after/times, decides firing
+    fp.message = "storm fault injected at site '" + s.site + "'";
+    arm_state(s.site, std::move(fp), std::move(schedule));
+  }
 }
 
 void disarm(const std::string& site) {

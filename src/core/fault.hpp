@@ -7,12 +7,25 @@
 // request. Hit counting is per-site and deterministic, so "fail the 3rd
 // write, twice" is reproducible across runs and platforms.
 //
+// Beyond single-site plans, `arm_storm` arms a *storm*: several sites driven
+// from one seeded `core::Rng` stream, each with an independent per-hit
+// trigger probability and a correlated burst length (once a site triggers,
+// the next `burst-1` hits at that site fire too — the "everything breaks at
+// once" shape real outages have). The whole firing schedule is precomputed
+// at arm time, so for a fixed seed the Nth hit at a site always fires or
+// always doesn't, regardless of wall clock — storms replay deterministically.
+//
+// While a site is armed (plan or storm), its activity is exported through
+// the core::metrics registry as the counters fault.<site>.hits and
+// fault.<site>.fired, so storm runs are visible in metrics.json.
+//
 // Disarmed cost is a single relaxed atomic load (a global armed-site count),
 // so sites can live on per-decision and per-step paths.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -44,7 +57,32 @@ class FaultInjected : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// One site's role in a storm: with probability `p` a hit starts a burst of
+/// `burst` consecutive firing hits of `kind` (Delay uses `delay_ms`).
+struct StormSite {
+  std::string site;
+  FaultKind kind = FaultKind::Throw;
+  double p = 0.05;
+  int burst = 1;
+  double delay_ms = 0.0;
+};
+
+/// A correlated multi-site fault storm. All sites are scheduled from one
+/// `core::Rng` stream seeded with `seed` (one `split()` per site, in order),
+/// so a storm is replayed exactly by re-arming the same plan. `horizon` hits
+/// are pre-scheduled per site; the schedule repeats beyond it, keeping a
+/// long-running storm sustained without unbounded memory.
+struct StormPlan {
+  std::uint64_t seed = 1;
+  int horizon = 1024;
+  std::vector<StormSite> sites;
+};
+
 void arm(const std::string& site, FaultPlan plan);
+/// Arm every site in the plan with its precomputed firing schedule. Throws
+/// std::invalid_argument for a site name not in `sites()` (a typo'd storm
+/// would otherwise silently never fire) or a non-positive horizon/burst.
+void arm_storm(const StormPlan& plan);
 void disarm(const std::string& site);
 void disarm_all();
 /// Canonical enumeration of every injection site compiled into the library,

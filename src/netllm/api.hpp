@@ -193,4 +193,17 @@ inline std::shared_ptr<serve::InferenceEngine> Serve(
                                                   std::move(cjs_policy), std::move(cfg));
 }
 
+/// As above, with explicit fallbacks — e.g. a cheaper adapted model as the
+/// degraded-mode server instead of the rule-based defaults. Null fallbacks
+/// still default to LR / BBA / FIFO.
+inline std::shared_ptr<serve::InferenceEngine> Serve(
+    std::shared_ptr<vp::VpPredictor> vp_model, std::shared_ptr<abr::AbrPolicy> abr_policy,
+    std::shared_ptr<cjs::SchedPolicy> cjs_policy, serve::EngineConfig cfg,
+    std::shared_ptr<vp::VpPredictor> vp_fallback, std::shared_ptr<abr::AbrPolicy> abr_fallback,
+    std::shared_ptr<cjs::SchedPolicy> cjs_fallback = nullptr) {
+  return std::make_shared<serve::InferenceEngine>(
+      std::move(vp_model), std::move(abr_policy), std::move(cjs_policy), std::move(cfg),
+      std::move(vp_fallback), std::move(abr_fallback), std::move(cjs_fallback));
+}
+
 }  // namespace netllm::adapt::api

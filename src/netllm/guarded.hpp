@@ -30,6 +30,21 @@ struct GuardConfig {
   std::string counter_prefix;      // core::stats namespace, e.g. "guard.abr."
 };
 
+/// Coarse task health, exported as a metrics gauge by the serving engine
+/// (serve.<task>.health) and derived from the guard state: Healthy while the
+/// LLM path answers first try, Degraded once failures or retries appear but
+/// the breaker is still closed, Open while the breaker serves the fallback.
+enum class Health : int { kHealthy = 0, kDegraded = 1, kOpen = 2 };
+
+/// Stable lowercase name ("healthy" / "degraded" / "open").
+inline const char* health_name(Health h) {
+  switch (h) {
+    case Health::kHealthy: return "healthy";
+    case Health::kDegraded: return "degraded";
+    default: return "open";
+  }
+}
+
 struct GuardCounters {
   std::int64_t llm_ok = 0;          // decisions served by the LLM path
   std::int64_t fallback = 0;        // decisions served by the fallback
@@ -37,8 +52,11 @@ struct GuardCounters {
   std::int64_t fail_invalid = 0;    // LLM output failed validation
   std::int64_t fail_latency = 0;    // LLM answer arrived past the budget
   std::int64_t breaker_trips = 0;   // times the breaker opened
+  std::int64_t retries = 0;         // extra primary attempts after transient failures
+  std::int64_t shed = 0;            // decisions shed straight to the fallback
+                                    // (overload / deadline / shutdown drain)
 
-  std::int64_t decisions() const { return llm_ok + fallback; }
+  std::int64_t decisions() const { return llm_ok + fallback + shed; }
   std::int64_t failures() const { return fail_exception + fail_invalid + fail_latency; }
 };
 
@@ -77,6 +95,9 @@ class GuardEngine {
 
   const GuardCounters& counters() const { return counters_; }
   bool breaker_open() const { return cooldown_left_ > 0; }
+  /// Healthy after a first-try success, Degraded while failures accumulate
+  /// below the breaker threshold, Open while the breaker cools down.
+  Health health() const { return health_; }
   const GuardConfig& config() const { return cfg_; }
 
  private:
@@ -85,15 +106,18 @@ class GuardEngine {
   }
   void record_success() {
     consecutive_failures_ = 0;
+    health_ = Health::kHealthy;
     ++counters_.llm_ok;
     bump("llm_ok");
   }
   void record_failure(std::int64_t& counter, const char* name) {
     ++counter;
     bump(name);
+    health_ = Health::kDegraded;
     if (++consecutive_failures_ >= cfg_.breaker_threshold) {
       consecutive_failures_ = 0;
       cooldown_left_ = cfg_.breaker_cooldown;
+      health_ = Health::kOpen;
       ++counters_.breaker_trips;
       bump("breaker.trips");
     }
@@ -107,6 +131,7 @@ class GuardEngine {
   GuardCounters counters_;
   int consecutive_failures_ = 0;
   int cooldown_left_ = 0;
+  Health health_ = Health::kHealthy;
 };
 
 /// VP: falls back to the LR baseline (paper §A.3) by default. A prediction

@@ -1,9 +1,17 @@
-// Batched inference front end (DESIGN.md §10): queue VP/ABR/CJS
+// Batched inference front end (DESIGN.md §10, §12): queue VP/ABR/CJS
 // embedding-path requests, drain them concurrently over the shared
 // `core::ThreadPool`, and guard every request individually with the
 // latency-budget / validity / circuit-breaker rules from `netllm/guarded`
 // plus a rule-based fallback (LR / BBA / FIFO) — one poisoned or faulted
 // request degrades to its fallback without touching the rest of the batch.
+//
+// The engine-level overload layer (DESIGN.md §12) sits in front of that
+// per-request guard: a bounded admission queue with a configurable full-queue
+// policy (block / reject with the named `Overloaded` error / shed-oldest to
+// the fallback), an admission deadline judged on queue wait PLUS compute,
+// deterministic seeded retry/backoff for transient primary failures, a
+// per-task Healthy → Degraded → Open health state exported as a gauge, and a
+// graceful drain that honors the `core/signal` stop flag.
 //
 // Determinism: each request's tensor work runs inside a `parallel_for`
 // worker, where nested parallel ops execute inline (DESIGN.md §8), so every
@@ -11,6 +19,8 @@
 // `NETLLM_THREADS`. Only the interleaving of the shared counters varies.
 #pragma once
 
+#include <chrono>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -28,17 +38,32 @@
 namespace netllm::serve {
 
 /// Which path produced a response.
-enum class Source { kLlm, kFallback };
+enum class Source {
+  kLlm,       // primary model, first attempt
+  kFallback,  // rule-based fallback after failure or while the breaker is open
+  kRetried,   // primary model, after >= 1 transient-failure retry
+  kShed,      // fallback without touching the primary: queue overflow victim,
+              // admission deadline already missed, or shutdown drain
+};
+
+/// Stable lowercase name ("llm" / "fallback" / "retried" / "shed").
+const char* source_name(Source s);
 
 struct ResponseMeta {
   Source source = Source::kFallback;
-  double latency_ms = 0.0;     // end-to-end wall time: queue_wait + compute
+  double latency_ms = 0.0;     // serve wall time: queue_wait + compute
   double queue_wait_ms = 0.0;  // time blocked on the per-task policy mutex
   // Time inside the guarded decision itself. The engine's latency budget is
   // enforced against the primary model call in here — a request that waits
   // long on a contended policy mutex but computes fast does NOT trip the
   // budget; `queue_wait_ms` makes that contention visible separately.
   double compute_ms = 0.0;
+  // Time from submit() to a drain worker picking the request up. The
+  // admission deadline (EngineConfig::deadline_ms) is judged end-to-end:
+  // admission_wait_ms + latency_ms, never compute alone.
+  double admission_wait_ms = 0.0;
+  int retries = 0;        // transient-failure retries actually spent
+  bool slo_miss = false;  // deadline_ms > 0 and the end-to-end time blew it
 };
 
 struct VpRequest {
@@ -78,23 +103,51 @@ struct Ticket {
 
 /// A ticket was presented to the wrong batch generation: either its batch
 /// has not been drained by `run()` yet, or a later `run()` already replaced
-/// those responses.
+/// those responses. The message names the presented {epoch, index} and the
+/// engine's current completed epoch.
 class StaleTicket : public std::logic_error {
  public:
   using std::logic_error::logic_error;
 };
 
+/// Admission was refused: the bounded queue is full under the Reject policy,
+/// or the engine stopped admitting because a shutdown was requested. The
+/// caller holds no ticket — nothing was queued.
+class Overloaded : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// What `submit` does when the admission queue is at `max_queue`.
+enum class AdmissionPolicy {
+  kBlock,       // wait for a run() drain to free space (concurrent producers)
+  kReject,      // throw the named Overloaded error; nothing is queued
+  kShedOldest,  // mark the oldest queued request shed-to-fallback, admit the new one
+};
+
 /// Aggregate result of one `run()` drain.
 struct BatchReport {
   std::size_t requests = 0;
-  std::size_t llm = 0;       // served by the LLM path
+  std::size_t llm = 0;       // served by the LLM path first try
+  std::size_t retried = 0;   // served by the LLM path after >= 1 retry
   std::size_t fallback = 0;  // served by the rule-based fallback
-  double p50_ms = 0.0;       // end-to-end decision latency percentiles
+  std::size_t shed = 0;      // shed straight to the fallback (no primary call)
+  std::size_t slo_miss = 0;  // end-to-end time past deadline_ms (0 when unset)
+  double p50_ms = 0.0;       // serve-side decision latency percentiles
   double p99_ms = 0.0;
   double wait_p50_ms = 0.0;  // mutex-wait share (queue_wait_ms percentiles)
   double wait_p99_ms = 0.0;
   double compute_p50_ms = 0.0;  // guarded-decision share (compute_ms)
   double compute_p99_ms = 0.0;
+  double e2e_p50_ms = 0.0;  // admission_wait + latency (what deadline_ms judges)
+  double e2e_p99_ms = 0.0;
+  bool drained_on_stop = false;  // a shutdown request shed (part of) this drain
+
+  /// Fraction of requests inside deadline_ms; 1.0 when no deadline is set.
+  double slo_attainment() const {
+    return requests == 0 ? 1.0
+                         : 1.0 - static_cast<double>(slo_miss) / static_cast<double>(requests);
+  }
 };
 
 struct EngineConfig {
@@ -102,12 +155,35 @@ struct EngineConfig {
   int breaker_threshold = 3;            // consecutive failures opening the breaker
   int breaker_cooldown = 8;             // requests served by fallback while open
   std::string counter_prefix = "serve.";  // metric namespace; empty disables
+
+  // ---- admission control (DESIGN.md §12) ----
+  std::size_t max_queue = 0;  // bound on queued-unshed requests; 0 = unbounded
+  AdmissionPolicy admission = AdmissionPolicy::kReject;
+  // End-to-end SLO per request: admission wait + policy-mutex wait + compute.
+  // A request whose deadline already passed when a worker picks it up is shed
+  // straight to the fallback without burning primary compute. 0 = none.
+  double deadline_ms = 0.0;
+
+  // ---- transient-failure retry ----
+  int retry_budget = 0;           // extra primary attempts per request
+  double retry_backoff_ms = 0.0;  // base backoff; doubles per attempt, jittered
+  std::uint64_t retry_seed = 0x5eedb0ffULL;  // seeds the deterministic jitter
 };
+
+/// Deterministic backoff before retry number `attempt` (1-based) of the
+/// request identified by `request_key`: retry_backoff_ms * 2^(attempt-1),
+/// jittered to [0.5x, 1.5x) by a core::Rng stream seeded from retry_seed ^
+/// request_key — the same request retries with the same delays in every run
+/// and at every NETLLM_THREADS.
+double retry_backoff_ms(const EngineConfig& cfg, std::uint64_t request_key, int attempt);
 
 /// KV-cache-era serving substrate: one engine owns up to three adapted
 /// models (any subset), a per-task guard state and a per-task fallback.
-/// `submit` enqueues (thread-safe) and returns a `Ticket` for the matching
-/// response slot; `run()` drains the queue and fills `*_responses()`.
+/// `submit` enqueues (thread-safe, subject to admission control) and returns
+/// a `Ticket` for the matching response slot; `run()` drains the queue and
+/// fills `*_responses()`. Once `core::stop_requested()` is set, `submit`
+/// throws `Overloaded` and `run()` drains what is queued via the fallback
+/// (Source::kShed), returning the final BatchReport.
 class InferenceEngine {
  public:
   /// Any model may be null — submitting a request for a missing model
@@ -120,6 +196,11 @@ class InferenceEngine {
                   std::shared_ptr<abr::AbrPolicy> abr_fallback = nullptr,
                   std::shared_ptr<cjs::SchedPolicy> cjs_fallback = nullptr);
 
+  /// Thread-safe enqueue under the admission policy: with `max_queue` set
+  /// and the queue full, kBlock waits for a drain, kReject throws the named
+  /// `Overloaded` error, kShedOldest marks the oldest queued request
+  /// shed-to-fallback and admits this one. Throws `Overloaded` once a
+  /// shutdown was requested (admission is closed during the drain).
   Ticket submit(VpRequest req);
   Ticket submit(AbrRequest req);
   Ticket submit(CjsRequest req);
@@ -155,9 +236,35 @@ class InferenceEngine {
 
   /// Summed guard counters across the three tasks.
   adapt::GuardCounters counters() const;
+  /// Per-task health (DESIGN.md §12): Healthy on first-try successes,
+  /// Degraded once failures/retries appear, Open while the breaker cools.
+  /// Also exported as the serve.<task>.health gauge (0 / 1 / 2).
+  adapt::Health vp_health() const;
+  adapt::Health abr_health() const;
+  adapt::Health cjs_health() const;
   const EngineConfig& config() const { return cfg_; }
 
  private:
+  using Clock = std::chrono::steady_clock;
+
+  /// A queued request plus its admission stamp. `shed` marks a ShedOldest
+  /// victim: its slot (and ticket) stay valid, but the drain serves it via
+  /// the fallback without burning primary compute.
+  template <typename Req>
+  struct Queued {
+    Req req;
+    Clock::time_point admitted{};
+    bool shed = false;
+  };
+
+  /// Per-request context threaded into decide(): the admission stamp (for
+  /// the end-to-end deadline), whether the request was already shed, and the
+  /// key selecting its deterministic retry-jitter stream.
+  struct DecideCtx {
+    Clock::time_point admitted{};
+    bool shed = false;
+    std::uint64_t retry_key = 0;
+  };
   /// Thread-safe port of GuardEngine's budget/validity/breaker state: the
   /// primary AND the fallback run outside the lock; only the bookkeeping
   /// transitions lock.
@@ -166,6 +273,7 @@ class InferenceEngine {
     adapt::GuardCounters counters;
     int consecutive_failures = 0;
     int cooldown_left = 0;
+    adapt::Health health = adapt::Health::kHealthy;
   };
 
   /// Pre-registered metric handles for one task (DESIGN.md §11): the hot
@@ -178,18 +286,45 @@ class InferenceEngine {
     core::metrics::Counter* fail_invalid = nullptr;
     core::metrics::Counter* fail_latency = nullptr;
     core::metrics::Counter* breaker_trips = nullptr;
+    core::metrics::Counter* retries = nullptr;
+    core::metrics::Counter* shed = nullptr;
+    core::metrics::Counter* slo_miss = nullptr;
+    core::metrics::Counter* rejected = nullptr;
+    core::metrics::Gauge* health = nullptr;
     core::metrics::Histogram* queue_wait_ms = nullptr;
     core::metrics::Histogram* compute_ms = nullptr;
   };
   TaskMetrics make_task_metrics(const char* task) const;
 
+  /// Sets the task health and mirrors it into the gauge. Caller holds g.mu.
+  static void set_health(Guard& g, TaskMetrics& m, adapt::Health h);
+
   template <typename Action, typename Primary, typename Validate, typename Fallback>
   Action decide(Guard& g, TaskMetrics& m, Primary&& primary, Validate&& valid,
-                Fallback&& fallback, ResponseMeta& meta);
+                Fallback&& fallback, ResponseMeta& meta, const DecideCtx& ctx);
 
-  VpResponse serve_vp(const VpRequest& req);
-  AbrResponse serve_abr(const AbrRequest& req);
-  CjsResponse serve_cjs(const CjsRequest& req);
+  /// Stamps the admission wait into `meta` and builds the decide() context:
+  /// shed when the request was a ShedOldest victim, a shutdown drain is in
+  /// progress, or its deadline already passed before any compute was spent.
+  DecideCtx start_request(Clock::time_point admitted, bool already_shed, std::uint64_t task_id,
+                          std::uint64_t epoch, std::size_t index, ResponseMeta& meta) const;
+  /// End-of-request SLO accounting (admission wait + serve time vs
+  /// deadline_ms) plus the latency histograms.
+  void finish_request(TaskMetrics& m, ResponseMeta& meta) const;
+
+  VpResponse serve_vp(const Queued<VpRequest>& q, std::uint64_t epoch, std::size_t index);
+  AbrResponse serve_abr(const Queued<AbrRequest>& q, std::uint64_t epoch, std::size_t index);
+  CjsResponse serve_cjs(const Queued<CjsRequest>& q, std::uint64_t epoch, std::size_t index);
+
+  /// Admission gate shared by the three submits; runs under queue_mu_ (the
+  /// lock is `lk`). Applies the configured policy when the queue is full and
+  /// throws Overloaded when admission is closed. `rejected` is the task's
+  /// rejection counter (may be null).
+  void admit_locked(std::unique_lock<std::mutex>& lk, core::metrics::Counter* rejected);
+  /// Unshed queued requests across the three queues. Caller holds queue_mu_.
+  std::size_t unshed_pending_locked() const;
+  /// Marks the oldest unshed queued request as shed. Caller holds queue_mu_.
+  void shed_oldest_locked();
 
   EngineConfig cfg_;
   std::shared_ptr<vp::VpPredictor> vp_model_, vp_fallback_;
@@ -198,14 +333,16 @@ class InferenceEngine {
 
   Guard vp_guard_, abr_guard_, cjs_guard_;
   TaskMetrics vp_metrics_, abr_metrics_, cjs_metrics_;
+  core::metrics::Gauge* queue_depth_ = nullptr;  // serve.queue_depth
   std::mutex abr_mu_, cjs_mu_;  // serialize stateful policy calls
 
   mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;   // signaled when run() frees queue space
   std::uint64_t submit_epoch_ = 1;     // generation stamped onto new tickets
   std::uint64_t completed_epoch_ = 0;  // generation the response vectors hold
-  std::vector<VpRequest> vp_queue_;
-  std::vector<AbrRequest> abr_queue_;
-  std::vector<CjsRequest> cjs_queue_;
+  std::vector<Queued<VpRequest>> vp_queue_;
+  std::vector<Queued<AbrRequest>> abr_queue_;
+  std::vector<Queued<CjsRequest>> cjs_queue_;
 
   std::vector<VpResponse> vp_responses_;
   std::vector<AbrResponse> abr_responses_;

@@ -348,6 +348,35 @@ TEST_F(Observability, TicketsRejectLookupsAgainstTheWrongBatch) {
   EXPECT_THROW(engine->abr_response(t2), std::out_of_range);
 }
 
+TEST_F(Observability, StaleTicketMessageNamesPresentedEpochIndexAndCurrentEpoch) {
+  auto engine =
+      std::make_shared<serve::InferenceEngine>(std::make_shared<TrivialVp>(), nullptr, nullptr);
+  engine->submit(trivial_vp_request());
+  engine->run();  // completed epoch is now 1
+  const auto stale = engine->submit(trivial_vp_request());  // epoch 2, index 0
+  try {
+    engine->vp_response(stale);
+    FAIL() << "expected StaleTicket";
+  } catch (const serve::StaleTicket& e) {
+    const std::string msg = e.what();
+    // The operator debugging an aliasing report needs the full identity of
+    // what was presented and what the engine holds, not just "stale".
+    EXPECT_NE(msg.find("{epoch 2, index 0}"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("completed batch 1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("not drained yet"), std::string::npos) << msg;
+  }
+  engine->run();
+  engine->run();  // replace the generation: the other arm of the message
+  try {
+    engine->vp_response(stale);
+    FAIL() << "expected StaleTicket";
+  } catch (const serve::StaleTicket& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("{epoch 2, index 0}"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("replaced these responses"), std::string::npos) << msg;
+  }
+}
+
 namespace {
 
 /// Re-entrantly submits one more request from inside predict(), like a
