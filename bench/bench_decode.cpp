@@ -113,26 +113,36 @@ int main(int argc, char** argv) {
   auto adapter = std::make_shared<ad::VpAdapter>(llm, vp_cfg, arng);
   auto setting = vp::vp_default_train();
   setting.num_traces = 2;
-  const auto samples = vp::build_dataset(setting, 16);
+  const auto samples = vp::build_dataset(setting, 48);
 
-  print_banner(std::cout, "batched VP serving (requests/s, per-request p50/p99)");
-  Table bt({"batch", "requests/s", "p50 ms", "p99 ms", "fallbacks"});
+  // Flash-crowd workload: each drain pass serves `batch` requests spread
+  // over at most two *fresh* prompt skeletons (fresh per pass, so nothing
+  // stays warm across passes). Larger batches therefore share more prefills
+  // inside the arena's prefix cache — that, plus the KV-cached rollout, is
+  // where single-core batching throughput comes from.
+  print_banner(std::cout, "batched VP serving, flash-crowd (requests/s, p50/p99, prefix hits)");
+  Table bt({"batch", "requests/s", "p50 ms", "p99 ms", "prefix hits", "fallbacks"});
   std::vector<Row> batch_rows;
-  std::vector<std::size_t> batch_fallbacks;
+  std::vector<std::size_t> batch_fallbacks, batch_hits;
+  constexpr int kRowRequests = 48;  // same total request volume per row
   for (const int batch : {1, 4, 16}) {
     auto engine = ad::api::Serve(adapter);
-    const int iters = 48 / batch;  // same total request volume per row
+    const int iters = kRowRequests / batch;
+    const int uniques = std::min(batch, 2);  // distinct prompts per pass
     std::vector<double> per_request_ms;
-    std::size_t requests = 0, fallbacks = 0;
+    std::size_t requests = 0, fallbacks = 0, prefix_hits = 0, next_sample = 0;
     Timer total;
     for (int it = 0; it < iters; ++it) {
       for (int b = 0; b < batch; ++b) {
-        const auto& s = samples[static_cast<std::size_t>((it * batch + b) % samples.size())];
+        const auto& s = samples[(next_sample + static_cast<std::size_t>(b % uniques)) %
+                                samples.size()];
         engine->submit(netllm::serve::VpRequest{s.history, s.saliency, 4});
       }
+      next_sample += static_cast<std::size_t>(uniques);
       const auto report = engine->run();
       requests += report.requests;
       fallbacks += report.fallback;
+      prefix_hits += report.prefix_hits;
       for (const auto& resp : engine->vp_responses()) {
         per_request_ms.push_back(resp.meta.latency_ms);
       }
@@ -144,10 +154,58 @@ int main(int argc, char** argv) {
     row.p99_ms = percentile(per_request_ms, 99.0);
     batch_rows.push_back(row);
     batch_fallbacks.push_back(fallbacks);
+    batch_hits.push_back(prefix_hits);
     bt.add_row({row.label, Table::num(row.items_per_s, 1), Table::num(row.p50_ms, 2),
-                Table::num(row.p99_ms, 2), std::to_string(fallbacks)});
+                Table::num(row.p99_ms, 2), std::to_string(prefix_hits),
+                std::to_string(fallbacks)});
   }
   bt.print(std::cout);
+
+  // ---- goodput under SLO at 10x oversubscription (the §13 headline) ----
+  // Burst 1.5x the queue bound per drain, 10x the bound in total, with a
+  // 200 ms end-to-end deadline and shed-oldest admission: the scheduler must
+  // convert overload into early sheds, not SLO misses on served requests.
+  // Goodput counts only requests answered inside the deadline.
+  netllm::serve::EngineConfig ocfg;
+  ocfg.max_queue = 8;
+  ocfg.admission = netllm::serve::AdmissionPolicy::kShedOldest;
+  ocfg.deadline_ms = 200.0;
+  constexpr std::size_t kOversub = 10;
+  struct Goodput {
+    std::size_t requests = 0, slo_miss = 0, shed = 0, prefix_hits = 0;
+    double goodput_rps = 0.0, attainment = 1.0, total_s = 0.0;
+  } good;
+  {
+    auto engine = std::make_shared<netllm::serve::InferenceEngine>(adapter, nullptr, nullptr, ocfg);
+    const std::size_t target = ocfg.max_queue * kOversub;
+    std::size_t submitted = 0, within_slo = 0;
+    Timer total;
+    while (submitted < target) {
+      const std::size_t burst = std::min(ocfg.max_queue + ocfg.max_queue / 2, target - submitted);
+      for (std::size_t b = 0; b < burst; ++b, ++submitted) {
+        const auto& s = samples[submitted % samples.size()];
+        engine->submit(netllm::serve::VpRequest{s.history, s.saliency, 4});
+      }
+      const auto report = engine->run();
+      good.requests += report.requests;
+      good.slo_miss += report.slo_miss;
+      good.shed += report.shed;
+      good.prefix_hits += report.prefix_hits;
+      within_slo += report.requests - report.slo_miss;
+    }
+    good.total_s = total.elapsed_s();
+    good.goodput_rps = static_cast<double>(within_slo) / std::max(good.total_s, 1e-9);
+    good.attainment = good.requests == 0
+                          ? 1.0
+                          : 1.0 - static_cast<double>(good.slo_miss) /
+                                      static_cast<double>(good.requests);
+  }
+  print_banner(std::cout, "goodput under SLO, 10x oversubscription (deadline 200 ms)");
+  Table gt({"requests", "goodput req/s", "SLO attainment", "shed", "prefix hits"});
+  gt.add_row({std::to_string(good.requests), Table::num(good.goodput_rps, 1),
+              Table::num(good.attainment, 3), std::to_string(good.shed),
+              std::to_string(good.prefix_hits)});
+  gt.print(std::cout);
 
   // ---- JSON export ----
   std::ofstream json(out_path);
@@ -163,10 +221,15 @@ int main(int argc, char** argv) {
     const auto& r = batch_rows[i];
     json << "    {\"batch\": " << r.label << ", \"requests_per_s\": " << r.items_per_s
          << ", \"p50_ms\": " << r.p50_ms << ", \"p99_ms\": " << r.p99_ms
-         << ", \"fallbacks\": " << batch_fallbacks[i] << "}"
-         << (i + 1 == batch_rows.size() ? "\n" : ",\n");
+         << ", \"prefix_hits\": " << batch_hits[i] << ", \"fallbacks\": " << batch_fallbacks[i]
+         << "}" << (i + 1 == batch_rows.size() ? "\n" : ",\n");
   }
-  json << "  ]\n}\n";
+  json << "  ],\n  \"goodput\": {\"oversubscription\": " << kOversub
+       << ", \"max_queue\": " << ocfg.max_queue << ", \"deadline_ms\": " << ocfg.deadline_ms
+       << ", \"requests\": " << good.requests << ", \"slo_miss\": " << good.slo_miss
+       << ", \"shed\": " << good.shed << ", \"prefix_hits\": " << good.prefix_hits
+       << ", \"goodput_rps\": " << good.goodput_rps
+       << ", \"slo_attainment\": " << good.attainment << "}\n}\n";
   std::cout << "wrote " << out_path << "\n";
   if (speedup < 3.0) {
     std::cerr << "[bench] WARNING: cached speedup " << speedup << "x below the 3x floor\n";

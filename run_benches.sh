@@ -63,5 +63,48 @@ if [ "$fail" -ne 0 ]; then
   exit 1
 fi
 echo
+echo "##### validating BENCH_decode.json schema"
+# The decode artifact is consumed downstream: drift in its keys (decode rows,
+# the cached/uncached speedup, the batch sweep, the goodput-under-SLO object)
+# must fail the sweep loudly, not archive a silently incompatible file.
+if command -v python3 >/dev/null 2>&1; then
+  if python3 - BENCH_decode.json <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+def need(obj, key, ctx):
+    if key not in obj:
+        raise SystemExit(f"schema drift: missing '{key}' in {ctx}")
+
+for key in ("decode", "speedup_tokens_per_s", "batch", "goodput"):
+    need(doc, key, "top level")
+if {r.get("mode") for r in doc["decode"]} != {"cached", "uncached"}:
+    raise SystemExit("schema drift: decode rows must be exactly cached + uncached")
+for row in doc["decode"]:
+    for key in ("tokens_per_s", "p50_ms", "p99_ms"):
+        need(row, key, "decode row")
+if len(doc["batch"]) < 3:
+    raise SystemExit("schema drift: batch sweep needs at least 3 rows")
+for row in doc["batch"]:
+    for key in ("batch", "requests_per_s", "p50_ms", "p99_ms", "prefix_hits", "fallbacks"):
+        need(row, key, "batch row")
+rates = [row["requests_per_s"] for row in sorted(doc["batch"], key=lambda r: r["batch"])]
+if rates != sorted(rates):
+    raise SystemExit(f"regression: batch requests/s not monotonically increasing: {rates}")
+for key in ("oversubscription", "max_queue", "deadline_ms", "requests",
+            "slo_miss", "shed", "prefix_hits", "goodput_rps", "slo_attainment"):
+    need(doc["goodput"], key, "goodput")
+print("ok: BENCH_decode.json schema + monotonic batch throughput")
+EOF
+  then :; else
+    echo "FLEET-FAILED: BENCH_decode.json schema drift"
+    exit 1
+  fi
+else
+  echo "skipped (no python3): BENCH_decode.json schema check"
+fi
+echo
 echo "FLEET-DONE"
 } > bench_output.txt 2>&1

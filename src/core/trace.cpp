@@ -9,7 +9,7 @@ namespace {
 constexpr int kPhases = static_cast<int>(Phase::kCount);
 
 constexpr const char* kNames[kPhases] = {
-    "encode", "prefill", "decode_step", "head", "guard", "checkpoint", "pool.wait",
+    "encode", "prefill", "decode_step", "head", "guard", "checkpoint", "pool.wait", "sched.step",
 };
 
 struct PhaseSlot {

@@ -37,6 +37,7 @@ enum class Phase : int {
   kGuard,
   kCheckpoint,
   kPoolWait,
+  kSchedStep,  // one scheduler slot executing one queued request (§13)
   kCount,
 };
 

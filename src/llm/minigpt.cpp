@@ -124,7 +124,13 @@ std::vector<int> MiniGpt::generate(std::vector<int> ctx, int max_new, int stop_t
 DecodeState MiniGpt::make_decode_state() const {
   DecodeState st;
   st.layers.resize(blocks_.size());
-  for (auto& c : st.layers) c.d_model = cfg_.d_model;
+  for (auto& c : st.layers) {
+    c.d_model = cfg_.d_model;
+    // A decode never outgrows max_seq positions (the sliding window rebuilds
+    // the state instead), so one up-front reservation means appends never
+    // reallocate mid-decode.
+    c.reserve(cfg_.max_seq);
+  }
   return st;
 }
 
@@ -170,6 +176,51 @@ Tensor MiniGpt::forward_embeddings(const Tensor& embeds) const {
   auto features = run_blocks(add(embeds, slice_rows(pos_embed_, 0, t)));
   // Fault-injection site for the serving/robustness tests: armed plans can
   // throw, delay past a latency budget, or poison the features with NaN/Inf.
+  core::fault::corrupt("llm.forward", features.mutable_data());
+  return features;
+}
+
+Tensor MiniGpt::prefill_embeddings(const Tensor& embeds, std::span<nn::KvCache> layers) const {
+  if (embeds.rank() != 2 || embeds.dim(1) != cfg_.d_model) {
+    throw std::invalid_argument("MiniGpt::prefill_embeddings: expected [T, d_model]");
+  }
+  if (layers.size() != blocks_.size() || (!layers.empty() && layers.front().len != 0)) {
+    throw std::invalid_argument(
+        "MiniGpt::prefill_embeddings: caches must be empty and sized for this model");
+  }
+  const auto t = embeds.dim(0);
+  if (t == 0 || t > cfg_.max_seq) {
+    throw std::invalid_argument("MiniGpt::prefill_embeddings: sequence length out of range");
+  }
+  core::trace::Span span(core::trace::Phase::kPrefill);
+  Tensor h = add(embeds, slice_rows(pos_embed_, 0, t));
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    h = blocks_[i]->forward(h, &layers[i]);
+  }
+  auto features = final_ln_->forward(h);
+  // Same injection site as forward_embeddings: one draw per backbone pass,
+  // so an armed plan fires identically on the cached and uncached paths.
+  core::fault::corrupt("llm.forward", features.mutable_data());
+  return features;
+}
+
+Tensor MiniGpt::embeddings_step(const Tensor& row, std::span<nn::KvCache> layers) const {
+  if (row.rank() != 2 || row.dim(0) != 1 || row.dim(1) != cfg_.d_model) {
+    throw std::invalid_argument("MiniGpt::embeddings_step: expected [1, d_model]");
+  }
+  if (layers.size() != blocks_.size()) {
+    throw std::invalid_argument("MiniGpt::embeddings_step: caches not sized for this model");
+  }
+  const auto pos = layers.empty() ? 0 : layers.front().len;
+  if (pos >= cfg_.max_seq) {
+    throw std::invalid_argument("MiniGpt::embeddings_step: cache is full (max_seq positions)");
+  }
+  core::trace::Span span(core::trace::Phase::kDecodeStep);
+  Tensor h = add(row, slice_rows(pos_embed_, pos, 1));
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    h = blocks_[i]->forward_step(h, layers[i]);
+  }
+  auto features = final_ln_->forward(h);
   core::fault::corrupt("llm.forward", features.mutable_data());
   return features;
 }

@@ -82,6 +82,20 @@ class MiniGpt final : public nn::Module {
   /// final layer norm; returns features [T, d_model].
   tensor::Tensor forward_embeddings(const tensor::Tensor& embeds) const;
 
+  // ---- incremental embedding path (serve scheduler, DESIGN.md §13) ----
+  // Span-based so the per-layer caches can be a DecodeState's layers OR an
+  // arena lease (`nn::KvArena::Lease::layers()`); one cache per block.
+  /// Full-prompt pass capturing every K/V row; returns features [T, d_model].
+  /// Bitwise identical to `forward_embeddings` (same ops, caches only read).
+  /// The caches must be empty.
+  tensor::Tensor prefill_embeddings(const tensor::Tensor& embeds,
+                                    std::span<nn::KvCache> layers) const;
+  /// Feed one new embedding row at the caches' current position; returns
+  /// features [1, d_model], bitwise the last row `forward_embeddings` would
+  /// produce over the extended sequence. Throws at `max_seq` positions.
+  tensor::Tensor embeddings_step(const tensor::Tensor& row,
+                                 std::span<nn::KvCache> layers) const;
+
   // ---- adaptation hooks ----
   /// Freeze every backbone parameter (embeddings, blocks, LM head).
   void freeze_backbone() { freeze(); }

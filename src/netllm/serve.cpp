@@ -1,6 +1,7 @@
 #include "netllm/serve.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <stdexcept>
 #include <thread>
@@ -16,6 +17,8 @@
 #include "core/threadpool.hpp"
 #include "core/timer.hpp"
 #include "core/trace.hpp"
+#include "netllm/vp_adapter.hpp"
+#include "nn/kv_arena.hpp"
 
 namespace netllm::serve {
 
@@ -89,6 +92,22 @@ InferenceEngine::InferenceEngine(std::shared_ptr<vp::VpPredictor> vp_model,
   cjs_metrics_ = make_task_metrics("cjs");
   if (!cfg_.counter_prefix.empty()) {
     queue_depth_ = &core::metrics::gauge(cfg_.counter_prefix + "queue_depth");
+    admission_wakeups_ = &core::metrics::counter(cfg_.counter_prefix + "admission.wakeups");
+  }
+  // Pooled KV arena (DESIGN.md §13): when the VP primary is a VpAdapter,
+  // its rollouts lease pages from this engine's budget and share warm
+  // prompt prefixes across requests. Other predictors are opaque — they
+  // keep their own caching strategy.
+  if (cfg_.arena_pages > 0) {
+    if (auto adapter = std::dynamic_pointer_cast<adapt::VpAdapter>(vp_model_)) {
+      const auto& llm_cfg = adapter->llm().config();
+      nn::KvArenaConfig acfg;
+      acfg.page_rows = cfg_.arena_page_rows;
+      acfg.page_budget = cfg_.arena_pages;
+      acfg.prefix_entries = cfg_.arena_prefix_entries;
+      arena_ = std::make_shared<nn::KvArena>(llm_cfg.n_layers, llm_cfg.d_model, acfg);
+      adapter->set_kv_arena(arena_);
+    }
   }
 }
 
@@ -152,7 +171,7 @@ Action InferenceEngine::decide(Guard& g, TaskMetrics& m, Primary&& primary, Vali
     meta.source = Source::kFallback;
     return fallback();
   }
-  enum class Fail { kNone, kException, kInvalid, kLatency };
+  enum class Fail { kNone, kException, kInvalid, kLatency, kArena };
   // Caller holds g.mu. Attributes one failed attempt to its failure class.
   auto bump_fail = [&](Fail f) {
     switch (f) {
@@ -194,6 +213,11 @@ Action InferenceEngine::decide(Guard& g, TaskMetrics& m, Primary&& primary, Vali
       } else if (!valid(action)) {
         fail = Fail::kInvalid;
       }
+    } catch (const nn::KvArena::Exhausted&) {
+      // The KV page budget cannot fund this request right now. That is load,
+      // not a model failure: shed to the fallback below without feeding the
+      // breaker or the health state, exactly like an admission shed.
+      fail = Fail::kArena;
     } catch (const std::exception&) {
       fail = Fail::kException;
     } catch (...) {
@@ -202,7 +226,7 @@ Action InferenceEngine::decide(Guard& g, TaskMetrics& m, Primary&& primary, Vali
       // request, not escape into parallel_for and poison the whole batch.
       fail = Fail::kException;
     }
-    if (fail == Fail::kNone) break;
+    if (fail == Fail::kNone || fail == Fail::kArena) break;
     // Only transient classes retry (throws — FaultInjected, I/O errors — and
     // invalid output). A latency overrun never does: re-running a slow
     // primary under load amplifies exactly the overload the budget contains.
@@ -229,6 +253,16 @@ Action InferenceEngine::decide(Guard& g, TaskMetrics& m, Primary&& primary, Vali
     }
   }
   meta.retries = retries;
+  if (fail == Fail::kArena) {
+    {
+      core::trace::Span span(core::trace::Phase::kGuard);
+      std::lock_guard<std::mutex> lock(g.mu);
+      ++g.counters.shed;
+    }
+    if (m.shed) m.shed->add();
+    meta.source = Source::kShed;
+    return fallback();
+  }
   {
     core::trace::Span span(core::trace::Phase::kGuard);
     std::lock_guard<std::mutex> lock(g.mu);
@@ -320,10 +354,19 @@ void InferenceEngine::admit_locked(std::unique_lock<std::mutex>& lk,
         shed_oldest_locked();
         break;
       case AdmissionPolicy::kBlock:
-        // Poll-wait: run() notifies after freeing space, but a stop request
-        // comes from a signal handler which cannot notify a cv — bounded
-        // waits keep the producer responsive to shutdown either way.
-        queue_cv_.wait_for(lk, std::chrono::milliseconds(5));
+        // Predicate wait: the producer sleeps until run() frees space (it
+        // notifies queue_cv_ after the swap) or a stop closes admission —
+        // one wakeup per freed batch instead of the old 5 ms poll that
+        // charged every admitted request up to a slice of idle latency.
+        // The slice is only a backstop for a stop flagged from a signal
+        // handler, which cannot notify a cv; stops requested from normal
+        // code are caught by the predicate on the next notification.
+        // serve.admission.wakeups counts wait returns — the §13 regression
+        // test bounds it where the poll loop would rack up dozens.
+        queue_cv_.wait_for(lk, std::chrono::milliseconds(200), [&] {
+          return core::stop_requested() || unshed_pending_locked() < cfg_.max_queue;
+        });
+        if (admission_wakeups_) admission_wakeups_->add();
         if (core::stop_requested()) {
           if (rejected) rejected->add();
           throw Overloaded(
@@ -381,19 +424,30 @@ namespace {
 
 const VpResponse& InferenceEngine::vp_response(const Ticket& t) const {
   std::lock_guard<std::mutex> lock(queue_mu_);
-  if (t.epoch != completed_epoch_) throw_stale("vp", t, completed_epoch_);
+  // Continuous resolution: a ticket from the generation currently draining
+  // resolves as soon as its own slot finished — no epoch-wide barrier.
+  if (t.epoch == draining_epoch_ && t.index < vp_done_.size() && vp_done_[t.index]) {
+    return vp_responses_.at(t.index);
+  }
+  if (t.epoch != completed_epoch_ || !responses_valid_) throw_stale("vp", t, completed_epoch_);
   return vp_responses_.at(t.index);
 }
 
 const AbrResponse& InferenceEngine::abr_response(const Ticket& t) const {
   std::lock_guard<std::mutex> lock(queue_mu_);
-  if (t.epoch != completed_epoch_) throw_stale("abr", t, completed_epoch_);
+  if (t.epoch == draining_epoch_ && t.index < abr_done_.size() && abr_done_[t.index]) {
+    return abr_responses_.at(t.index);
+  }
+  if (t.epoch != completed_epoch_ || !responses_valid_) throw_stale("abr", t, completed_epoch_);
   return abr_responses_.at(t.index);
 }
 
 const CjsResponse& InferenceEngine::cjs_response(const Ticket& t) const {
   std::lock_guard<std::mutex> lock(queue_mu_);
-  if (t.epoch != completed_epoch_) throw_stale("cjs", t, completed_epoch_);
+  if (t.epoch == draining_epoch_ && t.index < cjs_done_.size() && cjs_done_[t.index]) {
+    return cjs_responses_.at(t.index);
+  }
+  if (t.epoch != completed_epoch_ || !responses_valid_) throw_stale("cjs", t, completed_epoch_);
   return cjs_responses_.at(t.index);
 }
 
@@ -511,41 +565,96 @@ BatchReport InferenceEngine::run() {
     epoch = submit_epoch_;
     ++submit_epoch_;
     if (queue_depth_) queue_depth_->set(0.0);
+    // The previous generation's responses are being replaced; tickets for
+    // them are stale from here on. Tickets for THIS generation resolve
+    // continuously through the done flags as their slots finish.
+    responses_valid_ = false;
+    draining_epoch_ = epoch;
+    vp_responses_.assign(vp_jobs.size(), {});
+    abr_responses_.assign(abr_jobs.size(), {});
+    cjs_responses_.assign(cjs_jobs.size(), {});
+    vp_done_.assign(vp_jobs.size(), 0);
+    abr_done_.assign(abr_jobs.size(), 0);
+    cjs_done_.assign(cjs_jobs.size(), 0);
   }
   // The swap freed every queue slot: wake producers blocked in admit_locked.
   queue_cv_.notify_all();
-  vp_responses_.assign(vp_jobs.size(), {});
-  abr_responses_.assign(abr_jobs.size(), {});
-  cjs_responses_.assign(cjs_jobs.size(), {});
 
-  // One flat index space over the three queues; contiguous chunks land on
-  // pool workers, and each request's tensor ops run inline inside its worker
-  // (no nested parallelism) — so responses are independent of thread count.
-  const auto n_vp = static_cast<std::int64_t>(vp_jobs.size());
-  const auto n_abr = static_cast<std::int64_t>(abr_jobs.size());
-  const auto n_total = n_vp + n_abr + static_cast<std::int64_t>(cjs_jobs.size());
-  core::parallel_for(n_total, 1, [&](std::int64_t lo, std::int64_t hi) {
-    for (std::int64_t i = lo; i < hi; ++i) {
-      if (i < n_vp) {
-        const auto j = static_cast<std::size_t>(i);
-        vp_responses_[j] = serve_vp(vp_jobs[j], epoch, j);
-      } else if (i < n_vp + n_abr) {
-        const auto j = static_cast<std::size_t>(i - n_vp);
-        abr_responses_[j] = serve_abr(abr_jobs[j], epoch, j);
-      } else {
-        const auto j = static_cast<std::size_t>(i - n_vp - n_abr);
-        cjs_responses_[j] = serve_cjs(cjs_jobs[j], epoch, j);
+  // Deterministic schedule over the three queues: task priority first
+  // (higher wins), then admission order — an EDF-flavoured FIFO, since every
+  // request shares its task's deadline offset. The order depends only on the
+  // submission sequence, never on thread timing.
+  struct Job {
+    int task;  // 0 = vp, 1 = abr, 2 = cjs
+    std::size_t index;
+  };
+  std::vector<Job> order;
+  order.reserve(vp_jobs.size() + abr_jobs.size() + cjs_jobs.size());
+  for (std::size_t i = 0; i < vp_jobs.size(); ++i) order.push_back({0, i});
+  for (std::size_t i = 0; i < abr_jobs.size(); ++i) order.push_back({1, i});
+  for (std::size_t i = 0; i < cjs_jobs.size(); ++i) order.push_back({2, i});
+  const auto priority = [&](int task) {
+    return task == 0 ? cfg_.vp_priority : task == 1 ? cfg_.abr_priority : cfg_.cjs_priority;
+  };
+  const auto admitted = [&](const Job& j) {
+    return j.task == 0   ? vp_jobs[j.index].admitted
+           : j.task == 1 ? abr_jobs[j.index].admitted
+                         : cjs_jobs[j.index].admitted;
+  };
+  std::stable_sort(order.begin(), order.end(), [&](const Job& a, const Job& b) {
+    if (priority(a.task) != priority(b.task)) return priority(a.task) > priority(b.task);
+    return admitted(a) < admitted(b);
+  });
+
+  const std::size_t n_total = order.size();
+  const std::uint64_t hits_before = arena_ ? arena_->prefix_hits() : 0;
+  // Continuous batching: `slots` workers each pull the next scheduled job
+  // the moment their current one finishes — no slot idles while work is
+  // queued, and a single slow request delays only itself. Each request's
+  // tensor ops run inline inside its slot (no nested parallelism), so every
+  // response is bitwise the single-request answer at any NETLLM_THREADS; at
+  // one thread the pulls happen in exact schedule order.
+  const std::size_t slots =
+      cfg_.max_slots == 0 ? n_total : std::min(cfg_.max_slots, n_total);
+  std::atomic<std::size_t> next{0};
+  core::parallel_for(static_cast<std::int64_t>(slots), 1, [&](std::int64_t s0, std::int64_t s1) {
+    for (std::int64_t s = s0; s < s1; ++s) {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= n_total) break;
+        const Job job = order[i];
+        core::trace::Span span(core::trace::Phase::kSchedStep);
+        if (job.task == 0) {
+          auto resp = serve_vp(vp_jobs[job.index], epoch, job.index);
+          std::lock_guard<std::mutex> lock(queue_mu_);
+          vp_responses_[job.index] = std::move(resp);
+          vp_done_[job.index] = 1;
+        } else if (job.task == 1) {
+          auto resp = serve_abr(abr_jobs[job.index], epoch, job.index);
+          std::lock_guard<std::mutex> lock(queue_mu_);
+          abr_responses_[job.index] = std::move(resp);
+          abr_done_[job.index] = 1;
+        } else {
+          auto resp = serve_cjs(cjs_jobs[job.index], epoch, job.index);
+          std::lock_guard<std::mutex> lock(queue_mu_);
+          cjs_responses_[job.index] = std::move(resp);
+          cjs_done_[job.index] = 1;
+        }
       }
     }
   });
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     completed_epoch_ = epoch;  // tickets from this generation resolve now
+    draining_epoch_ = 0;
+    responses_valid_ = true;
   }
 
   BatchReport report;
   report.requests = static_cast<std::size_t>(n_total);
   report.drained_on_stop = core::stop_requested();
+  report.prefix_hits =
+      arena_ ? static_cast<std::size_t>(arena_->prefix_hits() - hits_before) : 0;
   std::vector<double> latencies, waits, computes, e2e;
   latencies.reserve(report.requests);
   waits.reserve(report.requests);

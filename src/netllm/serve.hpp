@@ -35,6 +35,10 @@
 #include "envs/vp/dataset.hpp"
 #include "netllm/guarded.hpp"
 
+namespace netllm::nn {
+class KvArena;
+}
+
 namespace netllm::serve {
 
 /// Which path produced a response.
@@ -142,6 +146,7 @@ struct BatchReport {
   double e2e_p50_ms = 0.0;  // admission_wait + latency (what deadline_ms judges)
   double e2e_p99_ms = 0.0;
   bool drained_on_stop = false;  // a shutdown request shed (part of) this drain
+  std::size_t prefix_hits = 0;   // KV-arena warm-prefix adoptions in this drain
 
   /// Fraction of requests inside deadline_ms; 1.0 when no deadline is set.
   double slo_attainment() const {
@@ -168,6 +173,23 @@ struct EngineConfig {
   int retry_budget = 0;           // extra primary attempts per request
   double retry_backoff_ms = 0.0;  // base backoff; doubles per attempt, jittered
   std::uint64_t retry_seed = 0x5eedb0ffULL;  // seeds the deterministic jitter
+
+  // ---- scheduler & pooled KV arena (DESIGN.md §13) ----
+  // run() drains through `max_slots` in-flight slots that pull the next
+  // queued request the moment one finishes (continuous batching); 0 means
+  // one slot per request, the pre-§13 behavior. The drain order is
+  // deterministic: task priority (higher first), then admission order.
+  std::size_t max_slots = 0;
+  int vp_priority = 0;
+  int abr_priority = 0;
+  int cjs_priority = 0;
+  // KV arena attached to a VpAdapter primary: page budget in pages of
+  // `arena_page_rows` positions (0 disables pooling/prefix sharing; see
+  // nn/kv_arena.hpp for the page math and DESIGN.md §13 for sizing it from
+  // the kv.appended_bytes counter).
+  std::int64_t arena_pages = 4096;
+  std::int64_t arena_page_rows = 16;
+  std::size_t arena_prefix_entries = 32;  // warm prompt-skeleton slots; 0 = no sharing
 };
 
 /// Deterministic backoff before retry number `attempt` (1-based) of the
@@ -206,18 +228,24 @@ class InferenceEngine {
   Ticket submit(CjsRequest req);
   std::size_t pending() const;
 
-  /// Drain every queued request across the thread pool. Responses from a
-  /// previous run are discarded; tickets issued by `submit` since the last
-  /// `run()` resolve into the fresh response vectors. VP requests execute
-  /// fully concurrently (`VpPredictor::predict` is stateless); ABR/CJS
-  /// decisions serialize on their policy's mutex because those policies keep
-  /// rolling context — their `ResponseMeta::queue_wait_ms` carries the wait.
+  /// Drain every queued request through the run-loop scheduler: jobs are
+  /// ordered deterministically (task priority, then admission order) and
+  /// `max_slots` in-flight slots pull the next job the moment one finishes —
+  /// continuous batching instead of an epoch-wide barrier. Each request's
+  /// tensor work still runs inline inside its slot, so every response stays
+  /// bitwise identical to serving that request alone at any NETLLM_THREADS.
+  /// ABR/CJS decisions serialize on their policy's mutex because those
+  /// policies keep rolling context — `ResponseMeta::queue_wait_ms` carries
+  /// the wait.
   BatchReport run();
 
-  /// Resolve a ticket against the most recently completed batch. Throws
-  /// `StaleTicket` if the ticket's generation has not run yet or was already
-  /// replaced by a later `run()`, and `std::out_of_range` if the ticket was
-  /// issued for a different task's queue.
+  /// Resolve a ticket. A ticket resolves against the most recently completed
+  /// batch, and — continuous resolution — against the batch `run()` is
+  /// currently draining as soon as its own request finished (no waiting for
+  /// the epoch barrier). Throws `StaleTicket` if the ticket's request has no
+  /// response yet or a later `run()` already replaced its generation, and
+  /// `std::out_of_range` if the ticket was issued for a different task's
+  /// queue.
   const VpResponse& vp_response(const Ticket& t) const;
   const AbrResponse& abr_response(const Ticket& t) const;
   const CjsResponse& cjs_response(const Ticket& t) const;
@@ -243,6 +271,9 @@ class InferenceEngine {
   adapt::Health abr_health() const;
   adapt::Health cjs_health() const;
   const EngineConfig& config() const { return cfg_; }
+  /// The pooled KV arena injected into a VpAdapter primary (DESIGN.md §13);
+  /// null when `arena_pages` is 0 or the VP model is not a VpAdapter.
+  const std::shared_ptr<nn::KvArena>& kv_arena() const { return arena_; }
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -334,12 +365,18 @@ class InferenceEngine {
   Guard vp_guard_, abr_guard_, cjs_guard_;
   TaskMetrics vp_metrics_, abr_metrics_, cjs_metrics_;
   core::metrics::Gauge* queue_depth_ = nullptr;  // serve.queue_depth
+  core::metrics::Counter* admission_wakeups_ = nullptr;  // serve.admission.wakeups
   std::mutex abr_mu_, cjs_mu_;  // serialize stateful policy calls
+  std::shared_ptr<nn::KvArena> arena_;  // pooled KV pages + warm prefixes (VP)
 
   mutable std::mutex queue_mu_;
   std::condition_variable queue_cv_;   // signaled when run() frees queue space
   std::uint64_t submit_epoch_ = 1;     // generation stamped onto new tickets
   std::uint64_t completed_epoch_ = 0;  // generation the response vectors hold
+  std::uint64_t draining_epoch_ = 0;   // generation run() is draining (0 = idle)
+  // False while a drain is rebuilding the response vectors: tickets from the
+  // completed generation are already "replaced by a later run()" then.
+  bool responses_valid_ = false;
   std::vector<Queued<VpRequest>> vp_queue_;
   std::vector<Queued<AbrRequest>> abr_queue_;
   std::vector<Queued<CjsRequest>> cjs_queue_;
@@ -347,6 +384,9 @@ class InferenceEngine {
   std::vector<VpResponse> vp_responses_;
   std::vector<AbrResponse> abr_responses_;
   std::vector<CjsResponse> cjs_responses_;
+  // Continuous-resolution flags for the draining generation: a slot flips
+  // its request's entry (under queue_mu_) the moment the response is ready.
+  std::vector<char> vp_done_, abr_done_, cjs_done_;
 };
 
 }  // namespace netllm::serve

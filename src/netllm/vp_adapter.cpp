@@ -1,5 +1,6 @@
 #include "netllm/vp_adapter.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 #include "core/fault.hpp"
@@ -73,8 +74,95 @@ Tensor VpAdapter::loss(const vp::VpSample& sample) const {
   return mse_loss(pred, Tensor::from(std::move(target), {pw, 3}));
 }
 
+namespace {
+
+bool all_finite(std::span<const float> xs) {
+  for (float x : xs) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 std::vector<vp::Viewport> VpAdapter::predict(std::span<const vp::Viewport> history,
                                              const Tensor& saliency, int horizon) {
+  if (history.empty() || horizon <= 0) throw std::invalid_argument("VpAdapter: bad inputs");
+  // Encode the prompt (image token + history viewports) exactly once.
+  const auto prompt = [&] {
+    core::trace::Span span(core::trace::Phase::kEncode);
+    return build_sequence(history, {}, saliency);
+  }();
+  const auto prompt_len = prompt.dim(0);
+  // The rollout appends horizon-1 generated viewports after the prompt.
+  const auto rows_needed = prompt_len + horizon - 1;
+
+  // Per-layer caches: a pooled arena lease when attached (may throw the
+  // named KvArena::Exhausted — the serve engine sheds that request), else a
+  // private reserved set.
+  nn::KvArena::Lease lease;
+  std::vector<nn::KvCache> own;
+  std::span<nn::KvCache> layers;
+  if (arena_) {
+    lease = arena_->lease(rows_needed);
+    layers = lease.layers();
+  } else {
+    own.resize(static_cast<std::size_t>(llm_->config().n_layers));
+    for (auto& c : own) {
+      c.d_model = llm_->config().d_model;
+      c.reserve(rows_needed);
+    }
+    layers = own;
+  }
+
+  // Prefix sharing: requests carrying the same DT-style prompt skeleton
+  // (identical image + history embeddings, byte-for-byte) adopt the
+  // published K/V rows and last-position features instead of re-running the
+  // backbone prefill. The floats are the published request's own prefill
+  // output, so a hit is bitwise a cold prefill.
+  const auto d_model = llm_->config().d_model;
+  const std::uint64_t key = arena_ ? nn::KvArena::prefix_key(prompt.data()) : 0;
+  Tensor features_last;
+  std::vector<float> warm_features;
+  if (arena_ && arena_->adopt(key, prompt.data(), lease, &warm_features)) {
+    features_last = Tensor::from(std::move(warm_features), {1, d_model});
+  } else {
+    auto features = llm_->prefill_embeddings(prompt, layers);
+    features_last = slice_rows(features, prompt_len - 1, 1);
+    // Never publish poisoned features: an armed llm.forward NaN fault must
+    // degrade this one request, not seed the warm cache for every later hit.
+    if (arena_ && all_finite(features_last.data())) {
+      arena_->publish(key, prompt.data(), {layers.data(), layers.size()}, prompt_len,
+                      features_last.data());
+    }
+  }
+
+  std::vector<vp::Viewport> rollout;
+  rollout.reserve(static_cast<std::size_t>(horizon));
+  vp::Viewport cur = history.back();
+  for (int k = 0; k < horizon; ++k) {
+    auto delta = [&] {
+      core::trace::Span span(core::trace::Phase::kHead);
+      return head_->forward(features_last);
+    }();
+    cur.roll += static_cast<double>(delta.at(0)) * cfg_.delta_scale_deg;
+    cur.pitch += static_cast<double>(delta.at(1)) * cfg_.delta_scale_deg;
+    cur.yaw += static_cast<double>(delta.at(2)) * cfg_.delta_scale_deg;
+    rollout.push_back(cur);
+    if (k + 1 == horizon) break;
+    // One incremental backbone step over the newly generated viewport —
+    // bitwise the last row of the full forward predict_uncached re-runs.
+    const auto tok = [&] {
+      core::trace::Span span(core::trace::Phase::kEncode);
+      return viewport_token(cur);
+    }();
+    features_last = llm_->embeddings_step(tok, layers);
+  }
+  return rollout;
+}
+
+std::vector<vp::Viewport> VpAdapter::predict_uncached(std::span<const vp::Viewport> history,
+                                                      const Tensor& saliency, int horizon) {
   if (history.empty() || horizon <= 0) throw std::invalid_argument("VpAdapter: bad inputs");
   std::vector<vp::Viewport> rollout;
   rollout.reserve(static_cast<std::size_t>(horizon));

@@ -17,6 +17,7 @@
 #include "netllm/encoders.hpp"
 #include "netllm/heads.hpp"
 #include "netllm/session.hpp"
+#include "nn/kv_arena.hpp"
 #include "nn/module.hpp"
 
 namespace netllm::adapt {
@@ -42,8 +43,25 @@ class VpAdapter final : public nn::Module, public vp::VpPredictor {
 
   std::string name() const override { return "NetLLM"; }
 
+  /// KV-cached rollout (DESIGN.md §13): encode the prompt once, prefill the
+  /// backbone once, then run one incremental `embeddings_step` per further
+  /// rollout step — bitwise identical to `predict_uncached`, which re-runs
+  /// the full forward every step. With a `KvArena` attached the per-layer
+  /// caches are pooled leases and an identical prompt adopts a published
+  /// prefix (skipping the prefill entirely); `KvArena::Exhausted` propagates
+  /// to the caller (the serve engine sheds such requests deterministically).
   std::vector<vp::Viewport> predict(std::span<const vp::Viewport> history,
                                     const tensor::Tensor& saliency, int horizon) override;
+  /// The pre-§13 rollout: a full `forward_embeddings` per step. Kept as the
+  /// equivalence baseline `tests/test_sched.cpp` pins `predict` against.
+  std::vector<vp::Viewport> predict_uncached(std::span<const vp::Viewport> history,
+                                             const tensor::Tensor& saliency, int horizon);
+
+  /// Attach (or detach, with nullptr) a pooled KV arena; the serve engine
+  /// injects its own so concurrent requests share the page budget and the
+  /// warm prefix cache.
+  void set_kv_arena(std::shared_ptr<nn::KvArena> arena) { arena_ = std::move(arena); }
+  const std::shared_ptr<nn::KvArena>& kv_arena() const { return arena_; }
 
   /// Teacher-forced SL loss for one sample (Eq. 1 with MSE).
   tensor::Tensor loss(const vp::VpSample& sample) const;
@@ -82,6 +100,7 @@ class VpAdapter final : public nn::Module, public vp::VpPredictor {
   std::shared_ptr<ScalarEncoder> viewport_encoder_;
   std::shared_ptr<RegressionHead> head_;
   std::vector<tensor::Tensor> lora_;
+  std::shared_ptr<nn::KvArena> arena_;  // null = per-call caches, no sharing
 };
 
 }  // namespace netllm::adapt

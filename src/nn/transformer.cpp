@@ -21,10 +21,61 @@ Tensor concat_cols(const std::vector<Tensor>& xs) {
 
 }  // namespace
 
+KvCache::KvCache(const KvCache& other) : d_model(other.d_model), len(other.len) {
+  if (other.k_buf_.defined()) {
+    // Deep copy: the buffers are mutable in place, so sharing node handles
+    // between two caches would alias their futures.
+    k_buf_ = Tensor::from(other.k(), {len, other.k_buf_.dim(1)});
+    v_buf_ = Tensor::from(other.v(), {len, other.v_buf_.dim(1)});
+  }
+}
+
+KvCache& KvCache::operator=(const KvCache& other) {
+  if (this != &other) *this = KvCache(other);
+  return *this;
+}
+
 void KvCache::clear() {
   len = 0;
-  k.clear();
-  v.clear();
+  // Reset the width too: a cleared cache must be reusable with a
+  // different-width model (the sticky d_model used to make the next append
+  // throw "row width does not match d_model"). The buffers keep their
+  // capacity; a different-width append below swaps them out.
+  d_model = 0;
+  if (k_buf_.defined()) {
+    buffer_clear_rows(k_buf_);
+    buffer_clear_rows(v_buf_);
+  }
+}
+
+void KvCache::reserve(std::int64_t rows) {
+  if (d_model <= 0) {
+    throw std::invalid_argument("KvCache::reserve: d_model not set yet");
+  }
+  if (!k_buf_.defined() || k_buf_.dim(1) != d_model) {
+    k_buf_ = tensor::make_row_buffer(d_model, rows);
+    v_buf_ = tensor::make_row_buffer(d_model, rows);
+  } else if (buffer_capacity_rows(k_buf_) < rows) {
+    // Re-reserve in place is not possible without invalidating outstanding
+    // views, so grow through fresh buffers carrying the existing rows.
+    auto grow = [&](const Tensor& old) {
+      auto buf = tensor::make_row_buffer(d_model, rows);
+      const std::size_t d = static_cast<std::size_t>(d_model);
+      for (std::int64_t i = 0; i < len; ++i) {
+        tensor::buffer_append_row(buf, old.data().subspan(static_cast<std::size_t>(i) * d, d));
+      }
+      return buf;
+    };
+    k_buf_ = grow(k_buf_);
+    v_buf_ = grow(v_buf_);
+  }
+}
+
+void KvCache::ensure_buffers() {
+  if (!k_buf_.defined() || k_buf_.dim(1) != d_model) {
+    k_buf_ = tensor::make_row_buffer(d_model, 0);
+    v_buf_ = tensor::make_row_buffer(d_model, 0);
+  }
 }
 
 void KvCache::append(std::span<const float> k_row, std::span<const float> v_row) {
@@ -33,15 +84,39 @@ void KvCache::append(std::span<const float> k_row, std::span<const float> v_row)
       static_cast<std::int64_t>(v_row.size()) != d_model) {
     throw std::invalid_argument("KvCache::append: row width does not match d_model");
   }
-  k.insert(k.end(), k_row.begin(), k_row.end());
-  v.insert(v.end(), v_row.begin(), v_row.end());
+  ensure_buffers();
+  buffer_append_row(k_buf_, k_row);
+  buffer_append_row(v_buf_, v_row);
   ++len;
   // KV-cache growth feeds capacity planning: rows resident per decode and
-  // the bytes they pin (K and V) are the §10 memory budget inputs.
+  // the bytes they pin (K and V) are the §10/§13 memory budget inputs.
   static core::metrics::Counter& rows = core::metrics::counter("kv.appended_rows");
   static core::metrics::Counter& bytes = core::metrics::counter("kv.appended_bytes");
   rows.add();
   bytes.add(static_cast<std::int64_t>(2 * sizeof(float)) * d_model);
+}
+
+namespace {
+const std::vector<float>& empty_floats() {
+  static const std::vector<float> kEmpty;
+  return kEmpty;
+}
+}  // namespace
+
+const std::vector<float>& KvCache::k() const {
+  return k_buf_.defined() ? k_buf_.node()->value : empty_floats();
+}
+
+const std::vector<float>& KvCache::v() const {
+  return v_buf_.defined() ? v_buf_.node()->value : empty_floats();
+}
+
+Tensor KvCache::k_view() const { return k_buf_; }
+
+Tensor KvCache::v_view() const { return v_buf_; }
+
+std::int64_t KvCache::capacity_rows() const {
+  return k_buf_.defined() ? tensor::buffer_capacity_rows(k_buf_) : 0;
 }
 
 MultiHeadAttention::MultiHeadAttention(std::int64_t d_model, std::int64_t n_heads, bool causal,
@@ -114,15 +189,15 @@ Tensor MultiHeadAttention::forward_step(const Tensor& x_t, KvCache& cache) const
   const auto k = project(wk_, lk_, x_t);
   const auto v = project(wv_, lv_, x_t);
   cache.append(k.data(), v.data());
-  // Materialise the cache as plain value tensors: decoding is inference-only,
-  // so the graph never needs to reach back into earlier steps. Attending with
-  // a full-row softmax over the cache equals the causal-masked last row of
-  // the full forward — softmax_rows and causal_masked_softmax share the same
-  // per-row kernel, and the masked zero weights contribute no terms to the
-  // attn·V accumulation (the matmul kernel skips exact zeros).
-  const auto kc = Tensor::from(cache.k, {cache.len, d_model_});
-  const auto vc = Tensor::from(cache.v, {cache.len, d_model_});
-  return attend(q, kc, vc, /*causal=*/false);
+  // Attend over zero-copy views of the cache buffers: decoding is
+  // inference-only, so the graph never needs to reach back into earlier
+  // steps, and the views stay valid for the whole attend (no append happens
+  // mid-op). Attending with a full-row softmax over the cache equals the
+  // causal-masked last row of the full forward — softmax_rows and
+  // causal_masked_softmax share the same per-row kernel, and the masked zero
+  // weights contribute no terms to the attn·V accumulation (the matmul
+  // kernel skips exact zeros).
+  return attend(q, cache.k_view(), cache.v_view(), /*causal=*/false);
 }
 
 void MultiHeadAttention::collect_params(NamedParams& out, const std::string& prefix) const {

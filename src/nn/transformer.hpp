@@ -22,13 +22,47 @@ namespace netllm::nn {
 /// order, exactly as the full forward would compute them — the cached decode
 /// path is bitwise identical to re-running the whole sequence (see
 /// DESIGN.md §10), which `tests/test_decode.cpp` pins.
+///
+/// Storage is a pair of in-place growable tensor row buffers: `k_view()` /
+/// `v_view()` hand the attention step a zero-copy [len, d_model] tensor, so
+/// decoding no longer pays an O(len) copy per step, and `reserve()` pins the
+/// backing allocation to a known horizon (or an arena page span) so appends
+/// never reallocate mid-decode. Copying a KvCache deep-copies the buffers —
+/// two caches never alias storage.
 struct KvCache {
   std::int64_t d_model = 0;  // set on first append; checked afterwards
   std::int64_t len = 0;      // cached positions
-  std::vector<float> k, v;   // [len, d_model], row-major
 
+  KvCache() = default;
+  KvCache(const KvCache& other);
+  KvCache& operator=(const KvCache& other);
+  KvCache(KvCache&&) noexcept = default;
+  KvCache& operator=(KvCache&&) noexcept = default;
+
+  /// Forget every cached position AND the width: a cleared cache is
+  /// indistinguishable from a fresh one, so it can be reused with a
+  /// different-width model. Buffer capacity is kept when the width matches.
   void clear();
+  /// Pre-allocate storage for `rows` positions; requires d_model known
+  /// (set it, or append once, first). Appends within the reservation never
+  /// reallocate — `tests/test_sched.cpp` pins the allocation count.
+  void reserve(std::int64_t rows);
   void append(std::span<const float> k_row, std::span<const float> v_row);
+
+  /// Raw row-major [len, d_model] floats (for tests / serialization).
+  const std::vector<float>& k() const;
+  const std::vector<float>& v() const;
+  /// Zero-copy [len, d_model] tensor views over the live buffers. Valid until
+  /// the next append/clear mutates the buffer mid-op — take them fresh per
+  /// attention step.
+  tensor::Tensor k_view() const;
+  tensor::Tensor v_view() const;
+  /// Rows the buffers can hold before reallocating (0 when unallocated).
+  std::int64_t capacity_rows() const;
+
+ private:
+  void ensure_buffers();
+  tensor::Tensor k_buf_, v_buf_;  // null handles until the first append/reserve
 };
 
 /// Multi-head self-attention over a [T, D] sequence.

@@ -100,6 +100,43 @@ std::int64_t live_float_count() { return g_live_floats.load(); }
 std::int64_t peak_float_count() { return g_peak_floats.load(); }
 void reset_peak_float_count() { g_peak_floats.store(g_live_floats.load()); }
 
+// ---- growable row buffers ----
+// These mutate a node in place, which is safe only because the buffer is a
+// grad-free leaf used for inference caches: ops copy its floats eagerly, and
+// nothing backpropagates into it. They live here (not in a header) so every
+// size change goes through track_alloc and live_float_count stays exact.
+
+Tensor make_row_buffer(std::int64_t cols, std::int64_t capacity_rows) {
+  check(cols > 0 && capacity_rows >= 0, "make_row_buffer: bad dimensions");
+  auto t = Tensor::zeros({0, cols}, /*requires_grad=*/false);
+  t.node()->value.reserve(static_cast<std::size_t>(capacity_rows * cols));
+  return t;
+}
+
+void buffer_append_row(Tensor& buf, std::span<const float> row) {
+  auto& node = *buf.node();
+  check(node.shape.size() == 2, "buffer_append_row: not a row buffer");
+  check(static_cast<std::int64_t>(row.size()) == node.shape[1],
+        "buffer_append_row: row width does not match buffer cols");
+  node.value.insert(node.value.end(), row.begin(), row.end());
+  ++node.shape[0];
+  track_alloc(static_cast<std::int64_t>(row.size()));
+}
+
+void buffer_clear_rows(Tensor& buf) {
+  auto& node = *buf.node();
+  check(node.shape.size() == 2, "buffer_clear_rows: not a row buffer");
+  track_alloc(-static_cast<std::int64_t>(node.value.size()));
+  node.value.clear();  // keeps capacity
+  node.shape[0] = 0;
+}
+
+std::int64_t buffer_capacity_rows(const Tensor& buf) {
+  const auto& node = *buf.node();
+  check(node.shape.size() == 2, "buffer_capacity_rows: not a row buffer");
+  return static_cast<std::int64_t>(node.value.capacity()) / node.shape[1];
+}
+
 // ---- construction ----
 
 Tensor Tensor::zeros(Shape shape, bool requires_grad) {

@@ -108,6 +108,23 @@ std::int64_t live_float_count();   // floats currently allocated in Nodes
 std::int64_t peak_float_count();   // high-water mark since last reset
 void reset_peak_float_count();
 
+// ---- growable row buffers (KV-cache substrate, DESIGN.md §13) ----
+// A row buffer is a [rows, cols] leaf whose storage grows in place: appending
+// a row mutates the node's value/shape instead of building a new node, so a
+// Tensor handle taken once stays valid across appends and ops can read the
+// buffer zero-copy. The helpers live in tensor.cpp so the live_float_count
+// accounting stays exact (Node's destructor books value.size()).
+// Inference-only: the buffer is a grad-free leaf and appends assume nobody
+// backpropagates through earlier reads of it.
+Tensor make_row_buffer(std::int64_t cols, std::int64_t capacity_rows);
+/// Append one row of `cols` floats; reallocates only past the reserved
+/// capacity (amortised, like vector growth).
+void buffer_append_row(Tensor& buf, std::span<const float> row);
+/// Drop all rows (shape [0, cols]); reserved capacity is kept for reuse.
+void buffer_clear_rows(Tensor& buf);
+/// Rows the buffer can hold before its storage reallocates.
+std::int64_t buffer_capacity_rows(const Tensor& buf);
+
 // ---- elementwise & arithmetic ----
 Tensor add(const Tensor& a, const Tensor& b);            // same shape
 Tensor sub(const Tensor& a, const Tensor& b);            // same shape

@@ -149,8 +149,8 @@ TEST_F(Decode, PrefillCacheEqualsTokenByTokenCache) {
     const auto& a = st_prefill.layers[l];
     const auto& b = st_steps.layers[l];
     ASSERT_EQ(a.len, b.len);
-    ASSERT_EQ(a.k, b.k) << "layer " << l;  // bitwise: vector<float> equality
-    ASSERT_EQ(a.v, b.v) << "layer " << l;
+    ASSERT_EQ(a.k(), b.k()) << "layer " << l;  // bitwise: vector<float> equality
+    ASSERT_EQ(a.v(), b.v()) << "layer " << l;
   }
 }
 
@@ -177,8 +177,8 @@ TEST_F(Decode, BitwiseIdenticalAcrossThreadCounts) {
   EXPECT_EQ(cached_1, cached_4);
   EXPECT_EQ(logits_1, logits_4);  // float-exact across pool sizes
   for (std::size_t l = 0; l < st1.layers.size(); ++l) {
-    EXPECT_EQ(st1.layers[l].k, st4.layers[l].k);
-    EXPECT_EQ(st1.layers[l].v, st4.layers[l].v);
+    EXPECT_EQ(st1.layers[l].k(), st4.layers[l].k());
+    EXPECT_EQ(st1.layers[l].v(), st4.layers[l].v());
   }
 }
 
