@@ -1,0 +1,249 @@
+// Sharded tensor-parallel serving (DESIGN.md §14): score the worker fleet
+// on the two axes the design pins.
+//
+//  1. Throughput — decisions/s of the same tiny adapted VP model served
+//     single-process (shards = 0) and through 1/2/4 matmul-slice workers.
+//     On one box the RPC hop is pure overhead (the useful signal is how
+//     much), and every configuration must serve 100% of requests via the
+//     LLM path — the fleet is transparent when healthy.
+//  2. Resilience — a worker-kill storm mid-stream (`worker.crash` fires a
+//     real SIGKILL through ShardGroup::matmul) at a 200 ms deadline:
+//     SLO attainment and shed rate during the storm, then the recovery
+//     wave after the heartbeat respawns the worker — attainment must come
+//     back and requests must resolve via the LLM path again. Any exception
+//     escaping run() marks the wave failed.
+//
+// Emits BENCH_shard.json (path overridable via argv[1]); run_benches.sh
+// wires it into the standard sweep and validates the schema loudly.
+#include <chrono>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/fault.hpp"
+#include "core/metrics.hpp"
+#include "core/rng.hpp"
+#include "core/stats.hpp"
+#include "core/timer.hpp"
+#include "llm/minigpt.hpp"
+#include "llm/tokenizer.hpp"
+#include "netllm/api.hpp"
+#include "netllm/shard.hpp"
+#include "support/bench_common.hpp"
+
+namespace ad = netllm::adapt;
+namespace fault = netllm::core::fault;
+namespace nm = netllm::core::metrics;
+namespace serve = netllm::serve;
+namespace vp = netllm::vp;
+using netllm::core::Rng;
+using netllm::core::Table;
+using netllm::core::Timer;
+using netllm::core::percentile;
+using netllm::core::print_banner;
+
+#ifndef NETLLM_SHARD_WORKER_EXE
+#define NETLLM_SHARD_WORKER_EXE "shard_worker"
+#endif
+
+namespace {
+
+constexpr int kHorizon = 4;
+
+std::shared_ptr<ad::VpAdapter> make_adapter() {
+  netllm::llm::MiniGptConfig cfg;
+  cfg.vocab = netllm::llm::Tokenizer().vocab_size();
+  cfg.max_seq = 112;
+  Rng rng(7);
+  auto llm = std::make_shared<netllm::llm::MiniGpt>(cfg, rng);
+  ad::VpAdapterConfig vp_cfg;
+  vp_cfg.lora_rank = 2;
+  Rng arng(11);
+  return std::make_shared<ad::VpAdapter>(llm, vp_cfg, arng);
+}
+
+struct ThroughputRow {
+  int shards = 0;
+  std::size_t requests = 0;
+  std::size_t llm = 0;
+  double decisions_per_s = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  std::size_t escaped_exceptions = 0;
+};
+
+ThroughputRow run_throughput(int shards, const std::vector<vp::VpSample>& samples,
+                             std::size_t total) {
+  // A fresh model per row: ShardGroup attaches offload hooks to the model's
+  // Linears, and rows must not see each other's fleets.
+  auto adapter = make_adapter();
+  serve::EngineConfig ecfg;
+  ecfg.shards = shards;
+  ecfg.shard_worker_exe = NETLLM_SHARD_WORKER_EXE;
+  auto engine = ad::api::Serve(adapter, nullptr, nullptr, ecfg);
+
+  ThroughputRow row;
+  row.shards = shards;
+  std::vector<double> lat_ms;
+  Timer total_timer;
+  std::size_t submitted = 0;
+  while (submitted < total) {
+    for (std::size_t i = 0; i < 8 && submitted < total; ++i, ++submitted) {
+      const auto& s = samples[submitted % samples.size()];
+      engine->submit(serve::VpRequest{s.history, s.saliency, kHorizon});
+    }
+    try {
+      const auto report = engine->run();
+      row.requests += report.requests;
+      row.llm += report.llm;
+      for (const auto& resp : engine->vp_responses()) lat_ms.push_back(resp.meta.latency_ms);
+    } catch (const std::exception& e) {
+      ++row.escaped_exceptions;
+      std::cerr << "[bench] ESCAPED exception from run(): " << e.what() << "\n";
+    }
+  }
+  const double wall = total_timer.elapsed_s();
+  row.decisions_per_s = wall > 0.0 ? static_cast<double>(row.requests) / wall : 0.0;
+  if (!lat_ms.empty()) {
+    row.p50_ms = percentile(lat_ms, 50.0);
+    row.p99_ms = percentile(lat_ms, 99.0);
+  }
+  return row;
+}
+
+struct StormResult {
+  std::size_t requests = 0;
+  std::size_t llm = 0;
+  std::size_t shed = 0;
+  std::size_t slo_miss = 0;
+  double slo_attainment = 1.0;
+  std::size_t escaped_exceptions = 0;
+  int worker_down = 0;
+  int worker_rejoin = 0;
+  int crash_fired = 0;
+  bool recovered = false;  // fleet whole again and serving via the LLM path
+};
+
+/// Kill-a-worker-mid-batch wave (EXPERIMENTS.md protocol): arm worker.crash,
+/// stream rounds through a 2-worker fleet, then keep draining until the
+/// heartbeat respawns the victim and a full round serves via the LLM again.
+StormResult run_storm(const std::vector<vp::VpSample>& samples) {
+  auto adapter = make_adapter();
+  serve::EngineConfig ecfg;
+  ecfg.shards = 2;
+  ecfg.shard_worker_exe = NETLLM_SHARD_WORKER_EXE;
+  ecfg.shard_backoff_ms = 10.0;  // quick, deterministic rejoin for the bench
+  ecfg.deadline_ms = 200.0;
+  auto engine = ad::api::Serve(adapter, nullptr, nullptr, ecfg);
+
+  StormResult sr;
+  fault::FaultPlan plan;
+  plan.kind = fault::FaultKind::Throw;
+  plan.after = 30;  // mid-batch: a few dozen matmul RPCs into the stream
+  plan.times = 1;
+  fault::arm("worker.crash", plan);
+
+  auto drain_round = [&](std::size_t burst) -> std::size_t {
+    for (std::size_t i = 0; i < burst; ++i) {
+      const auto& s = samples[(sr.requests + i) % samples.size()];
+      engine->submit(serve::VpRequest{s.history, s.saliency, kHorizon});
+    }
+    std::size_t llm_in_round = 0;
+    try {
+      const auto report = engine->run();
+      sr.requests += report.requests;
+      sr.llm += report.llm;
+      sr.shed += report.shed;
+      sr.slo_miss += report.slo_miss;
+      llm_in_round = report.llm;
+    } catch (const std::exception& e) {
+      ++sr.escaped_exceptions;
+      std::cerr << "[bench] ESCAPED exception from run(): " << e.what() << "\n";
+    }
+    return llm_in_round;
+  };
+
+  // Storm window: the injected crash SIGKILLs a worker somewhere in here.
+  for (int round = 0; round < 4; ++round) drain_round(8);
+  sr.crash_fired = fault::fired("worker.crash");  // before disarm clears it
+  fault::disarm_all();
+
+  // Recovery: heartbeat respawns after the backoff; a fully-LLM round with
+  // the fleet whole again is the recovery criterion (bounded wait).
+  for (int round = 0; round < 200 && !sr.recovered; ++round) {
+    const std::size_t llm_in_round = drain_round(4);
+    sr.recovered = llm_in_round == 4 && engine->shard_group() &&
+                   engine->shard_group()->alive_count() == 2;
+    if (!sr.recovered) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  sr.slo_attainment =
+      sr.requests == 0
+          ? 1.0
+          : 1.0 - static_cast<double>(sr.slo_miss) / static_cast<double>(sr.requests);
+  sr.worker_down = static_cast<int>(nm::counter("shard.worker.down").value());
+  sr.worker_rejoin = static_cast<int>(nm::counter("shard.worker.rejoin").value());
+  return sr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_shard.json";
+  std::cout << "Sharded tensor-parallel serving: throughput + worker-kill resilience\n";
+  nm::set_enabled(true);
+  nm::reset();
+  fault::disarm_all();
+
+  auto setting = vp::vp_default_train();
+  setting.num_traces = 2;
+  const auto samples = vp::build_dataset(setting, 16);
+
+  print_banner(std::cout, "decisions/s vs shard count (same model, same requests)");
+  std::vector<ThroughputRow> rows;
+  Table t({"shards", "requests", "llm", "decisions/s", "p50 ms", "p99 ms", "escaped"});
+  for (int shards : {0, 1, 2, 4}) {
+    rows.push_back(run_throughput(shards, samples, 48));
+    const auto& r = rows.back();
+    t.add_row({std::to_string(r.shards), std::to_string(r.requests), std::to_string(r.llm),
+               Table::num(r.decisions_per_s, 1), Table::num(r.p50_ms, 2),
+               Table::num(r.p99_ms, 2), std::to_string(r.escaped_exceptions)});
+  }
+  t.print(std::cout);
+
+  print_banner(std::cout, "worker-kill storm at 200 ms deadline (2 workers, crash + rejoin)");
+  const StormResult storm = run_storm(samples);
+  Table st({"requests", "llm", "shed", "SLO att.", "downs", "rejoins", "recovered", "escaped"});
+  st.add_row({std::to_string(storm.requests), std::to_string(storm.llm),
+              std::to_string(storm.shed), Table::num(storm.slo_attainment, 3),
+              std::to_string(storm.worker_down), std::to_string(storm.worker_rejoin),
+              storm.recovered ? "yes" : "NO", std::to_string(storm.escaped_exceptions)});
+  st.print(std::cout);
+
+  std::ofstream json(out_path);
+  json << "{\n  \"throughput\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    json << "    {\"shards\": " << r.shards << ", \"requests\": " << r.requests
+         << ", \"llm\": " << r.llm << ", \"decisions_per_s\": " << r.decisions_per_s
+         << ", \"p50_ms\": " << r.p50_ms << ", \"p99_ms\": " << r.p99_ms
+         << ", \"escaped_exceptions\": " << r.escaped_exceptions << "}"
+         << (i + 1 == rows.size() ? "\n" : ",\n");
+  }
+  json << "  ],\n";
+  json << "  \"storm\": {\"workers\": 2, \"deadline_ms\": 200, \"requests\": " << storm.requests
+       << ", \"llm\": " << storm.llm << ", \"shed\": " << storm.shed
+       << ", \"slo_miss\": " << storm.slo_miss << ", \"slo_attainment\": " << storm.slo_attainment
+       << ", \"worker_down\": " << storm.worker_down
+       << ", \"worker_rejoin\": " << storm.worker_rejoin
+       << ", \"crash_fired\": " << storm.crash_fired
+       << ", \"recovered\": " << (storm.recovered ? "true" : "false")
+       << ", \"escaped_exceptions\": " << storm.escaped_exceptions << "}\n";
+  json << "}\n";
+  std::cout << "\nwrote " << out_path << "\n";
+  return 0;
+}

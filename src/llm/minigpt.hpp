@@ -108,6 +108,20 @@ class MiniGpt final : public nn::Module {
 
   const MiniGptConfig& config() const { return cfg_; }
 
+  /// Every backbone projection Linear in fixed order — block 0's
+  /// {wq, wk, wv, wo, fc1, fc2}, then block 1's, and so on. This enumeration
+  /// IS the shard protocol's op-id space (DESIGN.md §14): op i is the i-th
+  /// entry here, on root and worker alike. Embeddings, the final LayerNorm
+  /// and the LM head are root-only and never appear.
+  std::vector<std::shared_ptr<nn::Linear>> backbone_linears() const {
+    std::vector<std::shared_ptr<nn::Linear>> out;
+    for (const auto& b : blocks_) {
+      auto ls = b->projection_linears();
+      out.insert(out.end(), ls.begin(), ls.end());
+    }
+    return out;
+  }
+
  private:
   tensor::Tensor run_blocks(const tensor::Tensor& x, DecodeState* st = nullptr) const;
 

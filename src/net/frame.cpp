@@ -1,0 +1,186 @@
+#include "net/frame.hpp"
+
+#include <cstring>
+
+#include "core/crc32.hpp"
+#include "core/fault.hpp"
+
+namespace netllm::net {
+
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (std::uint16_t{p[1]} << 8));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t{p[i]} << (8 * i);
+  return v;
+}
+
+bool known_type(std::uint16_t t) {
+  return t >= static_cast<std::uint16_t>(FrameType::kHello) &&
+         t <= static_cast<std::uint16_t>(FrameType::kError);
+}
+
+/// Validate a 16-byte header; returns {type, payload_len, crc}.
+struct Header {
+  FrameType type;
+  std::uint32_t payload_len;
+  std::uint32_t crc;
+};
+
+Header parse_header(const std::uint8_t* h) {
+  if (get_u32(h) != kFrameMagic) throw BadFrame("frame: bad magic");
+  if (get_u16(h + 4) != kProtocolVersion) throw BadFrame("frame: bad protocol version");
+  const std::uint16_t type = get_u16(h + 6);
+  if (!known_type(type)) throw BadFrame("frame: unknown frame type");
+  const std::uint32_t len = get_u32(h + 8);
+  if (len > kMaxPayload) throw BadFrame("frame: payload length exceeds cap");
+  return Header{static_cast<FrameType>(type), len, get_u32(h + 12)};
+}
+
+}  // namespace
+
+void Writer::u16(std::uint16_t v) { put_u16(bytes, v); }
+void Writer::u32(std::uint32_t v) { put_u32(bytes, v); }
+
+void Writer::u64(std::uint64_t v) {
+  put_u32(bytes, static_cast<std::uint32_t>(v & 0xffffffffu));
+  put_u32(bytes, static_cast<std::uint32_t>(v >> 32));
+}
+
+void Writer::f32(float v) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u32(bytes, bits);
+}
+
+void Writer::f32s(std::span<const float> vs) {
+  // Hot path (weight shards, activation slices): bulk little-endian copy.
+  // The repo only targets little-endian hosts (pinned by the snapshot
+  // format's CRC tests), so memcpy of the float block is the wire image.
+  const std::size_t off = bytes.size();
+  bytes.resize(off + vs.size() * sizeof(float));
+  if (!vs.empty()) std::memcpy(bytes.data() + off, vs.data(), vs.size() * sizeof(float));
+}
+
+void Writer::raw(std::span<const std::uint8_t> bs) {
+  bytes.insert(bytes.end(), bs.begin(), bs.end());
+}
+
+void Reader::need(std::size_t n) const {
+  if (bytes_.size() - pos_ < n) throw BadFrame("payload: truncated field");
+}
+
+std::uint16_t Reader::u16() {
+  need(2);
+  const std::uint16_t v = get_u16(bytes_.data() + pos_);
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t Reader::u32() {
+  need(4);
+  const std::uint32_t v = get_u32(bytes_.data() + pos_);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t Reader::u64() {
+  const std::uint64_t lo = u32();
+  const std::uint64_t hi = u32();
+  return lo | (hi << 32);
+}
+
+float Reader::f32() {
+  const std::uint32_t bits = u32();
+  float v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+void Reader::f32s(std::span<float> out) {
+  need(out.size() * sizeof(float));
+  if (!out.empty()) {
+    std::memcpy(out.data(), bytes_.data() + pos_, out.size() * sizeof(float));
+  }
+  pos_ += out.size() * sizeof(float);
+}
+
+void Reader::expect_end() const {
+  if (pos_ != bytes_.size()) throw BadFrame("payload: trailing bytes");
+}
+
+std::vector<std::uint8_t> encode_frame(FrameType type, std::span<const std::uint8_t> payload) {
+  if (payload.size() > kMaxPayload) throw BadFrame("encode_frame: payload exceeds cap");
+  std::vector<std::uint8_t> out;
+  out.reserve(kFrameHeaderSize + payload.size());
+  put_u32(out, kFrameMagic);
+  put_u16(out, kProtocolVersion);
+  put_u16(out, static_cast<std::uint16_t>(type));
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  put_u32(out, core::crc32(payload.data(), payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+Frame decode_frame(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kFrameHeaderSize) throw BadFrame("frame: truncated header");
+  const Header h = parse_header(bytes.data());
+  if (bytes.size() - kFrameHeaderSize < h.payload_len) throw BadFrame("frame: truncated payload");
+  if (bytes.size() - kFrameHeaderSize > h.payload_len) throw BadFrame("frame: trailing bytes");
+  const std::uint8_t* body = bytes.data() + kFrameHeaderSize;
+  if (core::crc32(body, h.payload_len) != h.crc) throw BadFrame("frame: CRC mismatch");
+  Frame f;
+  f.type = h.type;
+  f.payload.assign(body, body + h.payload_len);
+  return f;
+}
+
+void write_frame(Socket& sock, FrameType type, std::span<const std::uint8_t> payload,
+                 Deadline dl) {
+  FAULT_POINT("net.send");
+  const auto wire = encode_frame(type, payload);
+  sock.send_all(wire.data(), wire.size(), dl);
+}
+
+Frame read_frame(Socket& sock, Deadline dl) {
+  FAULT_POINT("net.recv");
+  std::uint8_t header[kFrameHeaderSize];
+  // First byte separates "peer gone between frames" (clean Closed) from a
+  // torn frame (BadFrame): EOF after >=1 header byte means the peer died
+  // mid-send and the stream can never resync.
+  const std::size_t first = sock.recv_some(header, 1, dl);
+  if (first == 0) throw Closed("read_frame: peer closed on frame boundary");
+  try {
+    sock.recv_all(header + 1, kFrameHeaderSize - 1, dl);
+  } catch (const Closed&) {
+    throw BadFrame("read_frame: torn frame (EOF inside header)");
+  }
+  const Header h = parse_header(header);
+  Frame f;
+  f.type = h.type;
+  f.payload.resize(h.payload_len);
+  try {
+    if (h.payload_len > 0) sock.recv_all(f.payload.data(), h.payload_len, dl);
+  } catch (const Closed&) {
+    throw BadFrame("read_frame: torn frame (EOF inside payload)");
+  }
+  if (core::crc32(f.payload.data(), f.payload.size()) != h.crc) {
+    throw BadFrame("read_frame: CRC mismatch");
+  }
+  return f;
+}
+
+}  // namespace netllm::net

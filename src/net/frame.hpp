@@ -1,0 +1,119 @@
+// Length-prefixed, CRC-framed binary protocol for the shard RPC tier
+// (DESIGN.md §14).
+//
+// Wire layout of one frame (all integers little-endian):
+//
+//   offset  size  field
+//        0     4  magic   0x4e4c4c4d ("NLLM")
+//        4     2  version (kProtocolVersion)
+//        6     2  type    (FrameType)
+//        8     4  payload length in bytes (<= kMaxPayload)
+//       12     4  CRC-32 of the payload (core::crc32)
+//       16     n  payload
+//
+// Every malformation — wrong magic/version, unknown type, oversized or
+// understated length, CRC mismatch, truncation, torn frame — is the named
+// `BadFrame` error; the codec never reads past the declared bounds and
+// never blocks past the caller's deadline, so a corrupted or malicious
+// peer cannot hang or poison the root (fuzzed in tests/test_shard.cpp).
+//
+// The socket entry points double as fault-injection points: the sites
+// "net.send" / "net.recv" (core/fault) fire inside write_frame/read_frame,
+// so storm plans can throw or delay exactly where a flaky network would.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/socket.hpp"
+
+namespace netllm::net {
+
+inline constexpr std::uint32_t kFrameMagic = 0x4e4c4c4d;  // "NLLM"
+inline constexpr std::uint16_t kProtocolVersion = 1;
+inline constexpr std::size_t kFrameHeaderSize = 16;
+/// Payload cap: big enough for a [max_seq, d_ff] fp32 weight slice at any
+/// plausible lite-zoo scale, small enough that a corrupted length field can
+/// never trigger a multi-GiB allocation.
+inline constexpr std::size_t kMaxPayload = std::size_t{1} << 26;  // 64 MiB
+
+/// RPC vocabulary of the root/worker shard protocol (DESIGN.md §14).
+enum class FrameType : std::uint16_t {
+  kHello = 1,         // worker -> root: {u32 rank}
+  kWeights = 2,       // root -> worker: {u32 op, u32 in, u32 col0, u32 cols, f32[in*cols]}
+  kReady = 3,         // root -> worker: {u32 n_ops}; worker -> root: {} (ack)
+  kMatmul = 4,        // root -> worker: {u64 req, u32 op, u32 m, u32 k, f32[m*k]}
+  kMatmulResult = 5,  // worker -> root: {u64 req, u32 op, u32 m, u32 cols, f32[m*cols]}
+  kPing = 6,          // root -> worker: {u64 nonce}
+  kPong = 7,          // worker -> root: {u64 nonce}
+  kShutdown = 8,      // root -> worker: {}; worker exits cleanly
+  kError = 9,         // worker -> root: {u32 len, bytes message}
+};
+
+/// A malformed frame or payload: wrong magic/version/type, bad length, CRC
+/// mismatch, mid-frame EOF, or an over/under-run while decoding a payload.
+class BadFrame : public Error {
+ public:
+  using Error::Error;
+};
+
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Little-endian payload builder. Appends; `bytes` is the wire image.
+class Writer {
+ public:
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void f32(float v);
+  void f32s(std::span<const float> vs);
+  void raw(std::span<const std::uint8_t> bs);
+
+  std::vector<std::uint8_t> bytes;
+};
+
+/// Bounds-checked little-endian payload parser. Any read past the end of
+/// the buffer throws BadFrame; `expect_end` rejects trailing bytes, so a
+/// handler consuming a payload fully validates its framing for free.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  float f32();
+  void f32s(std::span<float> out);
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+  void expect_end() const;
+
+ private:
+  void need(std::size_t n) const;
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+/// Serialize one frame (header + payload) into a byte vector.
+std::vector<std::uint8_t> encode_frame(FrameType type, std::span<const std::uint8_t> payload);
+
+/// Parse a byte buffer holding exactly one frame. Throws BadFrame on any
+/// malformation, including trailing bytes after the declared payload.
+Frame decode_frame(std::span<const std::uint8_t> bytes);
+
+/// Send one frame before `dl`. Fault site "net.send" fires here (armed
+/// Throw plans surface as net::Error, Delay plans eat into the deadline).
+void write_frame(Socket& sock, FrameType type, std::span<const std::uint8_t> payload,
+                 Deadline dl);
+
+/// Receive one frame before `dl`. A clean EOF on the frame boundary is
+/// `Closed` (peer went away between frames); an EOF inside a frame is
+/// `BadFrame` (torn frame). Fault site "net.recv" fires here.
+Frame read_frame(Socket& sock, Deadline dl);
+
+}  // namespace netllm::net

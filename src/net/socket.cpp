@@ -1,0 +1,211 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+#include "core/signal.hpp"
+
+namespace netllm::net {
+
+namespace {
+
+/// Slice length for deadline/stop polling: long enough to stay cheap, short
+/// enough that a stop request tears a blocked call out promptly.
+constexpr int kPollSliceMs = 100;
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw Error(std::string(what) + ": " + std::strerror(errno));
+}
+
+/// Remaining whole milliseconds until `dl`, clamped to one poll slice.
+int slice_ms(Deadline dl) {
+  if (dl == Deadline::max()) return kPollSliceMs;
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(dl - Clock::now());
+  const auto ms = std::clamp<std::int64_t>(left.count(), 0, kPollSliceMs);
+  return static_cast<int>(ms);
+}
+
+/// Wait until `fd` is ready for `events` (POLLIN/POLLOUT), the deadline
+/// passes (Timeout), or a stop is requested (Closed). EINTR retries are
+/// bounded; POLLERR/POLLHUP are reported by the subsequent read/write.
+void wait_ready(int fd, short events, Deadline dl, const char* what) {
+  int eintr_left = kMaxEintrRetries;
+  for (;;) {
+    if (core::stop_requested()) {
+      throw Closed(std::string(what) + ": stop requested while blocked");
+    }
+    if (Clock::now() >= dl) throw Timeout(std::string(what) + ": deadline expired");
+    pollfd pfd{fd, events, 0};
+    const int rc = ::poll(&pfd, 1, slice_ms(dl));
+    if (rc > 0) return;  // ready (or error condition — surfaced by the I/O call)
+    if (rc == 0) continue;  // slice elapsed; re-check stop + deadline
+    if (errno == EINTR) {
+      if (--eintr_left <= 0) throw Error(std::string(what) + ": EINTR retry budget exhausted");
+      continue;
+    }
+    throw_errno(what);
+  }
+}
+
+}  // namespace
+
+Deadline deadline_after_ms(double ms) {
+  if (ms <= 0.0) return Deadline::max();
+  return Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double, std::milli>(ms));
+}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    // EINTR on close is not retried: POSIX leaves the fd state unspecified
+    // and a double close could hit a recycled descriptor.
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::send_all(const void* data, std::size_t len, Deadline dl) {
+  if (!valid()) throw Closed("send_all: socket is closed");
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::size_t sent = 0;
+  int eintr_left = kMaxEintrRetries;
+  while (sent < len) {
+    wait_ready(fd_, POLLOUT, dl, "send_all");
+    // MSG_NOSIGNAL: a dead peer must surface as EPIPE -> Closed, not as a
+    // process-wide SIGPIPE that would tear down the whole engine.
+    const ssize_t n = ::send(fd_, p + sent, len - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      eintr_left = kMaxEintrRetries;
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      if (--eintr_left <= 0) throw Error("send_all: EINTR retry budget exhausted");
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) continue;
+    if (n < 0 && (errno == EPIPE || errno == ECONNRESET)) {
+      throw Closed("send_all: peer closed the connection");
+    }
+    throw_errno("send_all");
+  }
+}
+
+std::size_t Socket::recv_some(void* data, std::size_t len, Deadline dl) {
+  if (!valid()) throw Closed("recv_some: socket is closed");
+  int eintr_left = kMaxEintrRetries;
+  for (;;) {
+    wait_ready(fd_, POLLIN, dl, "recv_some");
+    const ssize_t n = ::recv(fd_, data, len, 0);
+    if (n >= 0) return static_cast<std::size_t>(n);  // 0 = orderly EOF
+    if (errno == EINTR) {
+      if (--eintr_left <= 0) throw Error("recv_some: EINTR retry budget exhausted");
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    if (errno == ECONNRESET) throw Closed("recv_some: connection reset by peer");
+    throw_errno("recv_some");
+  }
+}
+
+void Socket::recv_all(void* data, std::size_t len, Deadline dl) {
+  auto* p = static_cast<std::uint8_t*>(data);
+  std::size_t got = 0;
+  while (got < len) {
+    const std::size_t n = recv_some(p + got, len - got, dl);
+    if (n == 0) throw Closed("recv_all: peer closed mid-read");
+    got += n;
+  }
+}
+
+Socket connect_local(std::uint16_t port, Deadline dl) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  int eintr_left = kMaxEintrRetries;
+  for (;;) {
+    if (core::stop_requested()) throw Closed("connect_local: stop requested");
+    if (Clock::now() >= dl) throw Timeout("connect_local: deadline expired");
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) throw_errno("connect_local: socket");
+    Socket sock(fd);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return sock;
+    }
+    if (errno == EINTR) {
+      // The connect may have completed asynchronously, but a fresh attempt
+      // on a fresh socket is simpler and races only against the deadline.
+      if (--eintr_left <= 0) throw Error("connect_local: EINTR retry budget exhausted");
+      continue;
+    }
+    if (errno == ECONNREFUSED || errno == EAGAIN || errno == ETIMEDOUT) {
+      // Listener not up yet (root/worker startup race): back off one slice.
+      pollfd none{-1, 0, 0};
+      ::poll(&none, 0, std::min(slice_ms(dl), 20));
+      continue;
+    }
+    throw_errno("connect_local: connect");
+  }
+}
+
+Listener::Listener() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("Listener: socket");
+  fd_ = Socket(fd);
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;  // ephemeral: the kernel picks a free port
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    throw_errno("Listener: bind");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    throw_errno("Listener: getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+  if (::listen(fd, 16) != 0) throw_errno("Listener: listen");
+}
+
+Socket Listener::accept(Deadline dl) {
+  int eintr_left = kMaxEintrRetries;
+  for (;;) {
+    wait_ready(fd_.fd(), POLLIN, dl, "accept");
+    const int fd = ::accept(fd_.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return Socket(fd);
+    }
+    if (errno == EINTR) {
+      if (--eintr_left <= 0) throw Error("accept: EINTR retry budget exhausted");
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNABORTED) continue;
+    throw_errno("accept");
+  }
+}
+
+}  // namespace netllm::net

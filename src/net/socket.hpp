@@ -1,0 +1,103 @@
+// EINTR-safe loopback sockets with deadline-based blocking I/O — the
+// transport under the sharded tensor-parallel serving tier (DESIGN.md §14).
+//
+// Design rules, in order:
+//  * Every blocking call takes an explicit `Deadline`; there is no
+//    unbounded wait anywhere. A missed deadline throws the named `Timeout`.
+//  * EINTR never aborts an operation and never busy-loops: interrupted
+//    polls/reads/writes retry with the remaining deadline, bounded by
+//    `kMaxEintrRetries` consecutive interruptions (a pathological signal
+//    storm surfaces as a named error instead of a hang).
+//  * The `core/signal` stop flag is honoured inside the poll slices: a
+//    SIGINT/SIGTERM delivered mid-recv tears the call out with `Closed`
+//    within one slice (~100 ms), so the serve engine's stop-drain semantics
+//    (DESIGN.md §12) extend through the socket layer.
+//  * A peer that vanished (EOF, ECONNRESET, EPIPE) is the named `Closed`,
+//    distinct from `Timeout` — the shard layer treats the first as a dead
+//    worker and the second as a slow one, but both mark the worker down.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace netllm::net {
+
+/// Base class for every socket-layer failure.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// The deadline expired before the operation completed.
+class Timeout : public Error {
+ public:
+  using Error::Error;
+};
+
+/// The peer is gone (EOF / reset / broken pipe) or a stop was requested
+/// while blocked — either way the connection is unusable.
+class Closed : public Error {
+ public:
+  using Error::Error;
+};
+
+using Clock = std::chrono::steady_clock;
+using Deadline = Clock::time_point;
+
+/// Deadline `ms` milliseconds from now; non-positive means "no deadline"
+/// (Clock::time_point::max() — still stop-aware, never a hard hang).
+Deadline deadline_after_ms(double ms);
+
+/// Consecutive EINTR interruptions tolerated per blocking call before the
+/// operation fails with `Error` ("bounded retries", DESIGN.md §14).
+inline constexpr int kMaxEintrRetries = 1024;
+
+/// RAII file-descriptor wrapper with deadline-based exact-count I/O.
+/// Move-only; closing is idempotent.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  ~Socket() { close(); }
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void close() noexcept;
+
+  /// Send exactly `len` bytes before `dl`. Throws Timeout / Closed / Error.
+  void send_all(const void* data, std::size_t len, Deadline dl);
+  /// Receive exactly `len` bytes before `dl`. EOF anywhere inside the range
+  /// throws Closed — the framing layer re-labels a mid-frame EOF BadFrame.
+  void recv_all(void* data, std::size_t len, Deadline dl);
+  /// One receive of up to `len` bytes after readability; returns 0 on EOF.
+  std::size_t recv_some(void* data, std::size_t len, Deadline dl);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Connect to 127.0.0.1:`port`, retrying refused connections until the
+/// deadline (covers the root-listens / worker-connects startup race).
+Socket connect_local(std::uint16_t port, Deadline dl);
+
+/// Listening socket bound to 127.0.0.1 on an ephemeral port.
+class Listener {
+ public:
+  Listener();
+  std::uint16_t port() const { return port_; }
+  /// Accept one connection before `dl`.
+  Socket accept(Deadline dl);
+
+ private:
+  Socket fd_;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace netllm::net

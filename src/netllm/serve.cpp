@@ -17,6 +17,7 @@
 #include "core/threadpool.hpp"
 #include "core/timer.hpp"
 #include "core/trace.hpp"
+#include "netllm/shard.hpp"
 #include "netllm/vp_adapter.hpp"
 #include "nn/kv_arena.hpp"
 
@@ -107,6 +108,21 @@ InferenceEngine::InferenceEngine(std::shared_ptr<vp::VpPredictor> vp_model,
       acfg.prefix_entries = cfg_.arena_prefix_entries;
       arena_ = std::make_shared<nn::KvArena>(llm_cfg.n_layers, llm_cfg.d_model, acfg);
       adapter->set_kv_arena(arena_);
+    }
+  }
+  // Sharded tensor-parallel backbone (DESIGN.md §14): with `shards` set and
+  // a VpAdapter primary, spawn the worker fleet and route every backbone
+  // matmul through it. The group attaches its own offload hooks; decisions
+  // stay bitwise-equal to single-process serving.
+  if (cfg_.shards > 0) {
+    if (auto adapter = std::dynamic_pointer_cast<adapt::VpAdapter>(vp_model_)) {
+      shard::ShardConfig scfg;
+      scfg.workers = cfg_.shards;
+      scfg.worker_exe = cfg_.shard_worker_exe;
+      scfg.rpc_deadline_ms = cfg_.shard_rpc_deadline_ms;
+      scfg.backoff_base_ms = cfg_.shard_backoff_ms;
+      scfg.backoff_seed = cfg_.shard_seed;
+      shard_group_ = std::make_shared<shard::ShardGroup>(adapter->llm_shared(), scfg);
     }
   }
 }
@@ -217,6 +233,12 @@ Action InferenceEngine::decide(Guard& g, TaskMetrics& m, Primary&& primary, Vali
       // The KV page budget cannot fund this request right now. That is load,
       // not a model failure: shed to the fallback below without feeding the
       // breaker or the health state, exactly like an admission shed.
+      fail = Fail::kArena;
+    } catch (const shard::WorkerDown&) {
+      // A tensor-parallel worker is dead or still in its reconnect backoff
+      // (DESIGN.md §14). Infrastructure loss, not a model failure: shed to
+      // the fallback exactly like arena exhaustion — no breaker, no health
+      // pollution — and the heartbeat's respawn restores primary serving.
       fail = Fail::kArena;
     } catch (const std::exception&) {
       fail = Fail::kException;
@@ -551,6 +573,9 @@ CjsResponse InferenceEngine::serve_cjs(const Queued<CjsRequest>& q, std::uint64_
 }
 
 BatchReport InferenceEngine::run() {
+  // Worker-fleet upkeep rides the drain loop: ping for death detection,
+  // respawn workers whose backoff window passed (rate-limited internally).
+  if (shard_group_) shard_group_->heartbeat();
   std::vector<Queued<VpRequest>> vp_jobs;
   std::vector<Queued<AbrRequest>> abr_jobs;
   std::vector<Queued<CjsRequest>> cjs_jobs;

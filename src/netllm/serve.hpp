@@ -39,6 +39,10 @@ namespace netllm::nn {
 class KvArena;
 }
 
+namespace netllm::shard {
+class ShardGroup;
+}
+
 namespace netllm::serve {
 
 /// Which path produced a response.
@@ -190,6 +194,19 @@ struct EngineConfig {
   std::int64_t arena_pages = 4096;
   std::int64_t arena_page_rows = 16;
   std::size_t arena_prefix_entries = 32;  // warm prompt-skeleton slots; 0 = no sharing
+
+  // ---- sharded tensor-parallel backbone (DESIGN.md §14) ----
+  // With `shards > 0` and a VpAdapter primary, the engine spawns that many
+  // local worker processes owning column shards of the backbone projection
+  // weights; backbone matmuls fan out over loopback TCP and the decisions
+  // stay bitwise-equal to single-process. A dead worker degrades requests
+  // to the fallback (`Source::kShed`, no breaker/health effect) until the
+  // heartbeat respawns it. 0 disables sharding entirely.
+  int shards = 0;
+  double shard_rpc_deadline_ms = 2000.0;     // per matmul fan-out round
+  double shard_backoff_ms = 25.0;            // worker respawn backoff base
+  std::uint64_t shard_seed = 0x5eedbaccULL;  // seeds the backoff jitter
+  std::string shard_worker_exe;  // empty -> $NETLLM_SHARD_WORKER
 };
 
 /// Deterministic backoff before retry number `attempt` (1-based) of the
@@ -274,6 +291,9 @@ class InferenceEngine {
   /// The pooled KV arena injected into a VpAdapter primary (DESIGN.md §13);
   /// null when `arena_pages` is 0 or the VP model is not a VpAdapter.
   const std::shared_ptr<nn::KvArena>& kv_arena() const { return arena_; }
+  /// The tensor-parallel worker fleet (DESIGN.md §14); null when
+  /// `shards` is 0 or the VP model is not a VpAdapter.
+  const std::shared_ptr<shard::ShardGroup>& shard_group() const { return shard_group_; }
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -368,6 +388,7 @@ class InferenceEngine {
   core::metrics::Counter* admission_wakeups_ = nullptr;  // serve.admission.wakeups
   std::mutex abr_mu_, cjs_mu_;  // serialize stateful policy calls
   std::shared_ptr<nn::KvArena> arena_;  // pooled KV pages + warm prefixes (VP)
+  std::shared_ptr<shard::ShardGroup> shard_group_;  // tensor-parallel fleet (VP)
 
   mutable std::mutex queue_mu_;
   std::condition_variable queue_cv_;   // signaled when run() frees queue space

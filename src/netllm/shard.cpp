@@ -1,0 +1,516 @@
+#include "netllm/shard.hpp"
+
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <spawn.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/fault.hpp"
+#include "core/signal.hpp"
+#include "tensor/kernels.hpp"
+
+extern char** environ;
+
+namespace netllm::shard {
+
+namespace net = netllm::net;
+
+std::pair<std::int64_t, std::int64_t> shard_cols(std::int64_t out, int workers, int rank) {
+  if (workers <= 0 || rank < 0 || rank >= workers) {
+    throw Error("shard_cols: rank " + std::to_string(rank) + " not in [0, " +
+                std::to_string(workers) + ")");
+  }
+  const std::int64_t c0 = (out * rank) / workers;
+  const std::int64_t c1 = (out * (rank + 1)) / workers;
+  return {c0, c1 - c0};
+}
+
+namespace {
+
+std::string resolve_worker_exe(const ShardConfig& cfg) {
+  if (!cfg.worker_exe.empty()) return cfg.worker_exe;
+  if (const char* env = std::getenv("NETLLM_SHARD_WORKER"); env && *env) return env;
+  throw Error(
+      "ShardGroup: no worker executable (set ShardConfig::worker_exe or the "
+      "NETLLM_SHARD_WORKER environment variable)");
+}
+
+/// Reap a child if it has a pending exit status; never blocks.
+void reap_nonblocking(pid_t pid) {
+  if (pid > 0) {
+    int status = 0;
+    ::waitpid(pid, &status, WNOHANG);
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// root side
+// ---------------------------------------------------------------------------
+
+ShardGroup::ShardGroup(std::shared_ptr<llm::MiniGpt> llm, const ShardConfig& cfg)
+    : llm_(std::move(llm)), cfg_(cfg) {
+  if (!llm_) throw Error("ShardGroup: null model");
+  if (cfg_.workers <= 0) throw Error("ShardGroup: workers must be positive");
+  cfg_.worker_exe = resolve_worker_exe(cfg_);
+
+  for (auto& lin : llm_->backbone_linears()) {
+    ops_.push_back({lin, lin->in_features(), lin->out_features()});
+  }
+  if (ops_.empty()) throw Error("ShardGroup: model has no backbone linears");
+
+  rpc_ok_ = &core::metrics::counter("shard.rpc.ok");
+  rpc_failed_ = &core::metrics::counter("shard.rpc.failed");
+  m_down_ = &core::metrics::counter("shard.worker.down");
+  m_rejoin_ = &core::metrics::counter("shard.worker.rejoin");
+  m_spawned_ = &core::metrics::counter("shard.worker.spawned");
+  m_alive_ = &core::metrics::gauge("shard.workers_alive");
+
+  listener_ = std::make_unique<net::Listener>();
+  workers_.resize(static_cast<std::size_t>(cfg_.workers));
+  for (int r = 0; r < cfg_.workers; ++r) {
+    workers_[static_cast<std::size_t>(r)].rng = core::Rng(cfg_.backoff_seed ^
+                                                          static_cast<std::uint64_t>(r));
+  }
+  try {
+    for (int r = 0; r < cfg_.workers; ++r) spawn(r);
+    for (int r = 0; r < cfg_.workers; ++r) handshake(r);
+  } catch (...) {
+    shutdown();
+    throw;
+  }
+  set_alive_gauge();
+  last_beat_ = net::Clock::now();
+
+  // Route every backbone x·W through the fleet. Bias, LayerNorm, attention
+  // math, LoRA deltas and the heads stay on the root, bitwise-unchanged.
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    ops_[i].linear->set_offload([this, i](const tensor::Tensor& x) {
+      return this->matmul(static_cast<std::uint32_t>(i), x);
+    });
+  }
+}
+
+ShardGroup::~ShardGroup() {
+  for (auto& op : ops_) op.linear->set_offload(nullptr);
+  shutdown();
+}
+
+void ShardGroup::set_alive_gauge() {
+  int n = 0;
+  for (const auto& w : workers_) n += w.alive ? 1 : 0;
+  if (m_alive_) m_alive_->set(static_cast<double>(n));
+}
+
+bool ShardGroup::alive(int rank) const {
+  std::lock_guard<std::mutex> lock(rpc_mu_);
+  return workers_.at(static_cast<std::size_t>(rank)).alive;
+}
+
+int ShardGroup::alive_count() const {
+  std::lock_guard<std::mutex> lock(rpc_mu_);
+  int n = 0;
+  for (const auto& w : workers_) n += w.alive ? 1 : 0;
+  return n;
+}
+
+pid_t ShardGroup::worker_pid(int rank) const {
+  std::lock_guard<std::mutex> lock(rpc_mu_);
+  return workers_.at(static_cast<std::size_t>(rank)).pid;
+}
+
+void ShardGroup::spawn(int rank) {
+  auto& w = workers_[static_cast<std::size_t>(rank)];
+  reap_nonblocking(w.pid);
+  const std::string port_s = std::to_string(listener_->port());
+  const std::string rank_s = std::to_string(rank);
+  char* argv[] = {const_cast<char*>(cfg_.worker_exe.c_str()),
+                  const_cast<char*>(port_s.c_str()), const_cast<char*>(rank_s.c_str()),
+                  nullptr};
+  pid_t pid = -1;
+  const int rc = ::posix_spawn(&pid, cfg_.worker_exe.c_str(), nullptr, nullptr, argv, environ);
+  if (rc != 0) {
+    throw Error("ShardGroup: posix_spawn('" + cfg_.worker_exe +
+                "') failed: " + std::strerror(rc));
+  }
+  w.pid = pid;
+  if (m_spawned_) m_spawned_->add();
+}
+
+void ShardGroup::handshake(int rank) {
+  FAULT_POINT("net.connect");
+  const auto dl = net::deadline_after_ms(cfg_.handshake_deadline_ms);
+  net::Socket sock = listener_->accept(dl);
+
+  // Hello carries the rank the child was spawned with. At initial startup
+  // the N children connect in arbitrary order, so the accepted connection
+  // may belong to a different slot than the one this call was made for —
+  // the handshake serves whichever rank announced itself (each child's pid
+  // was already stored in its own slot at spawn() time).
+  net::Frame hello = net::read_frame(sock, dl);
+  if (hello.type != net::FrameType::kHello) throw Error("handshake: expected Hello");
+  net::Reader hr(hello.payload);
+  const std::uint32_t got_rank = hr.u32();
+  hr.expect_end();
+  if (got_rank >= static_cast<std::uint32_t>(cfg_.workers)) {
+    throw Error("handshake: Hello rank out of range");
+  }
+  auto& slot = workers_[got_rank];
+  if (slot.alive) throw Error("handshake: duplicate Hello for rank " + std::to_string(got_rank));
+  (void)rank;
+
+  // Ship every weight shard, then the Ready barrier.
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    const auto& op = ops_[i];
+    const auto [c0, cols] = shard_cols(op.out, cfg_.workers, static_cast<int>(got_rank));
+    net::Writer pw;
+    pw.u32(static_cast<std::uint32_t>(i));
+    pw.u32(static_cast<std::uint32_t>(op.in));
+    pw.u32(static_cast<std::uint32_t>(c0));
+    pw.u32(static_cast<std::uint32_t>(cols));
+    // Column slice of the row-major [in, out] weight: rows stay rows.
+    const auto wdata = op.linear->weight().data();
+    std::vector<float> slice(static_cast<std::size_t>(op.in * cols));
+    for (std::int64_t r = 0; r < op.in; ++r) {
+      std::memcpy(slice.data() + r * cols, wdata.data() + r * op.out + c0,
+                  static_cast<std::size_t>(cols) * sizeof(float));
+    }
+    pw.f32s(slice);
+    net::write_frame(sock, net::FrameType::kWeights, pw.bytes, dl);
+  }
+  net::Writer rw;
+  rw.u32(static_cast<std::uint32_t>(ops_.size()));
+  net::write_frame(sock, net::FrameType::kReady, rw.bytes, dl);
+  net::Frame ack = net::read_frame(sock, dl);
+  if (ack.type != net::FrameType::kReady) throw Error("handshake: expected Ready ack");
+
+  slot.sock = std::move(sock);
+  slot.alive = true;
+  slot.fails = 0;
+}
+
+void ShardGroup::mark_down(int rank, const char* why) {
+  auto& w = workers_[static_cast<std::size_t>(rank)];
+  if (!w.alive) return;
+  w.alive = false;
+  // Invariant: a connection is fully in-sync or closed. Closing here means a
+  // late/stale reply can never be read by a future request; killing the
+  // process (idempotent if already dead) means reconnect is always a fresh
+  // process with a fresh handshake.
+  w.sock.close();
+  if (w.pid > 0) ::kill(w.pid, SIGKILL);
+  w.fails = 1;
+  w.next_retry = net::Clock::now() + std::chrono::duration_cast<net::Clock::duration>(
+                                         std::chrono::duration<double, std::milli>(backoff_ms(w)));
+  if (m_down_) m_down_->add();
+  set_alive_gauge();
+  (void)why;
+}
+
+double ShardGroup::backoff_ms(Worker& w) {
+  const int doublings = std::min(std::max(w.fails - 1, 0), 20);
+  const double base = cfg_.backoff_base_ms * static_cast<double>(std::int64_t{1} << doublings);
+  const double jitter = 0.5 + w.rng.uniform();  // deterministic per-rank stream
+  return std::min(base * jitter, cfg_.backoff_max_ms);
+}
+
+void ShardGroup::kill_lowest_alive() {
+  for (std::size_t r = 0; r < workers_.size(); ++r) {
+    if (workers_[r].alive) {
+      mark_down(static_cast<int>(r), "worker.crash fault");
+      return;
+    }
+  }
+}
+
+tensor::Tensor ShardGroup::matmul(std::uint32_t op, const tensor::Tensor& x) {
+  std::lock_guard<std::mutex> lock(rpc_mu_);
+  if (op >= ops_.size()) throw Error("ShardGroup::matmul: op out of range");
+  try {
+    FAULT_POINT("worker.crash");
+  } catch (const core::fault::FaultInjected&) {
+    // Translate the armed fault into genuine process death: the storm
+    // schedule decides WHEN, the process table shows a real kill. The
+    // in-flight request degrades via WorkerDown below.
+    kill_lowest_alive();
+  }
+  for (std::size_t r = 0; r < workers_.size(); ++r) {
+    if (!workers_[r].alive) {
+      if (rpc_failed_) rpc_failed_->add();
+      throw WorkerDown("ShardGroup: worker " + std::to_string(r) +
+                       " is down (reconnect pending)");
+    }
+  }
+
+  const std::int64_t m = x.dim(0);
+  const std::int64_t k = x.dim(1);
+  const auto& opd = ops_[op];
+  if (k != opd.in) throw Error("ShardGroup::matmul: inner-dim mismatch");
+  const auto dl = net::deadline_after_ms(cfg_.rpc_deadline_ms);
+  const std::uint64_t req = next_req_++;
+
+  // Fan out: all sends first, so the workers compute their slices in
+  // parallel, then collect in rank order (the column order of the result).
+  net::Writer pw;
+  pw.u64(req);
+  pw.u32(op);
+  pw.u32(static_cast<std::uint32_t>(m));
+  pw.u32(static_cast<std::uint32_t>(k));
+  pw.f32s(x.data());
+  for (std::size_t r = 0; r < workers_.size(); ++r) {
+    try {
+      net::write_frame(workers_[r].sock, net::FrameType::kMatmul, pw.bytes, dl);
+    } catch (const net::Error&) {
+      mark_down(static_cast<int>(r), "matmul send failed");
+      if (rpc_failed_) rpc_failed_->add();
+      throw WorkerDown("ShardGroup: worker " + std::to_string(r) + " lost during send");
+    } catch (const core::fault::FaultInjected&) {
+      // An injected net.send fault models exactly a lost connection: same
+      // down transition, same WorkerDown -> shed degradation.
+      mark_down(static_cast<int>(r), "matmul send failed (injected)");
+      if (rpc_failed_) rpc_failed_->add();
+      throw WorkerDown("ShardGroup: worker " + std::to_string(r) + " lost during send");
+    }
+  }
+
+  std::vector<float> y(static_cast<std::size_t>(m * opd.out));
+  for (std::size_t r = 0; r < workers_.size(); ++r) {
+    const auto [c0, cols] = shard_cols(opd.out, cfg_.workers, static_cast<int>(r));
+    try {
+      net::Frame f = net::read_frame(workers_[r].sock, dl);
+      if (f.type == net::FrameType::kError) {
+        throw net::BadFrame("worker reported a protocol error");
+      }
+      if (f.type != net::FrameType::kMatmulResult) {
+        throw net::BadFrame("expected MatmulResult");
+      }
+      net::Reader rd(f.payload);
+      const std::uint64_t rreq = rd.u64();
+      const std::uint32_t rop = rd.u32();
+      const std::int64_t rm = rd.u32();
+      const std::int64_t rcols = rd.u32();
+      if (rreq != req || rop != op || rm != m || rcols != cols) {
+        throw net::BadFrame("MatmulResult does not match the request");
+      }
+      std::vector<float> slice(static_cast<std::size_t>(m * cols));
+      rd.f32s(slice);
+      rd.expect_end();
+      for (std::int64_t row = 0; row < m; ++row) {
+        std::memcpy(y.data() + row * opd.out + c0, slice.data() + row * cols,
+                    static_cast<std::size_t>(cols) * sizeof(float));
+      }
+    } catch (const net::Error&) {
+      mark_down(static_cast<int>(r), "matmul recv failed");
+      if (rpc_failed_) rpc_failed_->add();
+      throw WorkerDown("ShardGroup: worker " + std::to_string(r) + " lost during recv");
+    } catch (const core::fault::FaultInjected&) {
+      mark_down(static_cast<int>(r), "matmul recv failed (injected)");
+      if (rpc_failed_) rpc_failed_->add();
+      throw WorkerDown("ShardGroup: worker " + std::to_string(r) + " lost during recv");
+    }
+  }
+  if (rpc_ok_) rpc_ok_->add();
+  return tensor::Tensor::from(std::move(y), {m, opd.out});
+}
+
+void ShardGroup::heartbeat() {
+  if (core::stop_requested()) return;  // a draining engine must not respawn
+  std::lock_guard<std::mutex> lock(rpc_mu_);
+  if (shut_down_) return;
+  const auto now = net::Clock::now();
+  if (now - last_beat_ < std::chrono::duration_cast<net::Clock::duration>(
+                             std::chrono::duration<double, std::milli>(
+                                 cfg_.heartbeat_interval_ms))) {
+    return;
+  }
+  last_beat_ = now;
+
+  for (std::size_t r = 0; r < workers_.size(); ++r) {
+    auto& w = workers_[r];
+    if (!w.alive) continue;
+    const auto dl = net::deadline_after_ms(cfg_.heartbeat_deadline_ms);
+    try {
+      net::Writer pw;
+      const std::uint64_t nonce = next_nonce_++;
+      pw.u64(nonce);
+      net::write_frame(w.sock, net::FrameType::kPing, pw.bytes, dl);
+      net::Frame f = net::read_frame(w.sock, dl);
+      if (f.type != net::FrameType::kPong) throw net::BadFrame("expected Pong");
+      net::Reader rd(f.payload);
+      if (rd.u64() != nonce) throw net::BadFrame("Pong nonce mismatch");
+      rd.expect_end();
+    } catch (const net::Error&) {
+      mark_down(static_cast<int>(r), "heartbeat failed");
+    } catch (const core::fault::FaultInjected&) {
+      mark_down(static_cast<int>(r), "heartbeat failed (injected)");
+    }
+  }
+
+  for (std::size_t r = 0; r < workers_.size(); ++r) {
+    auto& w = workers_[r];
+    if (w.alive || net::Clock::now() < w.next_retry) continue;
+    try {
+      spawn(static_cast<int>(r));
+      handshake(static_cast<int>(r));
+      set_alive_gauge();
+      if (m_rejoin_) m_rejoin_->add();
+    } catch (const std::exception&) {
+      // Failed rejoin attempt: kill whatever half-started, back off further.
+      w.sock.close();
+      if (w.pid > 0) ::kill(w.pid, SIGKILL);
+      w.fails = std::min(w.fails + 1, 30);
+      w.next_retry = net::Clock::now() +
+                     std::chrono::duration_cast<net::Clock::duration>(
+                         std::chrono::duration<double, std::milli>(backoff_ms(w)));
+    }
+  }
+}
+
+void ShardGroup::shutdown() {
+  std::lock_guard<std::mutex> lock(rpc_mu_);
+  if (shut_down_) return;
+  shut_down_ = true;
+  for (auto& w : workers_) {
+    if (w.alive && w.sock.valid()) {
+      try {
+        net::write_frame(w.sock, net::FrameType::kShutdown, {}, net::deadline_after_ms(250.0));
+      } catch (...) {
+        // Best effort; the socket close below forces the exit either way.
+      }
+    }
+    w.alive = false;
+    w.sock.close();
+  }
+  set_alive_gauge();
+  for (auto& w : workers_) {
+    if (w.pid <= 0) continue;
+    // Grace period for a clean exit on Shutdown/EOF, then SIGKILL.
+    int status = 0;
+    bool reaped = false;
+    for (int i = 0; i < 100; ++i) {  // ~1 s
+      const pid_t rc = ::waitpid(w.pid, &status, WNOHANG);
+      if (rc == w.pid || rc < 0) {
+        reaped = true;
+        break;
+      }
+      ::usleep(10000);
+    }
+    if (!reaped) {
+      ::kill(w.pid, SIGKILL);
+      ::waitpid(w.pid, &status, 0);
+    }
+    w.pid = -1;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// worker side
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct WorkerOp {
+  std::int64_t in = 0;
+  std::int64_t col0 = 0;
+  std::int64_t cols = 0;
+  std::vector<float> weight;  // [in, cols] row-major
+};
+
+}  // namespace
+
+int run_worker(std::uint16_t port, int rank) {
+  core::SignalGuard guard;  // SIGINT/SIGTERM set the stop flag -> recv throws Closed
+  try {
+    net::Socket sock = net::connect_local(port, net::deadline_after_ms(10000.0));
+    {
+      net::Writer pw;
+      pw.u32(static_cast<std::uint32_t>(rank));
+      net::write_frame(sock, net::FrameType::kHello, pw.bytes, net::deadline_after_ms(5000.0));
+    }
+
+    std::vector<WorkerOp> ops;
+    bool ready = false;
+    for (;;) {
+      // No deadline between frames: the poll slices stay stop-aware, so a
+      // signal (or the root closing the socket) still tears the wait out.
+      net::Frame f = net::read_frame(sock, net::deadline_after_ms(0.0));
+      const auto reply_dl = net::deadline_after_ms(5000.0);
+      switch (f.type) {
+        case net::FrameType::kWeights: {
+          net::Reader rd(f.payload);
+          const std::uint32_t op = rd.u32();
+          WorkerOp wop;
+          wop.in = rd.u32();
+          wop.col0 = rd.u32();
+          wop.cols = rd.u32();
+          wop.weight.resize(static_cast<std::size_t>(wop.in * wop.cols));
+          rd.f32s(wop.weight);
+          rd.expect_end();
+          if (op >= ops.size()) ops.resize(op + 1);
+          ops[op] = std::move(wop);
+          break;
+        }
+        case net::FrameType::kReady: {
+          net::Reader rd(f.payload);
+          const std::uint32_t n_ops = rd.u32();
+          rd.expect_end();
+          if (n_ops != ops.size()) throw net::BadFrame("Ready op count mismatch");
+          ready = true;
+          net::write_frame(sock, net::FrameType::kReady, {}, reply_dl);
+          break;
+        }
+        case net::FrameType::kMatmul: {
+          if (!ready) throw net::BadFrame("Matmul before Ready");
+          net::Reader rd(f.payload);
+          const std::uint64_t req = rd.u64();
+          const std::uint32_t op = rd.u32();
+          const std::int64_t m = rd.u32();
+          const std::int64_t k = rd.u32();
+          if (op >= ops.size() || k != ops[op].in) throw net::BadFrame("Matmul op mismatch");
+          const auto& wop = ops[op];
+          std::vector<float> x(static_cast<std::size_t>(m * k));
+          rd.f32s(x);
+          rd.expect_end();
+          // Same blocked kernel as the root's local path: each output
+          // element accumulates over the inner dim in the identical order,
+          // so the column slice is bitwise the local result's columns.
+          std::vector<float> y(static_cast<std::size_t>(m * wop.cols), 0.0f);
+          tensor::kernels::matmul_accum(x.data(), wop.weight.data(), y.data(), m, k, wop.cols);
+          net::Writer pw;
+          pw.u64(req);
+          pw.u32(op);
+          pw.u32(static_cast<std::uint32_t>(m));
+          pw.u32(static_cast<std::uint32_t>(wop.cols));
+          pw.f32s(y);
+          net::write_frame(sock, net::FrameType::kMatmulResult, pw.bytes, reply_dl);
+          break;
+        }
+        case net::FrameType::kPing: {
+          net::Reader rd(f.payload);
+          const std::uint64_t nonce = rd.u64();
+          rd.expect_end();
+          net::Writer pw;
+          pw.u64(nonce);
+          net::write_frame(sock, net::FrameType::kPong, pw.bytes, reply_dl);
+          break;
+        }
+        case net::FrameType::kShutdown:
+          return 0;
+        default:
+          throw net::BadFrame("worker: unexpected frame type");
+      }
+    }
+  } catch (const net::Closed&) {
+    return 0;  // root gone or stop requested: clean exit
+  } catch (const std::exception&) {
+    return 1;  // protocol violation / transport error
+  }
+}
+
+}  // namespace netllm::shard

@@ -1,0 +1,179 @@
+// Fault-tolerant sharded tensor-parallel serving (DESIGN.md §14).
+//
+// Topology: the ROOT process (the serve engine) owns tokenization, the
+// multimodal encoders, the heads, LoRA deltas and the Guard; N local WORKER
+// processes each own a column shard of every backbone projection weight and
+// answer matmul-slice RPCs over loopback TCP (net/socket + net/frame).
+//
+// Why column shards only: `nn::Linear` holds W as [in, out] and the matmul
+// kernel accumulates each output element c[i,j] over the inner dimension in
+// a fixed ascending order (DESIGN.md §8). Slicing W's *columns* per worker
+// and concatenating the result slices therefore reproduces the local
+// `matmul(x, W)` bitwise — every c[i,j] sees exactly the same float
+// additions in the same order. Splitting the reduction dimension (row
+// shards + partial-sum reduce) would change the addition order, so it is
+// deliberately not offered: bitwise equality at shard counts 1/2/4 is the
+// contract `tests/test_shard.cpp` pins.
+//
+// Robustness model (the headline):
+//  * every RPC carries a deadline; a slow, dead or babbling worker surfaces
+//    as the named `WorkerDown` within `rpc_deadline_ms`, never a hang;
+//  * any RPC failure marks the worker down, which ALWAYS closes its socket —
+//    a connection is either fully in-sync or closed, so a stale reply can
+//    never desynchronise a later request;
+//  * while any worker is down, `matmul` fails fast with `WorkerDown`; the
+//    serve engine maps that to `Source::kShed` (load, not model failure — no
+//    breaker or health pollution) and the LR/BBA/FIFO fallback answers;
+//  * `heartbeat()` pings workers, detects death, and respawns dead workers
+//    after a deterministic seeded backoff window (core::Rng, base·2^fails,
+//    jitter [0.5x,1.5x)); a rejoined worker gets the full weight handshake
+//    again and primary serving resumes;
+//  * the fault sites `net.connect` / `net.send` / `net.recv` / `worker.crash`
+//    hook the storm machinery into this layer — `worker.crash` fires as a
+//    REAL SIGKILL of the lowest-ranked alive worker, so the kill-mid-batch
+//    tests exercise genuine process death deterministically.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <sys/types.h>
+#include <utility>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/rng.hpp"
+#include "llm/minigpt.hpp"
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "tensor/tensor.hpp"
+
+namespace netllm::shard {
+
+/// Configuration / environment failures of the shard tier itself (bad
+/// worker count, missing worker executable, handshake violation at start).
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A worker is unavailable (dead, timed out, babbling, or still in its
+/// reconnect backoff). The serve engine treats this like load shedding:
+/// the request degrades to the rule-based fallback with `Source::kShed`.
+class WorkerDown : public Error {
+ public:
+  using Error::Error;
+};
+
+struct ShardConfig {
+  int workers = 2;
+  /// Path to the `shard_worker` executable; empty falls back to the
+  /// NETLLM_SHARD_WORKER environment variable (tests and benches pass the
+  /// build-tree path via the NETLLM_SHARD_WORKER_EXE compile definition).
+  std::string worker_exe;
+
+  double rpc_deadline_ms = 2000.0;        // whole matmul fan-out round
+  double handshake_deadline_ms = 10000.0; // spawn -> Ready ack (ships weights)
+  double heartbeat_deadline_ms = 500.0;   // one ping/pong round trip
+  double heartbeat_interval_ms = 50.0;    // min spacing between heartbeats
+  double backoff_base_ms = 25.0;          // respawn backoff: base * 2^(fails-1)
+  double backoff_max_ms = 2000.0;         //   ... clamped here, jittered 0.5-1.5x
+  std::uint64_t backoff_seed = 0x5eedbaccULL;  // per-rank jitter streams
+};
+
+/// Balanced contiguous column partition: worker `rank` of `workers` owns
+/// columns [out*rank/workers, out*(rank+1)/workers) of a [in, out] weight.
+/// Covers every column exactly once; slice sizes differ by at most one.
+std::pair<std::int64_t, std::int64_t> shard_cols(std::int64_t out, int workers, int rank);
+
+/// Root-side handle on the worker fleet. Construction spawns the workers,
+/// ships each its weight shards, and attaches an offload hook to every
+/// backbone projection Linear so `serve` traffic transparently fans out;
+/// destruction detaches the hooks and shuts the fleet down. All RPC entry
+/// points serialize on one internal mutex — the engine's per-request
+/// determinism contract (one decision at a time per model) already
+/// serialises backbone forwards, so this adds no new contention.
+class ShardGroup {
+ public:
+  ShardGroup(std::shared_ptr<llm::MiniGpt> llm, const ShardConfig& cfg);
+  ~ShardGroup();
+  ShardGroup(const ShardGroup&) = delete;
+  ShardGroup& operator=(const ShardGroup&) = delete;
+
+  /// x [m, in] -> x·W [m, out] for backbone op `op`, computed by the fleet.
+  /// Bitwise-identical to the local matmul. Throws `WorkerDown` when any
+  /// worker is unavailable (fail fast — no partial answers).
+  tensor::Tensor matmul(std::uint32_t op, const tensor::Tensor& x);
+
+  /// Ping alive workers (death detection) and respawn dead ones whose
+  /// seeded backoff window has passed (rejoin). Rate-limited internally to
+  /// `heartbeat_interval_ms`; call it from every serve drain. No-op once a
+  /// stop was requested — a draining engine must not spawn processes.
+  void heartbeat();
+
+  int workers() const { return cfg_.workers; }
+  bool alive(int rank) const;
+  int alive_count() const;
+  pid_t worker_pid(int rank) const;
+  std::size_t ops() const { return ops_.size(); }
+
+  /// Send Shutdown to live workers, close sockets and reap every child.
+  /// Idempotent; the destructor calls it.
+  void shutdown();
+
+ private:
+  struct Op {
+    std::shared_ptr<nn::Linear> linear;
+    std::int64_t in = 0;
+    std::int64_t out = 0;
+  };
+  struct Worker {
+    pid_t pid = -1;
+    net::Socket sock;
+    bool alive = false;
+    int fails = 0;  // consecutive failed (re)spawn attempts, drives backoff
+    net::Deadline next_retry{};
+    core::Rng rng;  // deterministic backoff jitter (backoff_seed ^ rank)
+  };
+
+  void spawn(int rank);
+  /// Accept the pending connection, verify its Hello rank, ship every weight
+  /// shard and wait for the Ready ack. Fault site `net.connect` fires here.
+  void handshake(int rank);
+  /// The down transition: close the socket (ALWAYS), SIGKILL the process
+  /// (idempotent — a broken connection means a fresh process either way),
+  /// and schedule the first respawn attempt.
+  void mark_down(int rank, const char* why);
+  void kill_lowest_alive();
+  double backoff_ms(Worker& w);
+
+  std::shared_ptr<llm::MiniGpt> llm_;
+  ShardConfig cfg_;
+  std::vector<Op> ops_;
+  std::unique_ptr<net::Listener> listener_;
+
+  mutable std::mutex rpc_mu_;  // sockets + worker state; one RPC round at a time
+  std::vector<Worker> workers_;
+  std::uint64_t next_req_ = 1;
+  std::uint64_t next_nonce_ = 1;
+  net::Clock::time_point last_beat_{};
+  bool shut_down_ = false;
+
+  core::metrics::Counter* rpc_ok_ = nullptr;       // shard.rpc.ok
+  core::metrics::Counter* rpc_failed_ = nullptr;   // shard.rpc.failed
+  core::metrics::Counter* m_down_ = nullptr;       // shard.worker.down
+  core::metrics::Counter* m_rejoin_ = nullptr;     // shard.worker.rejoin
+  core::metrics::Counter* m_spawned_ = nullptr;    // shard.worker.spawned
+  core::metrics::Gauge* m_alive_ = nullptr;        // shard.workers_alive
+  void set_alive_gauge();
+};
+
+/// Worker-process entry point (the `shard_worker` executable): connect to
+/// the root on 127.0.0.1:`port`, announce `rank`, receive weight shards,
+/// then answer Matmul/Ping until Shutdown, EOF or a stop signal. Returns
+/// the process exit code (0 = clean shutdown, 1 = protocol error).
+int run_worker(std::uint16_t port, int rank);
+
+}  // namespace netllm::shard

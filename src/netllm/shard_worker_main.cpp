@@ -1,0 +1,21 @@
+// `shard_worker <port> <rank>` — one tensor-parallel worker process of the
+// sharded serving tier (DESIGN.md §14). Spawned by the root's ShardGroup;
+// not meant to be started by hand except for debugging (see README).
+#include <cstdio>
+#include <cstdlib>
+
+#include "netllm/shard.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: %s <port> <rank>\n", argv[0]);
+    return 2;
+  }
+  const long port = std::strtol(argv[1], nullptr, 10);
+  const long rank = std::strtol(argv[2], nullptr, 10);
+  if (port <= 0 || port > 65535 || rank < 0) {
+    std::fprintf(stderr, "shard_worker: bad port/rank\n");
+    return 2;
+  }
+  return netllm::shard::run_worker(static_cast<std::uint16_t>(port), static_cast<int>(rank));
+}

@@ -17,7 +17,7 @@ Linear::Linear(std::int64_t in, std::int64_t out, core::Rng& rng, bool bias) {
 }
 
 Tensor Linear::forward(const Tensor& x) const {
-  auto y = matmul(x, weight_);
+  auto y = offload_ ? offload_(x) : matmul(x, weight_);
   if (bias_.defined()) y = add_bias(y, bias_);
   return y;
 }

@@ -3,6 +3,7 @@
 // the networking heads and every learning-based baseline.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -26,9 +27,19 @@ class Linear final : public Module {
   std::int64_t out_features() const { return weight_.dim(1); }
   const Tensor& weight() const { return weight_; }
 
+  /// Inference-only compute hook: when set, `forward` delegates x·W to `fn`
+  /// (bias and any LoRA delta stay local). The sharded serving tier
+  /// (netllm/shard) uses this to fan the matmul out to worker processes; the
+  /// hook must return bitwise-identical floats to `matmul(x, weight())` —
+  /// see DESIGN.md §14. Pass nullptr to restore local compute.
+  using Offload = std::function<Tensor(const Tensor&)>;
+  void set_offload(Offload fn) { offload_ = std::move(fn); }
+  bool has_offload() const { return static_cast<bool>(offload_); }
+
  private:
   Tensor weight_;  // [in,out]
   Tensor bias_;    // [out] (undefined when bias = false)
+  Offload offload_;  // inference-only x·W replacement (not a parameter)
 };
 
 /// LoRA-augmented linear layer (paper §4.3): y = x W0 + (alpha/r) (x A) B.

@@ -83,6 +83,12 @@ class MultiHeadAttention final : public Module {
   /// Wrap q/k/v/o projections with LoRA; returns the new low-rank tensors.
   std::vector<Tensor> enable_lora(std::int64_t rank, float alpha, core::Rng& rng);
 
+  /// The four projection Linears in fixed order {wq, wk, wv, wo} — the
+  /// shard tier's stable enumeration of offload-able matmuls.
+  std::vector<std::shared_ptr<Linear>> projection_linears() const {
+    return {wq_, wk_, wv_, wo_};
+  }
+
  private:
   Tensor project(const std::shared_ptr<Linear>& base, const std::shared_ptr<LoRALinear>& lora,
                  const Tensor& x) const;
@@ -107,6 +113,15 @@ class TransformerBlock final : public Module {
   Tensor forward_step(const Tensor& x_t, KvCache& cache) const;
   void collect_params(tensor::NamedParams& out, const std::string& prefix) const override;
   std::vector<Tensor> enable_lora(std::int64_t rank, float alpha, core::Rng& rng);
+
+  /// The block's six projection Linears in fixed order
+  /// {wq, wk, wv, wo, fc1, fc2} (see MultiHeadAttention::projection_linears).
+  std::vector<std::shared_ptr<Linear>> projection_linears() const {
+    auto ls = attn_->projection_linears();
+    ls.push_back(fc1_);
+    ls.push_back(fc2_);
+    return ls;
+  }
 
  private:
   Tensor ff(const Tensor& x) const;

@@ -1,0 +1,501 @@
+// Fault-tolerant sharded tensor-parallel serving suite (ctest -L shard),
+// DESIGN.md §14.
+//
+// Pinned claims:
+//   - shard_cols is a balanced exact partition of the output columns,
+//   - the frame codec round-trips, and every seeded corruption / truncation /
+//     torn-frame variant raises the named net::BadFrame (or net::Closed on a
+//     clean boundary EOF) — never UB, never a hang,
+//   - sharded decode is bitwise-equal to single-process at shard counts
+//     1/2/4, at any NETLLM_THREADS,
+//   - killing a worker mid-batch (the worker.crash fault site -> real
+//     SIGKILL) escapes zero exceptions: the in-flight requests resolve as
+//     Source::kShed, health/breaker stay untouched, and primary serving
+//     resumes bitwise after the heartbeat respawns the worker,
+//   - a SIGKILL between batches degrades the next drain the same way while
+//     ABR traffic on the same engine is unaffected,
+//   - a net.send/net.recv fault storm yields valid responses only (llm or
+//     shed) and exports fault.net.* counters,
+//   - a requested stop sheds the drain and tears the fleet down cleanly,
+//   - a missing worker executable is a named construction error.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baselines/abr/rule_based.hpp"
+#include "core/fault.hpp"
+#include "core/metrics.hpp"
+#include "core/rng.hpp"
+#include "core/signal.hpp"
+#include "core/threadpool.hpp"
+#include "envs/abr/policy.hpp"
+#include "llm/minigpt.hpp"
+#include "llm/tokenizer.hpp"
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "netllm/serve.hpp"
+#include "netllm/shard.hpp"
+#include "netllm/vp_adapter.hpp"
+
+namespace abr = netllm::abr;
+namespace ad = netllm::adapt;
+namespace llm = netllm::llm;
+namespace nc = netllm::core;
+namespace nm = netllm::core::metrics;
+namespace net = netllm::net;
+namespace serve = netllm::serve;
+namespace shard = netllm::shard;
+namespace vp = netllm::vp;
+using netllm::core::Rng;
+using netllm::tensor::Tensor;
+
+#ifndef NETLLM_SHARD_WORKER_EXE
+#define NETLLM_SHARD_WORKER_EXE "shard_worker"
+#endif
+
+namespace {
+
+class Shard : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    nm::set_enabled(true);
+    nm::reset();
+    netllm::core::fault::disarm_all();
+    nc::clear_stop();
+  }
+  void TearDown() override {
+    netllm::core::fault::disarm_all();
+    nc::clear_stop();
+    nm::reset();
+    nc::set_global_threads(0);
+  }
+};
+
+llm::MiniGptConfig tiny_config() {
+  llm::MiniGptConfig cfg;
+  cfg.vocab = llm::Tokenizer().vocab_size();
+  cfg.d_model = 16;
+  cfg.n_heads = 2;
+  cfg.n_layers = 2;
+  cfg.d_ff = 32;
+  cfg.max_seq = 112;
+  return cfg;
+}
+
+std::shared_ptr<llm::MiniGpt> tiny_llm(std::uint64_t seed) {
+  Rng rng(seed);
+  return std::make_shared<llm::MiniGpt>(tiny_config(), rng);
+}
+
+std::shared_ptr<ad::VpAdapter> vp_adapter(std::uint64_t seed = 1) {
+  ad::VpAdapterConfig cfg;
+  cfg.lora_rank = 2;
+  cfg.lora_alpha = 4.0f;
+  Rng rng(seed);
+  return std::make_shared<ad::VpAdapter>(tiny_llm(seed), cfg, rng);
+}
+
+std::vector<vp::VpSample> vp_samples(int n) {
+  auto setting = vp::vp_default_train();
+  setting.num_traces = 1;
+  return vp::build_dataset(setting, n);
+}
+
+serve::EngineConfig sharded_config(int shards) {
+  serve::EngineConfig cfg;
+  cfg.shards = shards;
+  cfg.shard_worker_exe = NETLLM_SHARD_WORKER_EXE;
+  cfg.shard_backoff_ms = 5.0;  // fast rejoin for the recovery tests
+  return cfg;
+}
+
+void expect_same_rollout(const std::vector<vp::Viewport>& a, const std::vector<vp::Viewport>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t j = 0; j < a.size(); ++j) {
+    EXPECT_EQ(a[j].roll, b[j].roll) << "step " << j;
+    EXPECT_EQ(a[j].pitch, b[j].pitch) << "step " << j;
+    EXPECT_EQ(a[j].yaw, b[j].yaw) << "step " << j;
+  }
+}
+
+/// Drive run() until a freshly submitted request is served by the primary
+/// again (heartbeat rejoin), bounded; returns the recovered response.
+serve::VpResponse serve_until_llm(serve::InferenceEngine& engine, const vp::VpSample& s,
+                                  int horizon, int max_rounds = 400) {
+  for (int round = 0; round < max_rounds; ++round) {
+    const auto t = engine.submit(serve::VpRequest{s.history, s.saliency, horizon});
+    engine.run();
+    const auto resp = engine.vp_response(t);
+    if (resp.meta.source == serve::Source::kLlm) return resp;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ADD_FAILURE() << "primary serving did not recover within the bound";
+  return {};
+}
+
+}  // namespace
+
+// ---------- column partition ----------
+
+TEST_F(Shard, ShardColsIsABalancedExactPartition) {
+  for (std::int64_t out : {1, 2, 3, 16, 31, 32, 160}) {
+    for (int workers : {1, 2, 3, 4, 7}) {
+      std::vector<int> covered(static_cast<std::size_t>(out), 0);
+      std::int64_t min_cols = out, max_cols = 0;
+      for (int r = 0; r < workers; ++r) {
+        const auto [c0, cols] = shard::shard_cols(out, workers, r);
+        EXPECT_GE(cols, 0);
+        min_cols = std::min(min_cols, cols);
+        max_cols = std::max(max_cols, cols);
+        for (std::int64_t c = c0; c < c0 + cols; ++c) ++covered[static_cast<std::size_t>(c)];
+      }
+      for (auto c : covered) EXPECT_EQ(c, 1) << "out=" << out << " workers=" << workers;
+      EXPECT_LE(max_cols - min_cols, 1);  // balanced
+    }
+  }
+  EXPECT_THROW(shard::shard_cols(8, 2, 2), shard::Error);
+  EXPECT_THROW(shard::shard_cols(8, 0, 0), shard::Error);
+}
+
+// ---------- frame codec ----------
+
+TEST_F(Shard, WriterReaderRoundTripAndBoundsChecks) {
+  net::Writer w;
+  w.u16(0xbeef);
+  w.u32(0xdeadbeefu);
+  w.u64(0x0123456789abcdefULL);
+  w.f32(-1.5f);
+  const std::vector<float> xs = {0.0f, 1.0f, -2.25f};
+  w.f32s(xs);
+
+  net::Reader r(w.bytes);
+  EXPECT_EQ(r.u16(), 0xbeef);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.f32(), -1.5f);
+  std::vector<float> back(3);
+  r.f32s(back);
+  EXPECT_EQ(back, xs);
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_NO_THROW(r.expect_end());
+
+  // Overrun and trailing bytes are the named BadFrame, not UB.
+  net::Reader r2(w.bytes);
+  r2.u16();
+  EXPECT_THROW(r2.expect_end(), net::BadFrame);
+  net::Reader r3(std::span<const std::uint8_t>(w.bytes.data(), 3));
+  r3.u16();
+  EXPECT_THROW(r3.u16(), net::BadFrame);
+  EXPECT_THROW(r3.u64(), net::BadFrame);
+}
+
+TEST_F(Shard, FrameEncodeDecodeRoundTrip) {
+  for (auto type : {net::FrameType::kHello, net::FrameType::kMatmul, net::FrameType::kShutdown}) {
+    std::vector<std::uint8_t> payload;
+    for (int i = 0; i < 37; ++i) payload.push_back(static_cast<std::uint8_t>(i * 7));
+    const auto wire = net::encode_frame(type, payload);
+    EXPECT_EQ(wire.size(), net::kFrameHeaderSize + payload.size());
+    const auto frame = net::decode_frame(wire);
+    EXPECT_EQ(frame.type, type);
+    EXPECT_EQ(frame.payload, payload);
+  }
+  // Empty payload round-trips too (Shutdown, Ready ack).
+  const auto wire = net::encode_frame(net::FrameType::kReady, {});
+  EXPECT_EQ(net::decode_frame(wire).payload.size(), 0u);
+}
+
+TEST_F(Shard, SeededCorruptionFuzzAlwaysRaisesBadFrame) {
+  Rng rng(0xfacef00d);
+  std::vector<std::uint8_t> payload(256);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng.next_u64());
+  const auto wire = net::encode_frame(net::FrameType::kMatmul, payload);
+  // Any single-byte corruption must be detected: header fields are validated
+  // and the payload is CRC-covered. 500 seeded flips, every region.
+  for (int trial = 0; trial < 500; ++trial) {
+    auto bad = wire;
+    const auto pos = static_cast<std::size_t>(
+        rng.randint(0, static_cast<std::int64_t>(bad.size()) - 1));
+    const auto flip = static_cast<std::uint8_t>(rng.randint(1, 255));
+    bad[pos] ^= flip;
+    EXPECT_THROW(net::decode_frame(bad), net::BadFrame)
+        << "undetected corruption at byte " << pos;
+  }
+  // Declared payload length exceeding the cap must be rejected before any
+  // allocation of that size.
+  auto huge = wire;
+  huge[8] = 0xff; huge[9] = 0xff; huge[10] = 0xff; huge[11] = 0x7f;
+  EXPECT_THROW(net::decode_frame(huge), net::BadFrame);
+}
+
+TEST_F(Shard, SeededTruncationFuzzAlwaysRaisesBadFrame) {
+  Rng rng(0x7b0b1e5);
+  std::vector<std::uint8_t> payload(64);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng.next_u64());
+  const auto wire = net::encode_frame(net::FrameType::kWeights, payload);
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    EXPECT_THROW(net::decode_frame(std::span<const std::uint8_t>(wire.data(), len)),
+                 net::BadFrame)
+        << "undetected truncation to " << len;
+  }
+  // Trailing garbage after a complete frame is equally a BadFrame.
+  auto extended = wire;
+  extended.push_back(0x5a);
+  EXPECT_THROW(net::decode_frame(extended), net::BadFrame);
+}
+
+TEST_F(Shard, TornFrameOverSocketIsBadFrameCleanEofIsClosed) {
+  net::Listener listener;
+  const auto dl = net::deadline_after_ms(5000.0);
+
+  // Clean EOF on the frame boundary -> Closed (peer gone between frames).
+  {
+    std::thread peer([&] {
+      net::Socket c = net::connect_local(listener.port(), dl);
+      c.close();
+    });
+    net::Socket s = listener.accept(dl);
+    EXPECT_THROW(net::read_frame(s, dl), net::Closed);
+    peer.join();
+  }
+  // EOF inside the header and inside the payload -> torn frame (BadFrame).
+  const auto wire = net::encode_frame(net::FrameType::kPing,
+                                      std::vector<std::uint8_t>{1, 2, 3, 4, 5, 6, 7, 8});
+  for (const std::size_t cut : {std::size_t{5}, net::kFrameHeaderSize + 3}) {
+    std::thread peer([&] {
+      net::Socket c = net::connect_local(listener.port(), dl);
+      c.send_all(wire.data(), cut, dl);
+      c.close();
+    });
+    net::Socket s = listener.accept(dl);
+    EXPECT_THROW(net::read_frame(s, dl), net::BadFrame) << "cut at " << cut;
+    peer.join();
+  }
+}
+
+// ---------- bitwise equality ----------
+
+TEST_F(Shard, ShardGroupMatmulIsBitwiseTheLocalMatmul) {
+  auto model = tiny_llm(21);
+  shard::ShardConfig scfg;
+  scfg.workers = 3;
+  scfg.worker_exe = NETLLM_SHARD_WORKER_EXE;
+  shard::ShardGroup group(model, scfg);
+  EXPECT_EQ(group.alive_count(), 3);
+
+  const auto linears = model->backbone_linears();
+  ASSERT_EQ(group.ops(), linears.size());
+  Rng rng(77);
+  for (std::size_t op = 0; op < linears.size(); ++op) {
+    const auto in = linears[op]->in_features();
+    const auto x = Tensor::randn({5, in}, rng, 1.0f);
+    const auto remote = group.matmul(static_cast<std::uint32_t>(op), x);
+    // The hook is attached, so compute the local product on raw weights.
+    const auto local = netllm::tensor::matmul(x, linears[op]->weight());
+    ASSERT_EQ(remote.numel(), local.numel());
+    for (std::int64_t i = 0; i < local.numel(); ++i) {
+      ASSERT_EQ(remote.data()[static_cast<std::size_t>(i)],
+                local.data()[static_cast<std::size_t>(i)])
+          << "op " << op << " element " << i;
+    }
+  }
+}
+
+TEST_F(Shard, ShardedDecodeBitwiseEqualsSingleProcessAtShardCounts124) {
+  const auto samples = vp_samples(3);
+  const int horizon = 4;
+
+  // Single-process baseline: same seed, no shards.
+  std::vector<std::vector<vp::Viewport>> baseline;
+  {
+    auto engine = std::make_shared<serve::InferenceEngine>(vp_adapter(11), nullptr, nullptr,
+                                                           serve::EngineConfig{});
+    for (const auto& s : samples) engine->submit(serve::VpRequest{s.history, s.saliency, horizon});
+    const auto report = engine->run();
+    EXPECT_EQ(report.llm, samples.size());
+    for (const auto& r : engine->vp_responses()) baseline.push_back(r.viewports);
+  }
+
+  for (int shards : {1, 2, 4}) {
+    auto engine = std::make_shared<serve::InferenceEngine>(vp_adapter(11), nullptr, nullptr,
+                                                           sharded_config(shards));
+    ASSERT_NE(engine->shard_group(), nullptr);
+    EXPECT_EQ(engine->shard_group()->alive_count(), shards);
+    for (const auto& s : samples) engine->submit(serve::VpRequest{s.history, s.saliency, horizon});
+    const auto report = engine->run();
+    EXPECT_EQ(report.llm, samples.size()) << "shards=" << shards;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      expect_same_rollout(engine->vp_responses()[i].viewports, baseline[i]);
+    }
+  }
+}
+
+TEST_F(Shard, ShardedDecodeBitwiseStableAcrossThreadCounts) {
+  const auto samples = vp_samples(2);
+  const int horizon = 3;
+  std::vector<std::vector<vp::Viewport>> first;
+  for (int threads : {1, 4}) {
+    nc::set_global_threads(threads);
+    auto engine = std::make_shared<serve::InferenceEngine>(vp_adapter(13), nullptr, nullptr,
+                                                           sharded_config(2));
+    for (const auto& s : samples) engine->submit(serve::VpRequest{s.history, s.saliency, horizon});
+    engine->run();
+    if (first.empty()) {
+      for (const auto& r : engine->vp_responses()) first.push_back(r.viewports);
+    } else {
+      for (std::size_t i = 0; i < samples.size(); ++i) {
+        expect_same_rollout(engine->vp_responses()[i].viewports, first[i]);
+      }
+    }
+  }
+}
+
+// ---------- worker death: degradation and rejoin ----------
+
+TEST_F(Shard, WorkerCrashMidBatchShedsThenRecoversBitwise) {
+  const auto samples = vp_samples(4);
+  const int horizon = 4;
+
+  // Baseline answer for the recovery check.
+  auto baseline_engine = std::make_shared<serve::InferenceEngine>(vp_adapter(17), nullptr,
+                                                                  nullptr, serve::EngineConfig{});
+  baseline_engine->submit(serve::VpRequest{samples[0].history, samples[0].saliency, horizon});
+  baseline_engine->run();
+  const auto baseline = baseline_engine->vp_responses()[0].viewports;
+
+  auto engine = std::make_shared<serve::InferenceEngine>(vp_adapter(17), nullptr, nullptr,
+                                                         sharded_config(2));
+  ASSERT_EQ(engine->shard_group()->alive_count(), 2);
+
+  // Fire worker.crash mid-batch: the 40th backbone matmul RPC SIGKILLs the
+  // lowest-ranked alive worker while requests are in flight.
+  netllm::core::fault::FaultPlan plan;
+  plan.kind = netllm::core::fault::FaultKind::Throw;
+  plan.after = 40;
+  plan.times = 1;
+  netllm::core::fault::arm("worker.crash", plan);
+
+  for (const auto& s : samples) engine->submit(serve::VpRequest{s.history, s.saliency, horizon});
+  serve::BatchReport report;
+  ASSERT_NO_THROW(report = engine->run());  // zero escaped exceptions
+  netllm::core::fault::disarm_all();
+
+  EXPECT_EQ(report.requests, samples.size());
+  EXPECT_GE(report.shed, 1u);  // the mid-flight requests degraded
+  EXPECT_EQ(report.fallback, 0u);
+  EXPECT_EQ(engine->shard_group()->alive_count(), 1);
+  // Shedding is load, not failure: no breaker trip, health stays Healthy.
+  EXPECT_EQ(engine->vp_health(), ad::Health::kHealthy);
+  EXPECT_EQ(engine->counters().breaker_trips, 0);
+  EXPECT_GE(nm::counter("shard.worker.down").value(), 1);
+
+  // The heartbeat respawns the worker after its backoff; primary serving
+  // resumes and the answers are bitwise the single-process baseline again.
+  const auto recovered = serve_until_llm(*engine, samples[0], horizon);
+  EXPECT_EQ(engine->shard_group()->alive_count(), 2);
+  EXPECT_GE(nm::counter("shard.worker.rejoin").value(), 1);
+  expect_same_rollout(recovered.viewports, baseline);
+}
+
+TEST_F(Shard, SigkillBetweenBatchesShedsVpWhileAbrIsUnaffected) {
+  const auto samples = vp_samples(2);
+  const int horizon = 3;
+  auto engine = std::make_shared<serve::InferenceEngine>(
+      vp_adapter(19), std::make_shared<netllm::baselines::Bba>(), nullptr, sharded_config(2));
+  ASSERT_EQ(engine->shard_group()->alive_count(), 2);
+
+  // Kill a worker with a real signal, outside any drain.
+  const pid_t victim = engine->shard_group()->worker_pid(1);
+  ASSERT_GT(victim, 0);
+  ASSERT_EQ(::kill(victim, SIGKILL), 0);
+
+  abr::Observation obs;
+  obs.num_levels = 4;
+  obs.buffer_s = 8.0;
+  for (const auto& s : samples) engine->submit(serve::VpRequest{s.history, s.saliency, horizon});
+  const auto abr_ticket = engine->submit(serve::AbrRequest{obs});
+  serve::BatchReport report;
+  ASSERT_NO_THROW(report = engine->run());
+
+  // Every VP request resolved (shed or llm — the heartbeat may detect the
+  // death before or during the drain), none escaped, and the ABR request on
+  // the same engine was served normally.
+  EXPECT_EQ(report.requests, samples.size() + 1);
+  EXPECT_EQ(report.fallback, 0u);
+  const auto& abr_resp = engine->abr_response(abr_ticket);
+  EXPECT_GE(abr_resp.level, 0);
+  EXPECT_LT(abr_resp.level, obs.num_levels);
+  EXPECT_NE(abr_resp.meta.source, serve::Source::kShed);
+
+  // Recovery as before.
+  const auto recovered = serve_until_llm(*engine, samples[0], horizon);
+  EXPECT_EQ(recovered.meta.source, serve::Source::kLlm);
+  EXPECT_EQ(engine->shard_group()->alive_count(), 2);
+}
+
+TEST_F(Shard, NetFaultStormNeverEscapesAndExportsCounters) {
+  const auto samples = vp_samples(3);
+  auto engine = std::make_shared<serve::InferenceEngine>(vp_adapter(23), nullptr, nullptr,
+                                                         sharded_config(2));
+  netllm::core::fault::StormPlan storm;
+  storm.seed = 42;
+  storm.horizon = 256;
+  storm.sites.push_back({"net.send", netllm::core::fault::FaultKind::Throw, 0.05, 2, 0.0});
+  storm.sites.push_back({"net.recv", netllm::core::fault::FaultKind::Throw, 0.05, 1, 0.0});
+  netllm::core::fault::arm_storm(storm);
+
+  for (int round = 0; round < 4; ++round) {
+    for (const auto& s : samples) engine->submit(serve::VpRequest{s.history, s.saliency, 3});
+    serve::BatchReport report;
+    ASSERT_NO_THROW(report = engine->run());
+    // Storm failures shed; successes serve — nothing else.
+    EXPECT_EQ(report.requests, report.llm + report.shed);
+    std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  }
+  // The armed sites export their activity into the metrics registry
+  // (fault.net.*.hits / .fired land in metrics.json via metrics::to_json).
+  EXPECT_GT(nm::counter("fault.net.send.hits").value(), 0);
+  EXPECT_GT(nm::counter("fault.net.recv.hits").value(), 0);
+  EXPECT_GT(netllm::core::fault::fired("net.send") + netllm::core::fault::fired("net.recv"), 0);
+  netllm::core::fault::disarm_all();
+
+  // After the storm passes the fleet heals (workers killed by failed RPCs
+  // rejoin) and the primary serves again.
+  const auto recovered = serve_until_llm(*engine, samples[0], 3);
+  EXPECT_EQ(recovered.meta.source, serve::Source::kLlm);
+}
+
+TEST_F(Shard, StopDrainsViaFallbackAndTearsTheFleetDownCleanly) {
+  const auto samples = vp_samples(3);
+  std::vector<pid_t> pids;
+  {
+    auto engine = std::make_shared<serve::InferenceEngine>(vp_adapter(29), nullptr, nullptr,
+                                                           sharded_config(2));
+    for (int r = 0; r < 2; ++r) pids.push_back(engine->shard_group()->worker_pid(r));
+    for (const auto& s : samples) engine->submit(serve::VpRequest{s.history, s.saliency, 3});
+    nc::request_stop();
+    serve::BatchReport report;
+    ASSERT_NO_THROW(report = engine->run());
+    EXPECT_TRUE(report.drained_on_stop);
+    EXPECT_EQ(report.shed, samples.size());  // drained via the fallback
+    EXPECT_THROW(engine->submit(serve::VpRequest{samples[0].history, samples[0].saliency, 3}),
+                 serve::Overloaded);
+  }
+  // Engine destruction shut the fleet down: every worker pid is gone (reaped
+  // by ShardGroup::shutdown, so a kill(0) probe must fail with ESRCH).
+  for (const pid_t pid : pids) {
+    ASSERT_GT(pid, 0);
+    EXPECT_NE(::kill(pid, 0), 0) << "worker " << pid << " still running";
+  }
+  nc::clear_stop();
+}
+
+TEST_F(Shard, MissingWorkerExecutableIsANamedConstructionError) {
+  serve::EngineConfig cfg = sharded_config(2);
+  cfg.shard_worker_exe = "/nonexistent/netllm_shard_worker";
+  EXPECT_THROW(serve::InferenceEngine(vp_adapter(31), nullptr, nullptr, cfg), shard::Error);
+}
