@@ -1,0 +1,200 @@
+// Quantized backbone bench (DESIGN.md §15): raw matmul kernel throughput at
+// fp32 / Q8_0 / Q4_0, then the accuracy-vs-bits ablation — the same adapted
+// VP / ABR / CJS models evaluated with their backbone projections served at
+// each weight dtype. Adaptation itself is dtype-invariant (training always
+// runs on the fp32 masters, see ScopedQuantPause), so one cached adapter per
+// task feeds every dtype row. Emits BENCH_quant.json (path overridable via
+// argv[1]); run_benches.sh wires it into the standard sweep and validates
+// that the Q8 task reward stays within tolerance of fp32.
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/timer.hpp"
+#include "support/bench_common.hpp"
+#include "tensor/kernels.hpp"
+#include "tensor/quants.hpp"
+
+namespace bs = netllm::benchsupport;
+namespace vp = netllm::vp;
+namespace abr = netllm::abr;
+namespace cjs = netllm::cjs;
+namespace quant = netllm::tensor::quant;
+namespace kern = netllm::tensor::kernels;
+using netllm::core::Rng;
+using netllm::core::Table;
+using netllm::core::Timer;
+using netllm::core::mean;
+using netllm::core::print_banner;
+
+namespace {
+
+constexpr quant::Dtype kDtypes[] = {quant::Dtype::kF32, quant::Dtype::kQ8_0,
+                                    quant::Dtype::kQ4_0};
+
+/// Best-of-2 throughput in G int/float-ops per second (2*m*k*n ops per
+/// call). Each pass warms once then runs for >= 0.2 s of wall clock, so a
+/// transient load spike on a shared box costs one pass, not the number.
+double time_gops(std::int64_t m, std::int64_t k, std::int64_t n,
+                 const std::function<void()>& fn) {
+  double best = 0.0;
+  for (int pass = 0; pass < 2; ++pass) {
+    fn();
+    Timer t;
+    int iters = 0;
+    while (t.elapsed_s() < 0.2) {
+      fn();
+      ++iters;
+    }
+    best = std::max(best, 2.0 * static_cast<double>(m * k * n) * iters / t.elapsed_s() / 1e9);
+  }
+  return best;
+}
+
+struct KernelRow {
+  std::int64_t m, k, n;
+  double gops[3];  // indexed like kDtypes
+};
+
+KernelRow sweep_shape(std::int64_t m, std::int64_t k, std::int64_t n) {
+  Rng rng(17);
+  std::vector<float> a(static_cast<std::size_t>(m * k));
+  std::vector<float> b(static_cast<std::size_t>(k * n));   // [k, n] for the fp32 kernel
+  std::vector<float> wt(static_cast<std::size_t>(n * k));  // [n, k] for the quant kernels
+  for (auto& v : a) v = rng.uniform(-1.0f, 1.0f);
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float v = rng.uniform(-1.0f, 1.0f);
+      b[static_cast<std::size_t>(kk * n + j)] = v;
+      wt[static_cast<std::size_t>(j * k + kk)] = v;
+    }
+  }
+  const auto aq = quant::quantize(quant::Dtype::kQ8_0, a.data(), m, k);
+  const auto w8 = quant::quantize(quant::Dtype::kQ8_0, wt.data(), n, k);
+  const auto w4 = quant::quantize(quant::Dtype::kQ4_0, wt.data(), n, k);
+  const auto* acodes = reinterpret_cast<const std::int8_t*>(aq.codes.data());
+  const std::int64_t kb = quant::blocks_per_row(k);
+  std::vector<float> c(static_cast<std::size_t>(m * n), 0.0f);
+
+  KernelRow row{m, k, n, {0, 0, 0}};
+  row.gops[0] = time_gops(m, k, n, [&] { kern::matmul_accum(a.data(), b.data(), c.data(), m, k, n); });
+  row.gops[1] = time_gops(m, k, n, [&] {
+    kern::matmul_q8_accum(acodes, aq.scales.data(),
+                          reinterpret_cast<const std::int8_t*>(w8.codes.data()),
+                          w8.scales.data(), c.data(), m, kb, n);
+  });
+  row.gops[2] = time_gops(m, k, n, [&] {
+    kern::matmul_q4_accum(acodes, aq.scales.data(), w4.codes.data(), w4.scales.data(),
+                          c.data(), m, kb, n);
+  });
+  return row;
+}
+
+struct AblationRow {
+  std::string task;
+  std::string metric;
+  bool higher_is_better = false;
+  double value[3] = {0, 0, 0};  // indexed like kDtypes
+
+  double q8_rel_drift() const {
+    return std::abs(value[1] - value[0]) / std::max(std::abs(value[0]), 1e-9);
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_quant.json";
+  std::cout << "Quantized backbone: kernel throughput + accuracy vs bits\n";
+
+  // ---- kernel throughput sweep ----
+  // m=1 is the serving GEMV shape (one token through a projection of the
+  // 512-wide bench backbone); m=16 is a prefill/adaptation minibatch shape.
+  print_banner(std::cout, "matmul kernel throughput (Gop/s, best of 2)");
+  std::vector<KernelRow> kernel_rows;
+  kernel_rows.push_back(sweep_shape(1, 512, 1280));
+  kernel_rows.push_back(sweep_shape(16, 512, 512));
+  Table kt({"m", "k", "n", "f32 Gop/s", "q8_0 Gop/s", "q4_0 Gop/s"});
+  for (const auto& r : kernel_rows) {
+    kt.add_row({std::to_string(r.m), std::to_string(r.k), std::to_string(r.n),
+                Table::num(r.gops[0], 2), Table::num(r.gops[1], 2), Table::num(r.gops[2], 2)});
+  }
+  kt.print(std::cout);
+
+  // ---- accuracy vs bits (the Fig. 10 metrics per weight dtype) ----
+  // Reduced eval budgets keep the three-dtype sweep CPU-affordable; the
+  // per-dtype ordering is what matters, and every dtype sees the identical
+  // deterministic eval stream.
+  std::vector<AblationRow> ablation;
+  {
+    AblationRow row{"vp", "mae_deg", /*higher_is_better=*/false, {0, 0, 0}};
+    auto adapter = bs::adapted_vp();
+    auto setting = vp::vp_default_test();
+    setting.num_traces = 6;
+    for (int d = 0; d < 3; ++d) {
+      adapter->llm_shared()->quantize_backbone(kDtypes[d]);
+      row.value[d] = mean(bs::eval_vp(*adapter, setting, 120));
+    }
+    ablation.push_back(row);
+  }
+  {
+    AblationRow row{"abr", "qoe", /*higher_is_better=*/true, {0, 0, 0}};
+    auto adapter = bs::adapted_abr();
+    auto setting = abr::abr_default_test();
+    setting.num_traces = 12;
+    for (int d = 0; d < 3; ++d) {
+      adapter->llm_shared()->quantize_backbone(kDtypes[d]);
+      row.value[d] = mean(bs::eval_abr(*adapter, setting));
+    }
+    ablation.push_back(row);
+  }
+  {
+    AblationRow row{"cjs", "jct_s", /*higher_is_better=*/false, {0, 0, 0}};
+    auto adapter = bs::adapted_cjs();
+    const auto setting = cjs::cjs_default_test();
+    for (int d = 0; d < 3; ++d) {
+      adapter->llm_shared()->quantize_backbone(kDtypes[d]);
+      row.value[d] = mean(bs::eval_cjs(*adapter, setting, /*repetitions=*/1));
+    }
+    ablation.push_back(row);
+  }
+
+  print_banner(std::cout, "accuracy vs bits (same adapted model, backbone served per dtype)");
+  Table at({"task", "metric", "f32", "q8_0", "q4_0", "q8 drift %"});
+  double max_q8_drift = 0.0;
+  for (const auto& r : ablation) {
+    max_q8_drift = std::max(max_q8_drift, r.q8_rel_drift());
+    at.add_row({r.task, r.metric, Table::num(r.value[0], 4), Table::num(r.value[1], 4),
+                Table::num(r.value[2], 4), Table::num(100.0 * r.q8_rel_drift(), 2)});
+  }
+  at.print(std::cout);
+  std::cout << "max Q8 relative drift vs f32: " << Table::num(100.0 * max_q8_drift, 2) << "%\n";
+
+  // ---- JSON export ----
+  std::ofstream json(out_path);
+  json << "{\n  \"kernels\": [\n";
+  for (std::size_t i = 0; i < kernel_rows.size(); ++i) {
+    const auto& r = kernel_rows[i];
+    json << "    {\"m\": " << r.m << ", \"k\": " << r.k << ", \"n\": " << r.n
+         << ", \"f32_gops\": " << r.gops[0] << ", \"q8_0_gops\": " << r.gops[1]
+         << ", \"q4_0_gops\": " << r.gops[2] << "}"
+         << (i + 1 == kernel_rows.size() ? "\n" : ",\n");
+  }
+  json << "  ],\n  \"ablation\": [\n";
+  for (std::size_t i = 0; i < ablation.size(); ++i) {
+    const auto& r = ablation[i];
+    json << "    {\"task\": \"" << r.task << "\", \"metric\": \"" << r.metric
+         << "\", \"higher_is_better\": " << (r.higher_is_better ? "true" : "false")
+         << ", \"f32\": " << r.value[0] << ", \"q8_0\": " << r.value[1]
+         << ", \"q4_0\": " << r.value[2] << ", \"q8_rel_drift\": " << r.q8_rel_drift() << "}"
+         << (i + 1 == ablation.size() ? "\n" : ",\n");
+  }
+  json << "  ],\n  \"max_q8_rel_drift\": " << max_q8_drift << "\n}\n";
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}

@@ -7,8 +7,10 @@
 # BENCH_metrics.json (observability hot-path cost + serve overhead on vs
 # off) with the full metrics-registry dump in metrics.json, and
 # BENCH_chaos.json (SLO attainment / shed / fallback rates under seeded
-# fault storms at 10x oversubscription), and BENCH_shard.json (sharded
-# tensor-parallel serving throughput + worker-kill storm recovery).
+# fault storms at 10x oversubscription), BENCH_shard.json (sharded
+# tensor-parallel serving throughput + worker-kill storm recovery), and
+# BENCH_quant.json (quantized matmul kernel throughput + the accuracy-vs-
+# bits ablation: VP/ABR/CJS task metrics at fp32 / Q8_0 / Q4_0 backbones).
 # Every BENCH_*.json (and metrics.json) is validated at the end; an empty or
 # unparseable file fails the sweep loudly instead of archiving garbage.
 set -euo pipefail
@@ -41,6 +43,9 @@ echo "##### BENCH_chaos.json (admission control + fault-storm resilience)"
 echo
 echo "##### BENCH_shard.json (sharded serving throughput + worker-kill storm)"
 ./build/bench/bench_shard BENCH_shard.json 2>&1
+echo
+echo "##### BENCH_quant.json (quantized kernels + accuracy vs bits)"
+./build/bench/bench_quant BENCH_quant.json 2>&1
 echo
 echo "##### validating JSON artifacts"
 fail=0
@@ -82,13 +87,28 @@ def need(obj, key, ctx):
     if key not in obj:
         raise SystemExit(f"schema drift: missing '{key}' in {ctx}")
 
-for key in ("decode", "speedup_tokens_per_s", "batch", "goodput"):
+for key in ("decode", "speedup_tokens_per_s", "quant_decode",
+            "quant_q8_speedup_tokens_per_s", "quant_q8_memory_ratio", "batch", "goodput"):
     need(doc, key, "top level")
 if {r.get("mode") for r in doc["decode"]} != {"cached", "uncached"}:
     raise SystemExit("schema drift: decode rows must be exactly cached + uncached")
 for row in doc["decode"]:
     for key in ("tokens_per_s", "p50_ms", "p99_ms"):
         need(row, key, "decode row")
+if [r.get("dtype") for r in doc["quant_decode"]] != ["f32", "q8_0", "q4_0"]:
+    raise SystemExit("schema drift: quant_decode rows must be f32, q8_0, q4_0 in order")
+for row in doc["quant_decode"]:
+    for key in ("tokens_per_s", "p50_ms", "p99_ms", "backbone_bytes"):
+        need(row, key, "quant_decode row")
+# The DESIGN.md §15 headline: a quantized backbone must actually shrink
+# (Q8 payload is 9/32 of fp32 plus scales -> well over 3x smaller) and the
+# Q8 decode must not be slower than fp32 (measured best-of-3 interleaved,
+# so a load spike on a shared box doesn't decide the comparison).
+if doc["quant_q8_memory_ratio"] <= 3.0:
+    raise SystemExit(f"regression: q8 backbone memory ratio {doc['quant_q8_memory_ratio']} <= 3x")
+if doc["quant_q8_speedup_tokens_per_s"] <= 1.0:
+    raise SystemExit(
+        f"regression: q8 decode slower than fp32 ({doc['quant_q8_speedup_tokens_per_s']}x)")
 if len(doc["batch"]) < 3:
     raise SystemExit("schema drift: batch sweep needs at least 3 rows")
 for row in doc["batch"]:
@@ -156,6 +176,53 @@ EOF
   fi
 else
   echo "skipped (no python3): BENCH_shard.json schema check"
+fi
+echo
+echo "##### validating BENCH_quant.json schema"
+# The quant artifact pins the §15 accuracy story: the Q8_0 backbone must
+# stay within tolerance of fp32 on every task metric (measured ~3% worst
+# case; 10% leaves headroom for benign numeric drift without letting a
+# broken kernel or scale format through). Q4_0 is reported but unpinned —
+# its visible degradation IS the accuracy-vs-bits result.
+if command -v python3 >/dev/null 2>&1; then
+  if python3 - BENCH_quant.json <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+def need(obj, key, ctx):
+    if key not in obj:
+        raise SystemExit(f"schema drift: missing '{key}' in {ctx}")
+
+for key in ("kernels", "ablation", "max_q8_rel_drift"):
+    need(doc, key, "top level")
+if len(doc["kernels"]) < 2:
+    raise SystemExit("schema drift: kernel sweep needs at least 2 shapes")
+for row in doc["kernels"]:
+    for key in ("m", "k", "n", "f32_gops", "q8_0_gops", "q4_0_gops"):
+        need(row, key, "kernel row")
+    for key in ("f32_gops", "q8_0_gops", "q4_0_gops"):
+        if row[key] <= 0:
+            raise SystemExit(f"regression: non-positive {key} in kernel row m={row['m']}")
+if [r.get("task") for r in doc["ablation"]] != ["vp", "abr", "cjs"]:
+    raise SystemExit("schema drift: ablation rows must be vp, abr, cjs in order")
+for row in doc["ablation"]:
+    for key in ("metric", "higher_is_better", "f32", "q8_0", "q4_0", "q8_rel_drift"):
+        need(row, key, f"ablation row {row.get('task')}")
+    if row["q8_rel_drift"] >= 0.10:
+        raise SystemExit(
+            f"regression: {row['task']} Q8 drift {row['q8_rel_drift']:.3f} >= 10% of fp32")
+if doc["max_q8_rel_drift"] >= 0.10:
+    raise SystemExit(f"regression: max Q8 drift {doc['max_q8_rel_drift']:.3f} >= 10%")
+print("ok: BENCH_quant.json schema + Q8-within-tolerance ablation")
+EOF
+  then :; else
+    echo "FLEET-FAILED: BENCH_quant.json schema drift"
+    exit 1
+  fi
+else
+  echo "skipped (no python3): BENCH_quant.json schema check"
 fi
 echo
 echo "FLEET-DONE"

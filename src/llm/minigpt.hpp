@@ -108,6 +108,38 @@ class MiniGpt final : public nn::Module {
 
   const MiniGptConfig& config() const { return cfg_; }
 
+  // ---- quantized backbone (DESIGN.md §15) ----
+  /// Quantize every backbone projection weight (block 0's {wq,wk,wv,wo,
+  /// fc1,fc2}, then block 1's, ...) to the given dtype and activate the
+  /// quantized forward. Embeddings, layer norms, the LM head, LoRA deltas
+  /// and all gradients stay fp32; kF32 restores plain matmul everywhere.
+  void quantize_backbone(tensor::quant::Dtype d) {
+    backbone_dtype_ = d;
+    for (const auto& l : backbone_linears()) l->set_weight_dtype(d);
+  }
+  tensor::quant::Dtype backbone_dtype() const { return backbone_dtype_; }
+  /// Gate the quantized forward on/off without dropping the quantized
+  /// copies (the training loops pause it via ScopedQuantPause below).
+  void set_backbone_quant_active(bool active) {
+    for (const auto& l : backbone_linears()) l->set_quant_active(active);
+  }
+  /// Refresh the quantized copies from the fp32 masters (after the masters
+  /// changed while the quant path was paused).
+  void requantize_backbone() {
+    for (const auto& l : backbone_linears()) l->requantize();
+  }
+  /// Bytes the backbone projections hold for inference at the current
+  /// dtype: quantized payload when quantized, numel*4 when fp32.
+  std::int64_t backbone_weight_bytes() const {
+    std::int64_t bytes = 0;
+    for (const auto& l : backbone_linears()) {
+      bytes += l->weight_dtype() == tensor::quant::Dtype::kF32
+                   ? l->weight().numel() * static_cast<std::int64_t>(sizeof(float))
+                   : l->qweight().bytes();
+    }
+    return bytes;
+  }
+
   /// Every backbone projection Linear in fixed order — block 0's
   /// {wq, wk, wv, wo, fc1, fc2}, then block 1's, and so on. This enumeration
   /// IS the shard protocol's op-id space (DESIGN.md §14): op i is the i-th
@@ -132,6 +164,32 @@ class MiniGpt final : public nn::Module {
   std::shared_ptr<nn::LayerNorm> final_ln_;
   std::shared_ptr<nn::Linear> lm_head_;
   std::vector<tensor::Tensor> lora_params_;
+  tensor::quant::Dtype backbone_dtype_ = tensor::quant::Dtype::kF32;
+};
+
+/// RAII guard the adaptation loops wrap around training: on entry the
+/// quantized forward is deactivated, so every forward/backward/checkpoint
+/// runs on the fp32 masters and is bitwise identical to the fp32-backbone
+/// run; on exit the quantized copies are refreshed from the (possibly
+/// updated) masters and reactivated. No-op for an fp32 backbone.
+class ScopedQuantPause {
+ public:
+  explicit ScopedQuantPause(MiniGpt& llm)
+      : llm_(llm), active_(llm.backbone_dtype() != tensor::quant::Dtype::kF32) {
+    if (active_) llm_.set_backbone_quant_active(false);
+  }
+  ~ScopedQuantPause() {
+    if (active_) {
+      llm_.requantize_backbone();
+      llm_.set_backbone_quant_active(true);
+    }
+  }
+  ScopedQuantPause(const ScopedQuantPause&) = delete;
+  ScopedQuantPause& operator=(const ScopedQuantPause&) = delete;
+
+ private:
+  MiniGpt& llm_;
+  bool active_;
 };
 
 }  // namespace netllm::llm

@@ -162,6 +162,8 @@ AbrAdapter::AdaptStats AbrAdapter::adapt(std::span<const AbrTrajectory> pool, in
                                          float lr, std::uint64_t seed,
                                          const SessionOptions& session) {
   if (pool.empty()) throw std::invalid_argument("AbrAdapter::adapt: empty pool");
+  // Train on the fp32 masters (see VpAdapter::adapt); requantize on exit.
+  llm::ScopedQuantPause quant_pause(*llm_);
   core::Rng rng(seed);
   // Precompute returns-to-go per trajectory and the target return.
   std::vector<std::vector<float>> rtg(pool.size());

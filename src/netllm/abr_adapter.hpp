@@ -82,6 +82,9 @@ class AbrAdapter final : public nn::Module, public abr::AbrPolicy {
   void collect_params(tensor::NamedParams& out, const std::string& prefix) const override;
 
   const llm::MiniGpt& llm() const { return *llm_; }
+  /// Shared handle for callers that reconfigure the backbone in place
+  /// (quantization, sharding) — the adapter stays the owner of record.
+  std::shared_ptr<llm::MiniGpt> llm_shared() const { return llm_; }
 
   /// Return-conditioning target used at inference. `adapt` sets it to the
   /// best pool return; callers may retarget (e.g. a quantile) without

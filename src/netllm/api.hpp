@@ -32,6 +32,11 @@ struct AdaptOptions {
   std::string session_dir;
   int checkpoint_every = 64;
   int keep_last = 3;
+  // Backbone weight dtype for the adapter that comes out of `Adapt`
+  // (DESIGN.md §15): kQ8_0/kQ4_0 quantize the frozen projections for
+  // inference. Training itself always runs on the fp32 masters
+  // (ScopedQuantPause), so checkpoints are bitwise dtype-invariant.
+  tensor::quant::Dtype backbone_dtype = tensor::quant::Dtype::kF32;
 };
 
 namespace detail {
@@ -66,6 +71,9 @@ inline std::shared_ptr<VpAdapter> Adapt(std::shared_ptr<llm::MiniGpt> llm,
                                         const VpAdapterConfig& cfg, const AdaptOptions& opts,
                                         core::Rng& rng) {
   auto adapter = std::make_shared<VpAdapter>(std::move(llm), cfg, rng);
+  if (opts.backbone_dtype != tensor::quant::Dtype::kF32) {
+    adapter->llm_shared()->quantize_backbone(opts.backbone_dtype);
+  }
   adapter->adapt(dataset, opts.steps, opts.lr, opts.seed, detail::session_options(opts));
   if (!opts.snapshot_path.empty()) detail::save_snapshot(*adapter, opts.snapshot_path);
   return adapter;
@@ -103,6 +111,9 @@ inline std::shared_ptr<AbrAdapter> Adapt(std::shared_ptr<llm::MiniGpt> llm,
                                          const AbrAdapterConfig& cfg, const AdaptOptions& opts,
                                          core::Rng& rng) {
   auto adapter = std::make_shared<AbrAdapter>(std::move(llm), cfg, rng);
+  if (opts.backbone_dtype != tensor::quant::Dtype::kF32) {
+    adapter->llm_shared()->quantize_backbone(opts.backbone_dtype);
+  }
   adapter->adapt(pool, opts.steps, opts.lr, opts.seed, detail::session_options(opts));
   if (!opts.snapshot_path.empty()) detail::save_snapshot(*adapter, opts.snapshot_path);
   return adapter;
@@ -138,6 +149,9 @@ inline std::shared_ptr<CjsAdapter> Adapt(std::shared_ptr<llm::MiniGpt> llm,
                                          const CjsAdapterConfig& cfg, const AdaptOptions& opts,
                                          core::Rng& rng) {
   auto adapter = std::make_shared<CjsAdapter>(std::move(llm), cfg, rng);
+  if (opts.backbone_dtype != tensor::quant::Dtype::kF32) {
+    adapter->llm_shared()->quantize_backbone(opts.backbone_dtype);
+  }
   adapter->adapt(pool, opts.steps, opts.lr, opts.seed, detail::session_options(opts));
   if (!opts.snapshot_path.empty()) detail::save_snapshot(*adapter, opts.snapshot_path);
   return adapter;

@@ -130,6 +130,8 @@ CjsAdapter::AdaptStats CjsAdapter::adapt(std::span<const CjsTrajectory> pool, in
                                          float lr, std::uint64_t seed,
                                          const SessionOptions& session) {
   if (pool.empty()) throw std::invalid_argument("CjsAdapter::adapt: empty pool");
+  // Train on the fp32 masters (see VpAdapter::adapt); requantize on exit.
+  llm::ScopedQuantPause quant_pause(*llm_);
   core::Rng rng(seed);
   // Returns-to-go per decision; fit the normalisation scale and target.
   std::vector<std::vector<float>> rtg(pool.size());

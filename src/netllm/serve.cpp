@@ -17,6 +17,8 @@
 #include "core/threadpool.hpp"
 #include "core/timer.hpp"
 #include "core/trace.hpp"
+#include "netllm/abr_adapter.hpp"
+#include "netllm/cjs_adapter.hpp"
 #include "netllm/shard.hpp"
 #include "netllm/vp_adapter.hpp"
 #include "nn/kv_arena.hpp"
@@ -108,6 +110,25 @@ InferenceEngine::InferenceEngine(std::shared_ptr<vp::VpPredictor> vp_model,
       acfg.prefix_entries = cfg_.arena_prefix_entries;
       arena_ = std::make_shared<nn::KvArena>(llm_cfg.n_layers, llm_cfg.d_model, acfg);
       adapter->set_kv_arena(arena_);
+    }
+  }
+  // Block-quantized backbone (DESIGN.md §15): quantize every adapter
+  // primary's projection weights at the configured dtype. Non-adapter
+  // predictors are opaque and stay untouched. Sharding owns fp32 column
+  // shards of the masters, so the two modes cannot compose.
+  if (cfg_.backbone_dtype != tensor::quant::Dtype::kF32) {
+    if (cfg_.shards > 0) {
+      throw std::invalid_argument(
+          "InferenceEngine: backbone_dtype requires fp32 weights when shards > 0");
+    }
+    if (auto adapter = std::dynamic_pointer_cast<adapt::VpAdapter>(vp_model_)) {
+      adapter->llm_shared()->quantize_backbone(cfg_.backbone_dtype);
+    }
+    if (auto adapter = std::dynamic_pointer_cast<adapt::AbrAdapter>(abr_policy_)) {
+      adapter->llm_shared()->quantize_backbone(cfg_.backbone_dtype);
+    }
+    if (auto adapter = std::dynamic_pointer_cast<adapt::CjsAdapter>(cjs_policy_)) {
+      adapter->llm_shared()->quantize_backbone(cfg_.backbone_dtype);
     }
   }
   // Sharded tensor-parallel backbone (DESIGN.md §14): with `shards` set and

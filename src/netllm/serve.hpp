@@ -34,6 +34,7 @@
 #include "envs/cjs/simulator.hpp"
 #include "envs/vp/dataset.hpp"
 #include "netllm/guarded.hpp"
+#include "tensor/quants.hpp"
 
 namespace netllm::nn {
 class KvArena;
@@ -207,6 +208,14 @@ struct EngineConfig {
   double shard_backoff_ms = 25.0;            // worker respawn backoff base
   std::uint64_t shard_seed = 0x5eedbaccULL;  // seeds the backoff jitter
   std::string shard_worker_exe;  // empty -> $NETLLM_SHARD_WORKER
+
+  // ---- block-quantized backbone (DESIGN.md §15) ----
+  // Weight dtype for every adapter primary's backbone projections: kQ8_0 /
+  // kQ4_0 cut the resident weight bytes ~4x / ~7x and serve decode through
+  // the integer-dot kernels; LoRA deltas, heads and checkpoints stay fp32.
+  // Incompatible with `shards > 0` (workers own fp32 column shards) — the
+  // constructor throws rather than silently serving mixed dtypes.
+  tensor::quant::Dtype backbone_dtype = tensor::quant::Dtype::kF32;
 };
 
 /// Deterministic backoff before retry number `attempt` (1-based) of the

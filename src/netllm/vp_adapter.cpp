@@ -193,6 +193,10 @@ VpAdapter::AdaptStats VpAdapter::adapt(std::span<const vp::VpSample> dataset, in
                                        float lr, std::uint64_t seed,
                                        const SessionOptions& session) {
   if (dataset.empty()) throw std::invalid_argument("VpAdapter::adapt: empty dataset");
+  // Training always runs on the fp32 masters: pause the quantized forward
+  // for the whole loop so losses, gradients and checkpoints are bitwise
+  // those of an fp32-backbone run, and requantize on the way out.
+  llm::ScopedQuantPause quant_pause(*llm_);
   core::Rng rng(seed);
   Adam opt(adapt_parameters(), lr);  // unfreezes the backbone when it trains too
   TrainGuard guard(opt.params());

@@ -17,9 +17,40 @@ Linear::Linear(std::int64_t in, std::int64_t out, core::Rng& rng, bool bias) {
 }
 
 Tensor Linear::forward(const Tensor& x) const {
-  auto y = offload_ ? offload_(x) : matmul(x, weight_);
+  Tensor y;
+  if (offload_) {
+    y = offload_(x);
+  } else if (quant_active_ && weight_dtype_ != quant::Dtype::kF32) {
+    y = quant::qmatmul(x, qweight_);
+  } else {
+    y = matmul(x, weight_);
+  }
   if (bias_.defined()) y = add_bias(y, bias_);
   return y;
+}
+
+void Linear::set_weight_dtype(quant::Dtype d) {
+  weight_dtype_ = d;
+  if (d == quant::Dtype::kF32) {
+    qweight_ = quant::QTensor{};
+    quant_active_ = false;
+    return;
+  }
+  requantize();
+  quant_active_ = true;
+}
+
+void Linear::requantize() {
+  if (weight_dtype_ == quant::Dtype::kF32) return;
+  // qmatmul wants the weight transposed (one row per output feature, blocks
+  // along `in`), so quantize W^T rather than the [in,out] master layout.
+  const auto in = weight_.dim(0), out = weight_.dim(1);
+  std::vector<float> wt(static_cast<std::size_t>(in * out));
+  const auto src = weight_.data();
+  for (std::int64_t i = 0; i < in; ++i) {
+    for (std::int64_t j = 0; j < out; ++j) wt[j * in + i] = src[i * out + j];
+  }
+  qweight_ = quant::quantize(weight_dtype_, wt.data(), out, in);
 }
 
 void Linear::collect_params(NamedParams& out, const std::string& prefix) const {

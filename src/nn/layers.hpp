@@ -9,6 +9,7 @@
 
 #include "core/rng.hpp"
 #include "nn/module.hpp"
+#include "tensor/quants.hpp"
 #include "tensor/tensor.hpp"
 
 namespace netllm::nn {
@@ -36,10 +37,38 @@ class Linear final : public Module {
   void set_offload(Offload fn) { offload_ = std::move(fn); }
   bool has_offload() const { return static_cast<bool>(offload_); }
 
+  // ---- weight dtype (block-quantized inference, DESIGN.md §15) ----
+  //
+  // The fp32 master weight always stays resident and owns the gradients;
+  // quantization only swaps the *inference* compute to tensor/quants.hpp
+  // qmatmul against a quantized copy of the (transposed) master. Training
+  // code pauses the quant path (`set_quant_active(false)`) so gradients and
+  // checkpoints are bitwise those of the fp32 run, then `requantize()`s on
+  // resume to pick up any master updates.
+
+  /// Pick the inference weight dtype. kF32 drops the quantized copy and
+  /// restores plain matmul; kQ8_0/kQ4_0 quantize the master (transposed,
+  /// blocks along `in`) and activate the quantized forward.
+  void set_weight_dtype(tensor::quant::Dtype d);
+  tensor::quant::Dtype weight_dtype() const { return weight_dtype_; }
+  /// The transposed quantized weight [out,in]; only valid when
+  /// weight_dtype() != kF32.
+  const tensor::quant::QTensor& qweight() const { return qweight_; }
+
+  /// Gate the quantized forward without dropping the quantized copy.
+  void set_quant_active(bool active) { quant_active_ = active; }
+  bool quant_active() const { return quant_active_; }
+  /// Refresh the quantized copy from the fp32 master at the current dtype
+  /// (no-op for kF32). Call after the master changed while paused.
+  void requantize();
+
  private:
-  Tensor weight_;  // [in,out]
+  Tensor weight_;  // [in,out] — fp32 master, always present
   Tensor bias_;    // [out] (undefined when bias = false)
   Offload offload_;  // inference-only x·W replacement (not a parameter)
+  tensor::quant::Dtype weight_dtype_ = tensor::quant::Dtype::kF32;
+  tensor::quant::QTensor qweight_;  // transposed [out,in]; empty for kF32
+  bool quant_active_ = false;
 };
 
 /// LoRA-augmented linear layer (paper §4.3): y = x W0 + (alpha/r) (x A) B.

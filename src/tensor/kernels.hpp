@@ -34,4 +34,33 @@ void matmul_bt_accum(const float* a, const float* b, float* c, std::int64_t m,
 void matmul_at_accum(const float* a, const float* b, float* c, std::int64_t m,
                      std::int64_t k, std::int64_t n);
 
+// ---- quantized matmuls (weight-only block quantization, DESIGN.md §15) ----
+//
+// Layouts: `aq`/`ascales` is a Q8_0-quantized activation [m rows, kb blocks
+// per row] — per row, kb fp32 scales and kb*32 int8 codes, tail blocks
+// padded with the zero code. `bq`/`bscales` is the transposed quantized
+// weight [n rows, kb blocks] in the same layout (Q8_0: 32 int8 codes per
+// block; Q4_0: 16 packed bytes, low nibble first, code 8 = zero).
+//
+// C[m,n] += A · B^T, each output element accumulated block-by-block:
+//   acc += d_a[b] * d_b[b] * (int32)sum_t(q_a[t] * q_b[t])
+// The int32 block dot is associative, so the compiler may vectorize it —
+// unlike the strict-FP fp32 dot — and the float accumulation across blocks
+// ascends in fixed order, so results are bitwise identical for any thread
+// count (threads partition C's rows, as in the fp32 kernels).
+
+void matmul_q8_accum_serial(const std::int8_t* aq, const float* ascales,
+                            const std::int8_t* bq, const float* bscales, float* c,
+                            std::int64_t m, std::int64_t kb, std::int64_t n);
+void matmul_q4_accum_serial(const std::int8_t* aq, const float* ascales,
+                            const std::uint8_t* bq, const float* bscales, float* c,
+                            std::int64_t m, std::int64_t kb, std::int64_t n);
+
+void matmul_q8_accum(const std::int8_t* aq, const float* ascales, const std::int8_t* bq,
+                     const float* bscales, float* c, std::int64_t m, std::int64_t kb,
+                     std::int64_t n);
+void matmul_q4_accum(const std::int8_t* aq, const float* ascales, const std::uint8_t* bq,
+                     const float* bscales, float* c, std::int64_t m, std::int64_t kb,
+                     std::int64_t n);
+
 }  // namespace netllm::tensor::kernels

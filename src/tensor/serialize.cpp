@@ -24,6 +24,7 @@ namespace {
 constexpr char kMagic[4] = {'N', 'L', 'L', 'M'};
 constexpr std::uint32_t kVersion = 2;         // plain weight snapshots
 constexpr std::uint32_t kSessionVersion = 3;  // weights + session sections
+constexpr std::uint32_t kQuantVersion = 4;    // per-tensor dtype (quantized backbones)
 constexpr std::uint32_t kMaxRank = 16;  // sanity bound while parsing
 
 template <typename T>
@@ -71,11 +72,20 @@ class Reader {
   const std::string& path_;
 };
 
-void reject_duplicates(const NamedParams& params, const char* who) {
+void reject_duplicates(const NamedParams& params, const char* who,
+                       const NamedQuants* quants = nullptr) {
   std::unordered_set<std::string> seen;
   for (const auto& [name, t] : params) {
     if (!seen.insert(name).second) {
       throw std::runtime_error(std::string(who) + ": duplicate parameter name '" + name + "'");
+    }
+  }
+  if (quants) {
+    for (const auto& [name, q] : *quants) {
+      if (!seen.insert(name).second) {
+        throw std::runtime_error(std::string(who) + ": duplicate parameter name '" + name +
+                                 "'");
+      }
     }
   }
 }
@@ -137,6 +147,53 @@ std::string build_image(const NamedParams& params, const SessionSections* sectio
       append_pod(buf, static_cast<std::uint64_t>(blob.size()));
       buf.append(blob.data(), blob.size());
     }
+  }
+  append_pod(buf, core::crc32(buf.data(), buf.size()));
+  return buf;
+}
+
+/// v4 image: every record carries a u32 dtype; quantized records store the
+/// block payload (scales then codes) under one CRC. The section block is
+/// always present (possibly empty) so the layout has a single shape.
+std::string build_quant_image(const NamedParams& params, const NamedQuants& quants,
+                              const SessionSections& sections) {
+  std::string buf;
+  buf.append(kMagic, sizeof(kMagic));
+  append_pod(buf, kQuantVersion);
+  append_pod(buf, static_cast<std::uint32_t>(params.size() + quants.size()));
+  for (const auto& [name, t] : params) {
+    append_pod(buf, static_cast<std::uint32_t>(name.size()));
+    buf.append(name.data(), name.size());
+    append_pod(buf, static_cast<std::uint32_t>(quant::Dtype::kF32));
+    append_pod(buf, static_cast<std::uint32_t>(t.rank()));
+    for (auto d : t.shape()) append_pod(buf, d);
+    const auto payload_bytes = static_cast<std::size_t>(t.numel()) * sizeof(float);
+    append_pod(buf, core::crc32(t.data().data(), payload_bytes));
+    buf.append(reinterpret_cast<const char*>(t.data().data()), payload_bytes);
+  }
+  for (const auto& [name, q] : quants) {
+    append_pod(buf, static_cast<std::uint32_t>(name.size()));
+    buf.append(name.data(), name.size());
+    append_pod(buf, static_cast<std::uint32_t>(q.dtype));
+    append_pod(buf, q.rows);
+    append_pod(buf, q.cols);
+    append_pod(buf, static_cast<std::uint32_t>(quant::kBlock));
+    append_pod(buf, static_cast<std::uint64_t>(q.scales.size()));
+    append_pod(buf, static_cast<std::uint64_t>(q.codes.size()));
+    const auto scale_bytes = q.scales.size() * sizeof(float);
+    const auto crc = core::crc32(q.codes.data(), q.codes.size(),
+                                 core::crc32(q.scales.data(), scale_bytes));
+    append_pod(buf, crc);
+    buf.append(reinterpret_cast<const char*>(q.scales.data()), scale_bytes);
+    buf.append(reinterpret_cast<const char*>(q.codes.data()), q.codes.size());
+  }
+  append_pod(buf, static_cast<std::uint32_t>(sections.size()));
+  for (const auto& [name, blob] : sections) {
+    append_pod(buf, static_cast<std::uint32_t>(name.size()));
+    buf.append(name.data(), name.size());
+    append_pod(buf, core::crc32(blob.data(), blob.size()));
+    append_pod(buf, static_cast<std::uint64_t>(blob.size()));
+    buf.append(blob.data(), blob.size());
   }
   append_pod(buf, core::crc32(buf.data(), buf.size()));
   return buf;
@@ -223,6 +280,12 @@ LoadReport load_params_report(const std::string& path, const NamedParams& params
     throw std::runtime_error("load_params: bad magic in " + path);
   }
   const auto version = r.pod<std::uint32_t>();
+  if (version == kQuantVersion) {
+    // A quantized snapshot must never be misread as fp32 bytes: reject with
+    // a pointer at the quant-aware reader instead of a generic version error.
+    throw std::runtime_error("load_params: quantized (v4) snapshot " + path +
+                             " — use load_quant_params");
+  }
   if (version != 1 && version != kVersion && version != kSessionVersion) {
     throw std::runtime_error("load_params: unsupported version " + std::to_string(version) +
                              " in " + path);
@@ -347,6 +410,216 @@ void load_params(const std::string& path, const NamedParams& params) {
   }
   if (!report.mismatched.empty()) {
     throw std::runtime_error("load_params: shape mismatch in " + path + " for " +
+                             join_names(report.mismatched));
+  }
+}
+
+void save_quant_params(const std::string& path, const NamedParams& params,
+                       const NamedQuants& quants) {
+  reject_duplicates(params, "save_quant_params", &quants);
+  write_image_atomic(path, build_quant_image(params, quants, {}));
+}
+
+void save_quant_session(const std::string& path, const NamedParams& params,
+                        const NamedQuants& quants, const SessionSections& sections) {
+  reject_duplicates(params, "save_quant_session", &quants);
+  write_image_atomic(path, build_quant_image(params, quants, sections));
+}
+
+LoadReport load_quant_params_report(const std::string& path, const NamedParams& params,
+                                    NamedQuants& quants_out,
+                                    SessionSections* sections_out) {
+  reject_duplicates(params, "load_quant_params");
+
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("load_quant_params: cannot open " + path);
+  std::string image((std::istreambuf_iterator<char>(is)), std::istreambuf_iterator<char>());
+  Reader r(image.data(), image.size(), path);
+
+  char magic[4];
+  r.bytes(sizeof(magic), magic);
+  if (std::string(magic, 4) != std::string(kMagic, 4)) {
+    throw std::runtime_error("load_quant_params: bad magic in " + path);
+  }
+  const auto version = r.pod<std::uint32_t>();
+  if (version != kQuantVersion) {
+    throw std::runtime_error("load_quant_params: not a quantized (v4) snapshot, version " +
+                             std::to_string(version) + " in " + path);
+  }
+  // Whole-file integrity first, exactly as the plain reader does.
+  if (image.size() < sizeof(std::uint32_t)) {
+    throw std::runtime_error("load_quant_params: truncated or corrupt container " + path);
+  }
+  const std::size_t body = image.size() - sizeof(std::uint32_t);
+  std::uint32_t stored_file_crc = 0;
+  std::memcpy(&stored_file_crc, image.data() + body, sizeof(stored_file_crc));
+  if (core::crc32(image.data(), body) != stored_file_crc) {
+    throw std::runtime_error("load_quant_params: file checksum mismatch in " + path +
+                             " (corrupt or torn snapshot)");
+  }
+
+  std::unordered_map<std::string, Tensor> by_name;
+  for (const auto& [name, t] : params) by_name.emplace(name, t);
+
+  LoadReport report;
+  report.version = version;
+  quants_out.clear();
+  if (sections_out) sections_out->clear();
+  std::unordered_set<std::string> matched, seen_in_file;
+  const auto count = r.pod<std::uint32_t>();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const auto name_len = r.pod<std::uint32_t>();
+    std::string name = r.str(name_len);
+    if (!seen_in_file.insert(name).second) {
+      throw std::runtime_error("load_quant_params: duplicate tensor '" + name + "' in " +
+                               path);
+    }
+    const auto dtype_raw = r.pod<std::uint32_t>();
+    if (dtype_raw == static_cast<std::uint32_t>(quant::Dtype::kF32)) {
+      const auto rank = r.pod<std::uint32_t>();
+      if (rank > kMaxRank) {
+        throw std::runtime_error("load_quant_params: corrupt rank for '" + name + "' in " +
+                                 path);
+      }
+      Shape shape(rank);
+      for (auto& d : shape) {
+        d = r.pod<std::int64_t>();
+        if (d < 0) {
+          throw std::runtime_error("load_quant_params: corrupt shape for '" + name +
+                                   "' in " + path);
+        }
+      }
+      const auto numel = shape_numel(shape);
+      const auto payload_bytes = static_cast<std::size_t>(numel) * sizeof(float);
+      const auto stored_crc = r.pod<std::uint32_t>();
+      if (payload_bytes > r.remaining()) {
+        throw std::runtime_error("load_quant_params: truncated tensor data for '" + name +
+                                 "' in " + path);
+      }
+      std::vector<float> data(static_cast<std::size_t>(numel));
+      r.bytes(payload_bytes, data.data());
+      if (core::crc32(data.data(), payload_bytes) != stored_crc) {
+        throw std::runtime_error("load_quant_params: checksum mismatch for tensor '" + name +
+                                 "' in " + path);
+      }
+      auto it = by_name.find(name);
+      if (it == by_name.end()) {
+        report.extra.push_back(name);
+        continue;
+      }
+      if (it->second.shape() != shape) {
+        report.mismatched.push_back(name + " (file " + shape_str(shape) + ", param " +
+                                    shape_str(it->second.shape()) + ")");
+        continue;
+      }
+      auto dst = it->second.mutable_data();
+      std::copy(data.begin(), data.end(), dst.begin());
+      matched.insert(name);
+      ++report.loaded;
+      continue;
+    }
+    if (dtype_raw != static_cast<std::uint32_t>(quant::Dtype::kQ8_0) &&
+        dtype_raw != static_cast<std::uint32_t>(quant::Dtype::kQ4_0)) {
+      throw std::runtime_error("load_quant_params: bad dtype " + std::to_string(dtype_raw) +
+                               " for '" + name + "' in " + path);
+    }
+    quant::QTensor q;
+    q.dtype = static_cast<quant::Dtype>(dtype_raw);
+    q.rows = r.pod<std::int64_t>();
+    q.cols = r.pod<std::int64_t>();
+    if (q.rows < 0 || q.cols <= 0) {
+      throw std::runtime_error("load_quant_params: corrupt shape for '" + name + "' in " +
+                               path);
+    }
+    const auto block_size = r.pod<std::uint32_t>();
+    if (block_size != static_cast<std::uint32_t>(quant::kBlock)) {
+      throw std::runtime_error("load_quant_params: bad block size " +
+                               std::to_string(block_size) + " for '" + name + "' in " + path);
+    }
+    const auto nscales = r.pod<std::uint64_t>();
+    const auto ncodes = r.pod<std::uint64_t>();
+    const auto want_scales =
+        static_cast<std::uint64_t>(q.rows * quant::blocks_per_row(q.cols));
+    if (nscales != want_scales) {
+      throw std::runtime_error("load_quant_params: bad block count for '" + name + "' in " +
+                               path + " (have " + std::to_string(nscales) + ", want " +
+                               std::to_string(want_scales) + ")");
+    }
+    const auto want_codes = want_scales * static_cast<std::uint64_t>(
+                                              quant::block_code_bytes(q.dtype));
+    if (ncodes != want_codes) {
+      throw std::runtime_error("load_quant_params: bad code bytes for '" + name + "' in " +
+                               path + " (have " + std::to_string(ncodes) + ", want " +
+                               std::to_string(want_codes) + ")");
+    }
+    const auto stored_crc = r.pod<std::uint32_t>();
+    const auto scale_bytes = static_cast<std::size_t>(nscales) * sizeof(float);
+    if (scale_bytes + ncodes > r.remaining()) {
+      throw std::runtime_error("load_quant_params: truncated tensor data for '" + name +
+                               "' in " + path);
+    }
+    q.scales.resize(static_cast<std::size_t>(nscales));
+    q.codes.resize(static_cast<std::size_t>(ncodes));
+    r.bytes(scale_bytes, q.scales.data());
+    r.bytes(static_cast<std::size_t>(ncodes), q.codes.data());
+    const auto crc = core::crc32(q.codes.data(), q.codes.size(),
+                                 core::crc32(q.scales.data(), scale_bytes));
+    if (crc != stored_crc) {
+      throw std::runtime_error("load_quant_params: checksum mismatch for tensor '" + name +
+                               "' in " + path);
+    }
+    quants_out.emplace_back(std::move(name), std::move(q));
+  }
+  {
+    std::unordered_set<std::string> seen_sections;
+    const auto section_count = r.pod<std::uint32_t>();
+    for (std::uint32_t i = 0; i < section_count; ++i) {
+      const auto name_len = r.pod<std::uint32_t>();
+      std::string name = r.str(name_len);
+      if (!seen_sections.insert(name).second) {
+        throw std::runtime_error("load_quant_params: duplicate session section '" + name +
+                                 "' in " + path);
+      }
+      const auto stored_crc = r.pod<std::uint32_t>();
+      const auto blob_len = r.pod<std::uint64_t>();
+      if (blob_len > r.remaining()) {
+        throw std::runtime_error("load_quant_params: truncated session section '" + name +
+                                 "' in " + path);
+      }
+      std::string blob = r.str(static_cast<std::size_t>(blob_len));
+      if (core::crc32(blob.data(), blob.size()) != stored_crc) {
+        throw std::runtime_error("load_quant_params: checksum mismatch for session section '" +
+                                 name + "' in " + path);
+      }
+      report.sections.push_back(name);
+      if (sections_out) sections_out->emplace_back(std::move(name), std::move(blob));
+    }
+  }
+  for (const auto& [name, t] : params) {
+    if (!matched.contains(name)) {
+      bool mismatch = false;
+      for (const auto& m : report.mismatched) {
+        if (m.compare(0, name.size(), name) == 0 &&
+            (m.size() == name.size() || m[name.size()] == ' ')) {
+          mismatch = true;
+          break;
+        }
+      }
+      if (!mismatch) report.missing.push_back(name);
+    }
+  }
+  return report;
+}
+
+void load_quant_params(const std::string& path, const NamedParams& params,
+                       NamedQuants& quants_out) {
+  const auto report = load_quant_params_report(path, params, quants_out);
+  if (!report.missing.empty()) {
+    throw std::runtime_error("load_quant_params: missing parameters in " + path + ": " +
+                             join_names(report.missing));
+  }
+  if (!report.mismatched.empty()) {
+    throw std::runtime_error("load_quant_params: shape mismatch in " + path + " for " +
                              join_names(report.mismatched));
   }
 }

@@ -19,6 +19,23 @@
 //   repeat: u32 name_len | name bytes | u32 blob_crc | u64 blob_len | blob |
 //   footer: u32 file_crc
 //
+// Format v4 ("quantized snapshot") prefixes every tensor record with a u32
+// dtype so block-quantized backbone weights (tensor/quants.hpp) ship beside
+// fp32 trainables in one container:
+//   magic "NLLM" | u32 version=4 | u32 count |
+//   repeat: u32 name_len | name bytes | u32 dtype |
+//     dtype 0 (f32):  u32 rank | i64 dims[rank] | u32 tensor_crc | f32 data
+//     dtype 1 (q8_0) / 2 (q4_0):
+//       i64 rows | i64 cols | u32 block_size (must be 32)
+//       | u64 nscales | u64 ncodes | u32 tensor_crc (scales then codes)
+//       | f32 scales[nscales] | u8 codes[ncodes]
+//   u32 section_count | sections as v3 | footer: u32 file_crc
+// Every malformation names the damaged record: bad dtype, bad block size,
+// bad block count, bad code bytes, truncation, CRC mismatch. Plain readers
+// reject v4 loudly (old binaries: "unsupported version 4"; this binary's
+// `load_params` points at `load_quant_params`), so a quantized snapshot can
+// never be silently misread as fp32 bytes.
+//
 // v1 (legacy: no checksums, no footer) is still readable, and v1/v2 files
 // load under the v3 reader as weights-only — `LoadReport::sections` stays
 // empty instead of erroring. Saves are atomic: the container is written to
@@ -32,11 +49,15 @@
 #include <utility>
 #include <vector>
 
+#include "tensor/quants.hpp"
 #include "tensor/tensor.hpp"
 
 namespace netllm::tensor {
 
 using NamedParams = std::vector<std::pair<std::string, Tensor>>;
+
+/// Named block-quantized tensors carried by a v4 quantized snapshot.
+using NamedQuants = std::vector<std::pair<std::string, quant::QTensor>>;
 
 /// Named opaque byte blobs carried by a v3 session record alongside the
 /// tensors (e.g. "optimizer", "rng", "loop").
@@ -96,7 +117,32 @@ LoadReport load_params_report(const std::string& path, const NamedParams& params
                               SessionSections* sections_out = nullptr);
 
 /// Strict variant: additionally throws (naming the offenders) unless the
-/// report is `ok()`. Loads values *into* the given tensors.
+/// report is `ok()`. Loads values *into* the given tensors. Rejects v4
+/// quantized snapshots with a named error (use `load_quant_params`).
 void load_params(const std::string& path, const NamedParams& params);
+
+// ---- v4 quantized snapshots ----
+
+/// Atomically writes a v4 container: fp32 `params` plus block-quantized
+/// `quants` (names must be unique across both lists). Same atomicity,
+/// error contract and fault sites as `save_params`.
+void save_quant_params(const std::string& path, const NamedParams& params,
+                       const NamedQuants& quants);
+/// v4 container with session sections appended (checkpointing a quantized
+/// engine's trainables + backbone in one atomic file).
+void save_quant_session(const std::string& path, const NamedParams& params,
+                        const NamedQuants& quants, const SessionSections& sections);
+
+/// Reads a v4 quantized snapshot: fp32 records are matched into `params`
+/// exactly as `load_params_report` does; quantized records are validated
+/// (dtype, block size 32, block/code counts, per-record CRC) and appended
+/// to `quants_out` by name. Throws std::runtime_error naming the damaged
+/// record on any malformation; throws on non-v4 containers.
+LoadReport load_quant_params_report(const std::string& path, const NamedParams& params,
+                                    NamedQuants& quants_out,
+                                    SessionSections* sections_out = nullptr);
+/// Strict variant of the above (throws unless the fp32 report is `ok()`).
+void load_quant_params(const std::string& path, const NamedParams& params,
+                       NamedQuants& quants_out);
 
 }  // namespace netllm::tensor

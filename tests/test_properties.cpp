@@ -355,3 +355,70 @@ TEST(TransformerBlockGradProperty, BlockGradientsMatchFiniteDifferences) {
     return nt::mean_all(nt::mul(y, y));
   });
 }
+
+// ---------- block-quantization properties (DESIGN.md §15) ----------
+
+namespace {
+namespace nq = netllm::tensor::quant;
+}  // namespace
+
+class QuantExactnessProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QuantExactnessProperty, ZeroConstantAndMaxMagnitudeBlocksAreExactForQ8) {
+  Rng rng(GetParam());
+  const std::int64_t n = nq::kBlock;
+  // All-zero block: scale 0, every code 0, exact reconstruction.
+  std::vector<float> zero(static_cast<std::size_t>(n), 0.0f);
+  auto q = nq::quantize(nq::Dtype::kQ8_0, zero.data(), 1, n);
+  EXPECT_EQ(q.scales[0], 0.0f);
+  auto back = nq::dequantize(q);
+  for (std::int64_t i = 0; i < n; ++i) EXPECT_EQ(back.at(i), 0.0f);
+
+  // Constant block: the scale is value/-128 (an exact exponent shift), every
+  // element maps to code -128 and reconstructs bit-exactly.
+  const float c = static_cast<float>(rng.gaussian(0.0, 3.0));
+  std::vector<float> constant(static_cast<std::size_t>(n), c);
+  q = nq::quantize(nq::Dtype::kQ8_0, constant.data(), 1, n);
+  back = nq::dequantize(q);
+  for (std::int64_t i = 0; i < n; ++i) EXPECT_EQ(back.at(i), c) << "i=" << i;
+
+  // Random block: whatever the mix, the max-magnitude element itself is
+  // always reconstructed bit-exactly (it sits on the -128 end of the range).
+  std::vector<float> x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = static_cast<float>(rng.gaussian(0.0, 1.0));
+  std::int64_t arg = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (std::fabs(x[static_cast<std::size_t>(i)]) >
+        std::fabs(x[static_cast<std::size_t>(arg)])) {
+      arg = i;
+    }
+  }
+  q = nq::quantize(nq::Dtype::kQ8_0, x.data(), 1, n);
+  back = nq::dequantize(q);
+  EXPECT_EQ(back.at(arg), x[static_cast<std::size_t>(arg)]);
+}
+
+TEST_P(QuantExactnessProperty, RoundTripErrorBoundedByPerBlockScale) {
+  Rng rng(GetParam() * 0x9e3779b97f4a7c15ULL + 1);
+  for (auto d : {nq::Dtype::kQ8_0, nq::Dtype::kQ4_0}) {
+    const std::int64_t rows = 3, cols = 50;  // tail block exercises padding
+    std::vector<float> x(static_cast<std::size_t>(rows * cols));
+    for (auto& v : x) v = static_cast<float>(rng.gaussian(0.0, 2.0));
+    const auto q = nq::quantize(d, x.data(), rows, cols);
+    const auto back = nq::dequantize(q);
+    const auto bpr = nq::blocks_per_row(cols);
+    for (std::int64_t r = 0; r < rows; ++r) {
+      for (std::int64_t c = 0; c < cols; ++c) {
+        const auto i = r * cols + c;
+        const float scale = q.scales[static_cast<std::size_t>(r * bpr + c / nq::kBlock)];
+        EXPECT_LE(std::fabs(back.at(i) - x[static_cast<std::size_t>(i)]),
+                  std::fabs(scale))
+            << nq::dtype_name(d) << " r=" << r << " c=" << c;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantExactnessProperty,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 0xdecafu, 0xfeedfaceu,
+                                           31337u, 271828u, 3141592u, 0xabcdefu));
