@@ -3,18 +3,29 @@
 // training/inference time, plus one end-to-end LLM forward. Useful when
 // optimising the tensor library — the figure benches are too coarse for
 // kernel work.
+//
+// The BM_IsaTier benchmarks are registered at runtime (custom main below):
+// one row per (kernel case x compiled-and-supported ISA tier), single
+// threaded, so BENCH_kernels.json carries the scalar-vs-vector FLOP/s
+// comparison for the host this sweep actually ran on (DESIGN.md §16).
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "core/rng.hpp"
 #include "core/threadpool.hpp"
 #include "llm/minigpt.hpp"
 #include "llm/tokenizer.hpp"
+#include "tensor/isa.hpp"
 #include "tensor/kernels.hpp"
+#include "tensor/quants.hpp"
 #include "tensor/tensor.hpp"
 
 namespace nt = netllm::tensor;
+namespace nq = netllm::tensor::quant;
+namespace isa = netllm::tensor::isa;
 using netllm::core::Rng;
 
 namespace {
@@ -130,6 +141,134 @@ void BM_MiniGptForward(benchmark::State& state) {
 }
 BENCHMARK(BM_MiniGptForward)->Arg(31)->Arg(60)->Arg(100);
 
+// ---- per-ISA-tier kernel rows (BM_IsaTier/<case>/<tier>) ----
+//
+// Single-core by design: the tier comparison isolates vectorization, and
+// thread scaling is already covered by BM_MatmulKernel. Each run forces its
+// tier via set_active_isa and restores the env-resolved default afterwards,
+// so row order cannot leak a tier into other benchmarks.
+
+/// Forces `tier` for one benchmark run; restores env resolution on exit.
+struct TierScope {
+  explicit TierScope(isa::Isa tier) {
+    netllm::core::set_global_threads(1);
+    applied = isa::set_active_isa(tier) == tier;
+  }
+  ~TierScope() {
+    netllm::core::set_global_threads(0);
+    isa::reset_active_isa();
+  }
+  bool applied = false;
+};
+
+void BM_IsaF32(benchmark::State& state, isa::Isa tier, std::int64_t m, std::int64_t k,
+               std::int64_t n) {
+  TierScope scope(tier);
+  if (!scope.applied) {
+    state.SkipWithError("tier not supported on this host");
+    return;
+  }
+  Rng rng(18);
+  std::vector<float> a(static_cast<std::size_t>(m * k));
+  std::vector<float> b(static_cast<std::size_t>(k * n));
+  std::vector<float> c(static_cast<std::size_t>(m * n));
+  for (auto& v : a) v = static_cast<float>(rng.gaussian(0.0, 1.0));
+  for (auto& v : b) v = static_cast<float>(rng.gaussian(0.0, 1.0));
+  for (auto _ : state) {
+    std::memset(c.data(), 0, c.size() * sizeof(float));
+    nt::kernels::matmul_accum_serial(a.data(), b.data(), c.data(), m, k, n);
+    benchmark::DoNotOptimize(c.data());
+    benchmark::ClobberMemory();
+  }
+  // items_per_second == FLOP/s (2 flops per multiply-accumulate).
+  state.SetItemsProcessed(state.iterations() * 2 * m * k * n);
+  state.SetLabel(isa::isa_name(tier));
+}
+
+void BM_IsaQuant(benchmark::State& state, isa::Isa tier, nq::Dtype dtype, std::int64_t m,
+                 std::int64_t k, std::int64_t n) {
+  TierScope scope(tier);
+  if (!scope.applied) {
+    state.SkipWithError("tier not supported on this host");
+    return;
+  }
+  Rng rng(19);
+  std::vector<float> x(static_cast<std::size_t>(m * k));
+  std::vector<float> wt(static_cast<std::size_t>(n * k));
+  for (auto& v : x) v = static_cast<float>(rng.gaussian(0.0, 1.0));
+  for (auto& v : wt) v = static_cast<float>(rng.gaussian(0.0, 1.0));
+  const auto kb = nq::blocks_per_row(k);
+  const auto aq = nq::quantize(nq::Dtype::kQ8_0, x.data(), m, k);
+  const auto wq = nq::quantize(dtype, wt.data(), n, k);
+  const auto* acodes = reinterpret_cast<const std::int8_t*>(aq.codes.data());
+  std::vector<float> c(static_cast<std::size_t>(m * n));
+  for (auto _ : state) {
+    std::memset(c.data(), 0, c.size() * sizeof(float));
+    if (dtype == nq::Dtype::kQ8_0) {
+      nt::kernels::matmul_q8_accum_serial(
+          acodes, aq.scales.data(), reinterpret_cast<const std::int8_t*>(wq.codes.data()),
+          wq.scales.data(), c.data(), m, kb, n);
+    } else {
+      nt::kernels::matmul_q4_accum_serial(acodes, aq.scales.data(), wq.codes.data(),
+                                          wq.scales.data(), c.data(), m, kb, n);
+    }
+    benchmark::DoNotOptimize(c.data());
+    benchmark::ClobberMemory();
+  }
+  // Effective FLOP/s of the fp32 product this replaces (k padded to blocks).
+  state.SetItemsProcessed(state.iterations() * 2 * m * (kb * nq::kBlock) * n);
+  state.SetLabel(isa::isa_name(tier));
+}
+
+/// One BM_IsaTier/<case>/<tier> row per supported tier. GEMV rows are the
+/// serving hot shape (single decode row against a 512-wide projection);
+/// GEMM rows show the register-tiled multi-row path.
+void register_isa_tier_benches() {
+  std::vector<isa::Isa> tiers = {isa::Isa::kScalar};
+  if (isa::best_isa() != isa::Isa::kScalar) tiers.push_back(isa::best_isa());
+  constexpr std::int64_t kDim = 512;
+  for (const auto tier : tiers) {
+    const std::string suffix = std::string("/") + isa::isa_name(tier);
+    benchmark::RegisterBenchmark(("BM_IsaTier/f32_gemv512" + suffix).c_str(),
+                                 [tier](benchmark::State& s) {
+                                   BM_IsaF32(s, tier, 1, kDim, kDim);
+                                 })
+        ->UseRealTime();
+    benchmark::RegisterBenchmark(("BM_IsaTier/f32_gemm512" + suffix).c_str(),
+                                 [tier](benchmark::State& s) {
+                                   BM_IsaF32(s, tier, 64, kDim, kDim);
+                                 })
+        ->UseRealTime();
+    benchmark::RegisterBenchmark(("BM_IsaTier/q8_gemv512" + suffix).c_str(),
+                                 [tier](benchmark::State& s) {
+                                   BM_IsaQuant(s, tier, nq::Dtype::kQ8_0, 1, kDim, kDim);
+                                 })
+        ->UseRealTime();
+    benchmark::RegisterBenchmark(("BM_IsaTier/q8_gemm512" + suffix).c_str(),
+                                 [tier](benchmark::State& s) {
+                                   BM_IsaQuant(s, tier, nq::Dtype::kQ8_0, 64, kDim, kDim);
+                                 })
+        ->UseRealTime();
+    benchmark::RegisterBenchmark(("BM_IsaTier/q4_gemv512" + suffix).c_str(),
+                                 [tier](benchmark::State& s) {
+                                   BM_IsaQuant(s, tier, nq::Dtype::kQ4_0, 1, kDim, kDim);
+                                 })
+        ->UseRealTime();
+    benchmark::RegisterBenchmark(("BM_IsaTier/q4_gemm512" + suffix).c_str(),
+                                 [tier](benchmark::State& s) {
+                                   BM_IsaQuant(s, tier, nq::Dtype::kQ4_0, 64, kDim, kDim);
+                                 })
+        ->UseRealTime();
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  register_isa_tier_benches();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

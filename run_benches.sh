@@ -24,8 +24,8 @@ for b in bench_fig02_motivation bench_fig03_training_time bench_fig04_adaptation
   "./build/bench/$b" 2>&1
   echo
 done
-echo "##### BENCH_kernels.json (serial vs threaded matmul)"
-./build/bench/bench_microkernels --benchmark_filter='BM_MatmulKernel' \
+echo "##### BENCH_kernels.json (serial vs threaded matmul + per-ISA-tier rows)"
+./build/bench/bench_microkernels --benchmark_filter='BM_MatmulKernel|BM_IsaTier' \
   --benchmark_out=BENCH_kernels.json --benchmark_out_format=json 2>&1
 echo
 echo "##### BENCH_session.json (checkpoint latency + cadence overhead)"
@@ -176,6 +176,84 @@ EOF
   fi
 else
   echo "skipped (no python3): BENCH_shard.json schema check"
+fi
+echo
+echo "##### validating BENCH_kernels.json schema"
+# The kernels artifact now carries the ISA-tier comparison (DESIGN.md §16):
+# every case must have a scalar row, and when a vector tier was compiled in
+# its rows must be present and not slower than scalar on the GEMV serving
+# shapes. Key drift or a vector tier losing to scalar fails the sweep
+# loudly. NOTE: absolute FLOP/s shifted when PR 10 replaced the blanket
+# -march=native with per-file tier flags — the scalar rows now measure the
+# genuinely portable baseline (see EXPERIMENTS.md "Kernel throughput").
+if command -v python3 >/dev/null 2>&1; then
+  if python3 - BENCH_kernels.json <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+rows = [b for b in doc.get("benchmarks", [])
+        if b.get("run_type", "iteration") == "iteration" and "error_occurred" not in b]
+if not any(b["name"].startswith("BM_MatmulKernel/") for b in rows):
+    raise SystemExit("schema drift: no BM_MatmulKernel rows (threaded matmul sweep)")
+
+CASES = ["f32_gemv512", "f32_gemm512", "q8_gemv512", "q8_gemm512",
+         "q4_gemv512", "q4_gemm512"]
+flops = {}  # (case, tier) -> items_per_second
+for b in rows:
+    parts = b["name"].split("/")
+    if parts[0] != "BM_IsaTier":
+        continue
+    if "items_per_second" not in b:
+        raise SystemExit(f"schema drift: {b['name']} lacks items_per_second")
+    flops[(parts[1], parts[2])] = b["items_per_second"]
+
+for case in CASES:
+    if (case, "scalar") not in flops:
+        raise SystemExit(f"schema drift: missing BM_IsaTier/{case}/scalar row")
+    if flops[(case, "scalar")] <= 0:
+        raise SystemExit(f"regression: non-positive scalar FLOP/s for {case}")
+
+vector_tiers = sorted({t for (_, t) in flops if t != "scalar"})
+if vector_tiers:
+    tier = vector_tiers[0]
+    for case in CASES:
+        if (case, tier) not in flops:
+            raise SystemExit(f"schema drift: missing BM_IsaTier/{case}/{tier} row")
+    for case in ("f32_gemv512", "q8_gemv512", "q4_gemv512"):
+        ratio = flops[(case, tier)] / flops[(case, "scalar")]
+        # Floor, not target: the vector tier must never LOSE to scalar on
+        # the serving GEMV shapes (a regression in the dispatch or the
+        # kernels). The measured margin on an AVX2 host is >= 2x.
+        if ratio < 1.0:
+            raise SystemExit(
+                f"regression: {tier} {case} slower than scalar ({ratio:.2f}x)")
+    for case in CASES:
+        ratio = flops[(case, tier)] / flops[(case, "scalar")]
+        print(f"ok: {case} {tier}/scalar = {ratio:.2f}x "
+              f"({flops[(case, tier)]/1e9:.2f} vs {flops[(case, 'scalar')]/1e9:.2f} GFLOP/s)")
+else:
+    print("ok: scalar-only host (no vector tier compiled/supported)")
+print("ok: BENCH_kernels.json schema + ISA tier floor")
+EOF
+  then :; else
+    echo "FLEET-FAILED: BENCH_kernels.json schema drift"
+    exit 1
+  fi
+else
+  echo "skipped (no python3): BENCH_kernels.json schema check"
+fi
+echo
+echo "##### forced-scalar test pass (NETLLM_ISA=scalar: isa + parallel suites)"
+# The portable tier must keep every determinism contract on its own — this
+# is what a host with no vector unit (or NETLLM_ISA=scalar in production)
+# actually runs.
+if NETLLM_ISA=scalar ctest --test-dir build -L "isa|parallel" --output-on-failure 2>&1; then
+  echo "ok: forced-scalar isa/parallel suites"
+else
+  echo "FLEET-FAILED: forced-scalar isa/parallel test pass failed"
+  exit 1
 fi
 echo
 echo "##### validating BENCH_quant.json schema"

@@ -3,6 +3,7 @@
 #include "core/trace.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <condition_variable>
 #include <cstdlib>
 #include <deque>
@@ -152,8 +153,16 @@ ThreadPool& ThreadPool::global() {
 
 int default_thread_count() {
   if (const char* env = std::getenv("NETLLM_THREADS")) {
-    const int v = std::atoi(env);
-    if (v >= 1) return std::min(v, 256);
+    // Strict parse: the earlier std::atoi silently returned 0 for garbage
+    // ("abc"), accepted trailing junk ("4x" -> 4 under strtol semantics
+    // would be wrong too), and treated explicit 0 / negatives as "unset".
+    // Anything that is not a clean positive integer now falls through to
+    // the hardware default; values above the pool cap clamp to 256.
+    char* end = nullptr;
+    errno = 0;
+    const long v = std::strtol(env, &end, 10);
+    const bool clean = end != env && *end == '\0' && errno != ERANGE;
+    if (clean && v >= 1) return static_cast<int>(std::min(v, 256L));
   }
   const unsigned hc = std::thread::hardware_concurrency();
   return hc > 0 ? static_cast<int>(hc) : 1;

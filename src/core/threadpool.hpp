@@ -60,8 +60,10 @@ class ThreadPool {
   std::vector<std::thread> workers_;
 };
 
-/// Lane count the global pool would pick with no override:
-/// NETLLM_THREADS if set (clamped to [1,256]), else hardware_concurrency.
+/// Lane count the global pool would pick with no override: NETLLM_THREADS
+/// if it parses as a clean positive integer (clamped to 256; zero,
+/// negatives, overflow and any trailing junk are rejected and fall through),
+/// else hardware_concurrency. test_core pins the accepted/rejected forms.
 int default_thread_count();
 
 /// Current lane count of the global pool.

@@ -1,9 +1,8 @@
 #include "tensor/kernels.hpp"
 
-#include <algorithm>
-
 #include "core/metrics.hpp"
 #include "core/threadpool.hpp"
+#include "tensor/kernels_dispatch.hpp"
 
 namespace netllm::tensor::kernels {
 
@@ -55,185 +54,77 @@ QmatmulMetrics& qmatmul_metrics() {
 // Minimum output rows per parallel chunk: below this the dispatch overhead
 // beats the win, and the paper-scale models (m <= 128) mostly stay inline.
 constexpr std::int64_t kRowGrain = 8;
-// k-dimension tile for matmul_accum: keeps the active B rows in L1/L2 while
-// a row block of C is accumulated. Tiling over k does not change the order
-// in which any C element receives its additions (p still ascends).
-constexpr std::int64_t kKBlock = 64;
 
-// The range kernels below are the single compiled implementation used by
-// both the serial and the threaded entry points (serial = full range, one
-// thread), so the two cannot diverge even by compiler-vectorisation choices.
-
-void matmul_accum_range(const float* a, const float* b, float* c, std::int64_t r0,
-                        std::int64_t r1, std::int64_t k, std::int64_t n) {
-  for (std::int64_t p0 = 0; p0 < k; p0 += kKBlock) {
-    const std::int64_t p1 = std::min(k, p0 + kKBlock);
-    for (std::int64_t i = r0; i < r1; ++i) {
-      float* crow = c + i * n;
-      for (std::int64_t p = p0; p < p1; ++p) {
-        const float aip = a[i * k + p];
-        if (aip == 0.0f) continue;
-        const float* brow = b + p * n;
-        for (std::int64_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
-      }
-    }
-  }
-}
-
-void matmul_bt_accum_range(const float* a, const float* b, float* c, std::int64_t r0,
-                           std::int64_t r1, std::int64_t k, std::int64_t n) {
-  for (std::int64_t i = r0; i < r1; ++i) {
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float* arow = a + i * k;
-      const float* brow = b + j * k;
-      float acc = 0.0f;
-      for (std::int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      c[i * n + j] += acc;
-    }
-  }
-}
-
-// Parallelised over C's rows (the k dimension): every chunk owns a disjoint
-// row range [p0,p1) of C, and each element still accumulates over i in
-// ascending order — same additions, same order as the serial loop.
-void matmul_at_accum_range(const float* a, const float* b, float* c, std::int64_t m,
-                           std::int64_t p0, std::int64_t p1, std::int64_t k,
-                           std::int64_t n) {
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    const float* brow = b + i * n;
-    for (std::int64_t p = p0; p < p1; ++p) {
-      const float ap = arow[p];
-      if (ap == 0.0f) continue;
-      float* crow = c + p * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += ap * brow[j];
-    }
-  }
-}
-
-// One row chunk of the Q8xQ8 product. Every (i, j) element is produced
-// entirely inside its chunk: int32 dot per block (lane order t ascending),
-// float accumulation over blocks b ascending — the serial and threaded
-// entry points share this single compiled loop, so they cannot diverge.
-void matmul_q8_range(const std::int8_t* aq, const float* ascales, const std::int8_t* bq,
-                     const float* bscales, float* c, std::int64_t r0, std::int64_t r1,
-                     std::int64_t kb, std::int64_t n) {
-  for (std::int64_t i = r0; i < r1; ++i) {
-    const std::int8_t* arow = aq + i * kb * 32;
-    const float* arow_s = ascales + i * kb;
-    float* crow = c + i * n;
-    for (std::int64_t j = 0; j < n; ++j) {
-      const std::int8_t* brow = bq + j * kb * 32;
-      const float* brow_s = bscales + j * kb;
-      float acc = 0.0f;
-      for (std::int64_t b = 0; b < kb; ++b) {
-        const std::int8_t* ab = arow + b * 32;
-        const std::int8_t* bb = brow + b * 32;
-        std::int32_t dot = 0;
-        for (int t = 0; t < 32; ++t) {
-          dot += static_cast<std::int32_t>(ab[t]) * static_cast<std::int32_t>(bb[t]);
-        }
-        acc += arow_s[b] * brow_s[b] * static_cast<float>(dot);
-      }
-      crow[j] += acc;
-    }
-  }
-}
-
-// Q8 activations against packed Q4_0 weights: each weight byte carries two
-// codes (low nibble first), value = code - 8, so the padded code 8 is an
-// exact zero lane.
-void matmul_q4_range(const std::int8_t* aq, const float* ascales, const std::uint8_t* bq,
-                     const float* bscales, float* c, std::int64_t r0, std::int64_t r1,
-                     std::int64_t kb, std::int64_t n) {
-  for (std::int64_t i = r0; i < r1; ++i) {
-    const std::int8_t* arow = aq + i * kb * 32;
-    const float* arow_s = ascales + i * kb;
-    float* crow = c + i * n;
-    for (std::int64_t j = 0; j < n; ++j) {
-      const std::uint8_t* brow = bq + j * kb * 16;
-      const float* brow_s = bscales + j * kb;
-      float acc = 0.0f;
-      for (std::int64_t b = 0; b < kb; ++b) {
-        const std::int8_t* ab = arow + b * 32;
-        const std::uint8_t* bb = brow + b * 16;
-        // Two strided accumulators (even lanes x low nibbles, odd lanes x
-        // high nibbles) vectorize measurably better than a fused
-        // decode-and-interleave dot. Integer addition is associative, so
-        // dlo + dhi is bit-identical to the single-accumulator sum.
-        std::int32_t dlo = 0, dhi = 0;
-        for (int t = 0; t < 16; ++t) {
-          dlo += static_cast<std::int32_t>(ab[2 * t]) *
-                 (static_cast<std::int32_t>(bb[t] & 0x0f) - 8);
-          dhi += static_cast<std::int32_t>(ab[2 * t + 1]) *
-                 (static_cast<std::int32_t>(bb[t] >> 4) - 8);
-        }
-        acc += arow_s[b] * brow_s[b] * static_cast<float>(dlo + dhi);
-      }
-      crow[j] += acc;
-    }
-  }
-}
+// The range kernels live in per-ISA TUs behind the runtime dispatch table
+// (tensor/isa.*, DESIGN.md §16). Both the serial and the threaded entry
+// points resolve the table ONCE per call and hand the same function pointer
+// to every chunk, so a concurrent tier flip cannot split one matmul across
+// tiers — and within a tier, serial and threaded paths still run the same
+// compiled code, so they cannot diverge.
 
 }  // namespace
 
 void matmul_accum_serial(const float* a, const float* b, float* c, std::int64_t m,
                          std::int64_t k, std::int64_t n) {
-  matmul_accum_range(a, b, c, 0, m, k, n);
+  detail::active_table().matmul_accum(a, b, c, 0, m, k, n);
 }
 
 void matmul_bt_accum_serial(const float* a, const float* b, float* c, std::int64_t m,
                             std::int64_t k, std::int64_t n) {
-  matmul_bt_accum_range(a, b, c, 0, m, k, n);
+  detail::active_table().matmul_bt_accum(a, b, c, 0, m, k, n);
 }
 
 void matmul_at_accum_serial(const float* a, const float* b, float* c, std::int64_t m,
                             std::int64_t k, std::int64_t n) {
-  matmul_at_accum_range(a, b, c, m, 0, k, k, n);
+  detail::active_table().matmul_at_accum(a, b, c, m, 0, k, k, n);
 }
 
 void matmul_accum(const float* a, const float* b, float* c, std::int64_t m,
                   std::int64_t k, std::int64_t n) {
   matmul_metrics().account(m, k, n);
+  const auto fn = detail::active_table().matmul_accum;
   core::parallel_for(m, kRowGrain, [=](std::int64_t r0, std::int64_t r1) {
-    matmul_accum_range(a, b, c, r0, r1, k, n);
+    fn(a, b, c, r0, r1, k, n);
   });
 }
 
 void matmul_bt_accum(const float* a, const float* b, float* c, std::int64_t m,
                      std::int64_t k, std::int64_t n) {
   matmul_metrics().account(m, k, n);
+  const auto fn = detail::active_table().matmul_bt_accum;
   core::parallel_for(m, kRowGrain, [=](std::int64_t r0, std::int64_t r1) {
-    matmul_bt_accum_range(a, b, c, r0, r1, k, n);
+    fn(a, b, c, r0, r1, k, n);
   });
 }
 
 void matmul_at_accum(const float* a, const float* b, float* c, std::int64_t m,
                      std::int64_t k, std::int64_t n) {
   matmul_metrics().account(m, k, n);
+  const auto fn = detail::active_table().matmul_at_accum;
   core::parallel_for(k, kRowGrain, [=](std::int64_t p0, std::int64_t p1) {
-    matmul_at_accum_range(a, b, c, m, p0, p1, k, n);
+    fn(a, b, c, m, p0, p1, k, n);
   });
 }
 
 void matmul_q8_accum_serial(const std::int8_t* aq, const float* ascales,
                             const std::int8_t* bq, const float* bscales, float* c,
                             std::int64_t m, std::int64_t kb, std::int64_t n) {
-  matmul_q8_range(aq, ascales, bq, bscales, c, 0, m, kb, n);
+  detail::active_table().matmul_q8(aq, ascales, bq, bscales, c, 0, m, kb, n);
 }
 
 void matmul_q4_accum_serial(const std::int8_t* aq, const float* ascales,
                             const std::uint8_t* bq, const float* bscales, float* c,
                             std::int64_t m, std::int64_t kb, std::int64_t n) {
-  matmul_q4_range(aq, ascales, bq, bscales, c, 0, m, kb, n);
+  detail::active_table().matmul_q4(aq, ascales, bq, bscales, c, 0, m, kb, n);
 }
 
 void matmul_q8_accum(const std::int8_t* aq, const float* ascales, const std::int8_t* bq,
                      const float* bscales, float* c, std::int64_t m, std::int64_t kb,
                      std::int64_t n) {
   qmatmul_metrics().account(m, kb, n, 32);
+  const auto fn = detail::active_table().matmul_q8;
   core::parallel_for(m, kRowGrain, [=](std::int64_t r0, std::int64_t r1) {
-    matmul_q8_range(aq, ascales, bq, bscales, c, r0, r1, kb, n);
+    fn(aq, ascales, bq, bscales, c, r0, r1, kb, n);
   });
 }
 
@@ -241,8 +132,9 @@ void matmul_q4_accum(const std::int8_t* aq, const float* ascales, const std::uin
                      const float* bscales, float* c, std::int64_t m, std::int64_t kb,
                      std::int64_t n) {
   qmatmul_metrics().account(m, kb, n, 16);
+  const auto fn = detail::active_table().matmul_q4;
   core::parallel_for(m, kRowGrain, [=](std::int64_t r0, std::int64_t r1) {
-    matmul_q4_range(aq, ascales, bq, bscales, c, r0, r1, kb, n);
+    fn(aq, ascales, bq, bscales, c, r0, r1, kb, n);
   });
 }
 

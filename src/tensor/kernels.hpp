@@ -2,11 +2,24 @@
 // can cross-check the thread-parallel versions against the serial references
 // on raw buffers (no autograd graph in the way).
 //
+// Every entry point dispatches to the ISA tier selected at runtime by
+// tensor/isa.* (scalar always; AVX2+FMA / NEON when compiled in and the CPU
+// advertises them; NETLLM_ISA forces a tier — DESIGN.md §16).
+//
 // Determinism contract: for every kernel the threaded version partitions the
 // *output* rows into contiguous chunks and, within each output element, adds
-// contributions in exactly the same order as the serial reference. Results
-// are therefore bitwise identical for any thread count and any chunking —
-// not merely within tolerance. test_parallel.cpp enforces this.
+// contributions in exactly the same order as the serial entry point AT THE
+// SAME TIER. Results are therefore bitwise identical for any thread count
+// and any chunking — not merely within tolerance (test_parallel.cpp and
+// test_isa.cpp enforce this per tier). Across tiers the fp32 kernels agree
+// within a pinned tolerance (vector tiers fuse multiplies into FMAs and use
+// wider partial sums); the quantized kernels are bitwise identical across
+// tiers (exact int32 block dots + a fixed float expression order).
+//
+// NaN/Inf semantics: kernels never skip work based on operand values, so a
+// zero activation against a NaN/Inf weight row propagates NaN into C (IEEE
+// 0 * NaN = NaN) and the serve guard's validity check can catch poisoned
+// weights. An earlier zero-skip fast path violated this — see test_isa.cpp.
 #pragma once
 
 #include <cstdint>

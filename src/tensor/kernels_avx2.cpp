@@ -1,0 +1,363 @@
+// AVX2+FMA tier of the matmul range kernels. This TU — and only this TU —
+// is compiled with -mavx2 -mfma (plus -ffp-contract=off like every kernel
+// TU), so the rest of the binary stays portable baseline code and the
+// runtime dispatch table (tensor/isa.*) decides whether these run.
+//
+// Determinism (DESIGN.md §16): each output element's accumulation order is
+// a pure function of (shape, element) — register tiling groups rows/columns,
+// but a row computed in a 4-row block executes exactly the same per-element
+// FMA sequence as one computed alone, so any parallel_for partition of the
+// rows is bitwise identical within this tier.
+//
+// fp32 kernels accumulate in 8-lane FMA registers (j-vectorised: each lane
+// IS one output element for accum/at; k-vectorised partial sums + a fixed
+// pairwise horizontal reduction for bt) — results differ from the scalar
+// tier only by rounding, covered by the pinned cross-tier tolerance.
+//
+// Q8/Q4 kernels compute the int32 block dot exactly (sign-extend to i16,
+// _mm256_madd_epi16, lane sums are associative integer adds) and keep the
+// scalar tier's float expression `acc += d_a * d_b * (float)dot` per block,
+// so their outputs are bitwise IDENTICAL to the scalar tier.
+#if defined(NETLLM_HAVE_AVX2)
+
+#include "tensor/kernels_dispatch.hpp"
+
+#include <immintrin.h>
+
+#include <cmath>
+
+namespace netllm::tensor::kernels::detail {
+
+namespace {
+
+/// Fixed-order horizontal sum: pairwise tree (lo+hi 128, then 2x2, then 1+1).
+inline float hsum8(__m256 v) {
+  __m128 s = _mm_add_ps(_mm256_castps256_ps128(v), _mm256_extractf128_ps(v, 1));
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_add_ss(s, _mm_movehdup_ps(s));
+  return _mm_cvtss_f32(s);
+}
+
+/// Exact int32 sum of 8 lanes (integer adds — any fixed order, same value).
+inline std::int32_t hsum8_i32(__m256i v) {
+  __m128i s = _mm_add_epi32(_mm256_castsi256_si128(v), _mm256_extracti128_si256(v, 1));
+  s = _mm_add_epi32(s, _mm_unpackhi_epi64(s, s));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0x55));
+  return _mm_cvtsi128_si32(s);
+}
+
+// ---- fp32: C[r0:r1, n] += A * B ----
+//
+// Per element c[i][j]: acc starts at 0, gains fma(a[i][p], b[p][j], acc) for
+// p ascending, then c[i][j] += acc. Row quads reuse each B load across four
+// rows; leftover rows run a 4-wide j-block single-row loop — both paths run
+// the identical per-element sequence.
+void matmul_accum_range(const float* a, const float* b, float* c, std::int64_t r0,
+                        std::int64_t r1, std::int64_t k, std::int64_t n) {
+  std::int64_t i = r0;
+  for (; i + 4 <= r1; i += 4) {
+    const float* a0 = a + (i + 0) * k;
+    const float* a1 = a + (i + 1) * k;
+    const float* a2 = a + (i + 2) * k;
+    const float* a3 = a + (i + 3) * k;
+    std::int64_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+      __m256 acc0 = _mm256_setzero_ps(), acc1 = _mm256_setzero_ps();
+      __m256 acc2 = _mm256_setzero_ps(), acc3 = _mm256_setzero_ps();
+      for (std::int64_t p = 0; p < k; ++p) {
+        const __m256 bv = _mm256_loadu_ps(b + p * n + j);
+        acc0 = _mm256_fmadd_ps(_mm256_broadcast_ss(a0 + p), bv, acc0);
+        acc1 = _mm256_fmadd_ps(_mm256_broadcast_ss(a1 + p), bv, acc1);
+        acc2 = _mm256_fmadd_ps(_mm256_broadcast_ss(a2 + p), bv, acc2);
+        acc3 = _mm256_fmadd_ps(_mm256_broadcast_ss(a3 + p), bv, acc3);
+      }
+      float* c0 = c + (i + 0) * n + j;
+      float* c1 = c + (i + 1) * n + j;
+      float* c2 = c + (i + 2) * n + j;
+      float* c3 = c + (i + 3) * n + j;
+      _mm256_storeu_ps(c0, _mm256_add_ps(_mm256_loadu_ps(c0), acc0));
+      _mm256_storeu_ps(c1, _mm256_add_ps(_mm256_loadu_ps(c1), acc1));
+      _mm256_storeu_ps(c2, _mm256_add_ps(_mm256_loadu_ps(c2), acc2));
+      _mm256_storeu_ps(c3, _mm256_add_ps(_mm256_loadu_ps(c3), acc3));
+    }
+    for (; j < n; ++j) {
+      for (int r = 0; r < 4; ++r) {
+        const float* arow = a + (i + r) * k;
+        float acc = 0.0f;
+        for (std::int64_t p = 0; p < k; ++p) acc = std::fma(arow[p], b[p * n + j], acc);
+        c[(i + r) * n + j] += acc;
+      }
+    }
+  }
+  for (; i < r1; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    std::int64_t j = 0;
+    // Single rows (the GEMV shape) interleave eight j-vectors: with no row
+    // reuse to amortise, throughput is FMA-latency-bound, and eight
+    // independent chains (distinct output lanes, so per-element order is
+    // untouched) keep both FMA ports busy.
+    for (; j + 64 <= n; j += 64) {
+      __m256 acc0 = _mm256_setzero_ps(), acc1 = _mm256_setzero_ps();
+      __m256 acc2 = _mm256_setzero_ps(), acc3 = _mm256_setzero_ps();
+      __m256 acc4 = _mm256_setzero_ps(), acc5 = _mm256_setzero_ps();
+      __m256 acc6 = _mm256_setzero_ps(), acc7 = _mm256_setzero_ps();
+      for (std::int64_t p = 0; p < k; ++p) {
+        const __m256 av = _mm256_broadcast_ss(arow + p);
+        const float* brow = b + p * n + j;
+        // The j-block walks B at an n-float stride the hardware prefetcher
+        // does not follow well; fetch the block four rows ahead (reading
+        // past the end of B is a harmless prefetch no-op). No effect on
+        // numerics — prefetch moves cache lines, not values.
+        _mm_prefetch(reinterpret_cast<const char*>(brow + 4 * n), _MM_HINT_T0);
+        _mm_prefetch(reinterpret_cast<const char*>(brow + 4 * n + 16), _MM_HINT_T0);
+        _mm_prefetch(reinterpret_cast<const char*>(brow + 4 * n + 32), _MM_HINT_T0);
+        _mm_prefetch(reinterpret_cast<const char*>(brow + 4 * n + 48), _MM_HINT_T0);
+        acc0 = _mm256_fmadd_ps(av, _mm256_loadu_ps(brow), acc0);
+        acc1 = _mm256_fmadd_ps(av, _mm256_loadu_ps(brow + 8), acc1);
+        acc2 = _mm256_fmadd_ps(av, _mm256_loadu_ps(brow + 16), acc2);
+        acc3 = _mm256_fmadd_ps(av, _mm256_loadu_ps(brow + 24), acc3);
+        acc4 = _mm256_fmadd_ps(av, _mm256_loadu_ps(brow + 32), acc4);
+        acc5 = _mm256_fmadd_ps(av, _mm256_loadu_ps(brow + 40), acc5);
+        acc6 = _mm256_fmadd_ps(av, _mm256_loadu_ps(brow + 48), acc6);
+        acc7 = _mm256_fmadd_ps(av, _mm256_loadu_ps(brow + 56), acc7);
+      }
+      _mm256_storeu_ps(crow + j, _mm256_add_ps(_mm256_loadu_ps(crow + j), acc0));
+      _mm256_storeu_ps(crow + j + 8, _mm256_add_ps(_mm256_loadu_ps(crow + j + 8), acc1));
+      _mm256_storeu_ps(crow + j + 16, _mm256_add_ps(_mm256_loadu_ps(crow + j + 16), acc2));
+      _mm256_storeu_ps(crow + j + 24, _mm256_add_ps(_mm256_loadu_ps(crow + j + 24), acc3));
+      _mm256_storeu_ps(crow + j + 32, _mm256_add_ps(_mm256_loadu_ps(crow + j + 32), acc4));
+      _mm256_storeu_ps(crow + j + 40, _mm256_add_ps(_mm256_loadu_ps(crow + j + 40), acc5));
+      _mm256_storeu_ps(crow + j + 48, _mm256_add_ps(_mm256_loadu_ps(crow + j + 48), acc6));
+      _mm256_storeu_ps(crow + j + 56, _mm256_add_ps(_mm256_loadu_ps(crow + j + 56), acc7));
+    }
+    for (; j + 8 <= n; j += 8) {
+      __m256 acc = _mm256_setzero_ps();
+      for (std::int64_t p = 0; p < k; ++p) {
+        acc = _mm256_fmadd_ps(_mm256_broadcast_ss(arow + p), _mm256_loadu_ps(b + p * n + j),
+                              acc);
+      }
+      _mm256_storeu_ps(crow + j, _mm256_add_ps(_mm256_loadu_ps(crow + j), acc));
+    }
+    for (; j < n; ++j) {
+      float acc = 0.0f;
+      for (std::int64_t p = 0; p < k; ++p) acc = std::fma(arow[p], b[p * n + j], acc);
+      crow[j] += acc;
+    }
+  }
+}
+
+// ---- fp32: C[r0:r1, n] += A * B^T (dot over k per element) ----
+//
+// Per element: four 8-lane FMA partial sums over k (lane l accumulates
+// p ≡ l mod 32's quarter), combined (acc0+acc1)+(acc2+acc3), fixed pairwise
+// hsum, scalar-fma tail — one fixed order per (k, element), partition-free.
+void matmul_bt_accum_range(const float* a, const float* b, float* c, std::int64_t r0,
+                           std::int64_t r1, std::int64_t k, std::int64_t n) {
+  for (std::int64_t i = r0; i < r1; ++i) {
+    const float* arow = a + i * k;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      __m256 acc0 = _mm256_setzero_ps(), acc1 = _mm256_setzero_ps();
+      __m256 acc2 = _mm256_setzero_ps(), acc3 = _mm256_setzero_ps();
+      std::int64_t p = 0;
+      for (; p + 32 <= k; p += 32) {
+        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(arow + p), _mm256_loadu_ps(brow + p), acc0);
+        acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(arow + p + 8), _mm256_loadu_ps(brow + p + 8),
+                               acc1);
+        acc2 = _mm256_fmadd_ps(_mm256_loadu_ps(arow + p + 16),
+                               _mm256_loadu_ps(brow + p + 16), acc2);
+        acc3 = _mm256_fmadd_ps(_mm256_loadu_ps(arow + p + 24),
+                               _mm256_loadu_ps(brow + p + 24), acc3);
+      }
+      for (; p + 8 <= k; p += 8) {
+        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(arow + p), _mm256_loadu_ps(brow + p), acc0);
+      }
+      float acc = hsum8(_mm256_add_ps(_mm256_add_ps(acc0, acc1), _mm256_add_ps(acc2, acc3)));
+      for (; p < k; ++p) acc = std::fma(arow[p], brow[p], acc);
+      c[i * n + j] += acc;
+    }
+  }
+}
+
+// ---- fp32: C[p0:p1, n] += A^T * B ----
+//
+// Per element c[p][j]: fma(a[i][p], b[i][j], acc) for i ascending; four
+// j-vectors share each strided a broadcast.
+void matmul_at_accum_range(const float* a, const float* b, float* c, std::int64_t m,
+                           std::int64_t p0, std::int64_t p1, std::int64_t k,
+                           std::int64_t n) {
+  for (std::int64_t p = p0; p < p1; ++p) {
+    float* crow = c + p * n;
+    std::int64_t j = 0;
+    for (; j + 32 <= n; j += 32) {
+      __m256 acc0 = _mm256_setzero_ps(), acc1 = _mm256_setzero_ps();
+      __m256 acc2 = _mm256_setzero_ps(), acc3 = _mm256_setzero_ps();
+      for (std::int64_t i = 0; i < m; ++i) {
+        const __m256 av = _mm256_broadcast_ss(a + i * k + p);
+        const float* brow = b + i * n + j;
+        acc0 = _mm256_fmadd_ps(av, _mm256_loadu_ps(brow), acc0);
+        acc1 = _mm256_fmadd_ps(av, _mm256_loadu_ps(brow + 8), acc1);
+        acc2 = _mm256_fmadd_ps(av, _mm256_loadu_ps(brow + 16), acc2);
+        acc3 = _mm256_fmadd_ps(av, _mm256_loadu_ps(brow + 24), acc3);
+      }
+      _mm256_storeu_ps(crow + j, _mm256_add_ps(_mm256_loadu_ps(crow + j), acc0));
+      _mm256_storeu_ps(crow + j + 8, _mm256_add_ps(_mm256_loadu_ps(crow + j + 8), acc1));
+      _mm256_storeu_ps(crow + j + 16, _mm256_add_ps(_mm256_loadu_ps(crow + j + 16), acc2));
+      _mm256_storeu_ps(crow + j + 24, _mm256_add_ps(_mm256_loadu_ps(crow + j + 24), acc3));
+    }
+    for (; j + 8 <= n; j += 8) {
+      __m256 acc = _mm256_setzero_ps();
+      for (std::int64_t i = 0; i < m; ++i) {
+        acc = _mm256_fmadd_ps(_mm256_broadcast_ss(a + i * k + p),
+                              _mm256_loadu_ps(b + i * n + j), acc);
+      }
+      _mm256_storeu_ps(crow + j, _mm256_add_ps(_mm256_loadu_ps(crow + j), acc));
+    }
+    for (; j < n; ++j) {
+      float acc = 0.0f;
+      for (std::int64_t i = 0; i < m; ++i) acc = std::fma(a[i * k + p], b[i * n + j], acc);
+      crow[j] += acc;
+    }
+  }
+}
+
+// ---- quantized block dots ----
+//
+// Exact int32 dot of 32 signed int8 lanes: widen each 16-byte half to i16,
+// _mm256_madd_epi16 (pairs of i16 products summed into i32 — max magnitude
+// 2*128*128 fits easily), add the halves, horizontal-sum. Matches the
+// scalar loop's value exactly, so the per-block float accumulation below is
+// bitwise the scalar tier.
+inline std::int32_t dot32_i8(const std::int8_t* x, const std::int8_t* y) {
+  const __m256i wx0 = _mm256_cvtepi8_epi16(_mm_loadu_si128((const __m128i*)(x)));
+  const __m256i wx1 = _mm256_cvtepi8_epi16(_mm_loadu_si128((const __m128i*)(x + 16)));
+  const __m256i wy0 = _mm256_cvtepi8_epi16(_mm_loadu_si128((const __m128i*)(y)));
+  const __m256i wy1 = _mm256_cvtepi8_epi16(_mm_loadu_si128((const __m128i*)(y + 16)));
+  const __m256i s =
+      _mm256_add_epi32(_mm256_madd_epi16(wx0, wy0), _mm256_madd_epi16(wx1, wy1));
+  return hsum8_i32(s);
+}
+
+/// Decode one packed Q4_0 block (16 bytes -> 32 values, lo nibble first,
+/// value = code - 8) into interleaved int8 lanes matching the activation
+/// layout, then run the exact i8 dot.
+inline std::int32_t dot32_q4(const std::int8_t* x, const std::uint8_t* packed) {
+  const __m128i raw = _mm_loadu_si128((const __m128i*)(packed));
+  const __m128i lo_mask = _mm_set1_epi8(0x0f);
+  const __m128i off = _mm_set1_epi8(8);
+  const __m128i lo = _mm_sub_epi8(_mm_and_si128(raw, lo_mask), off);
+  const __m128i hi = _mm_sub_epi8(_mm_and_si128(_mm_srli_epi16(raw, 4), lo_mask), off);
+  // Interleave lo/hi nibbles back to source order: value t lives at lane t.
+  const __m128i w0 = _mm_unpacklo_epi8(lo, hi);
+  const __m128i w1 = _mm_unpackhi_epi8(lo, hi);
+  const __m256i wx0 = _mm256_cvtepi8_epi16(_mm_loadu_si128((const __m128i*)(x)));
+  const __m256i wx1 = _mm256_cvtepi8_epi16(_mm_loadu_si128((const __m128i*)(x + 16)));
+  const __m256i wy0 = _mm256_cvtepi8_epi16(w0);
+  const __m256i wy1 = _mm256_cvtepi8_epi16(w1);
+  const __m256i s =
+      _mm256_add_epi32(_mm256_madd_epi16(wx0, wy0), _mm256_madd_epi16(wx1, wy1));
+  return hsum8_i32(s);
+}
+
+// Four output columns share each activation row; the per-(i,j) float
+// accumulation over blocks is the scalar expression verbatim.
+void matmul_q8_range(const std::int8_t* aq, const float* ascales, const std::int8_t* bq,
+                     const float* bscales, float* c, std::int64_t r0, std::int64_t r1,
+                     std::int64_t kb, std::int64_t n) {
+  for (std::int64_t i = r0; i < r1; ++i) {
+    const std::int8_t* arow = aq + i * kb * 32;
+    const float* arow_s = ascales + i * kb;
+    float* crow = c + i * n;
+    std::int64_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+      const std::int8_t* b0 = bq + (j + 0) * kb * 32;
+      const std::int8_t* b1 = bq + (j + 1) * kb * 32;
+      const std::int8_t* b2 = bq + (j + 2) * kb * 32;
+      const std::int8_t* b3 = bq + (j + 3) * kb * 32;
+      const float* s0 = bscales + (j + 0) * kb;
+      const float* s1 = bscales + (j + 1) * kb;
+      const float* s2 = bscales + (j + 2) * kb;
+      const float* s3 = bscales + (j + 3) * kb;
+      for (std::int64_t b = 0; b < kb; ++b) {
+        const std::int8_t* ab = arow + b * 32;
+        const float as = arow_s[b];
+        acc0 += as * s0[b] * static_cast<float>(dot32_i8(ab, b0 + b * 32));
+        acc1 += as * s1[b] * static_cast<float>(dot32_i8(ab, b1 + b * 32));
+        acc2 += as * s2[b] * static_cast<float>(dot32_i8(ab, b2 + b * 32));
+        acc3 += as * s3[b] * static_cast<float>(dot32_i8(ab, b3 + b * 32));
+      }
+      crow[j + 0] += acc0;
+      crow[j + 1] += acc1;
+      crow[j + 2] += acc2;
+      crow[j + 3] += acc3;
+    }
+    for (; j < n; ++j) {
+      const std::int8_t* brow = bq + j * kb * 32;
+      const float* brow_s = bscales + j * kb;
+      float acc = 0.0f;
+      for (std::int64_t b = 0; b < kb; ++b) {
+        acc += arow_s[b] * brow_s[b] * static_cast<float>(dot32_i8(arow + b * 32, brow + b * 32));
+      }
+      crow[j] += acc;
+    }
+  }
+}
+
+void matmul_q4_range(const std::int8_t* aq, const float* ascales, const std::uint8_t* bq,
+                     const float* bscales, float* c, std::int64_t r0, std::int64_t r1,
+                     std::int64_t kb, std::int64_t n) {
+  for (std::int64_t i = r0; i < r1; ++i) {
+    const std::int8_t* arow = aq + i * kb * 32;
+    const float* arow_s = ascales + i * kb;
+    float* crow = c + i * n;
+    std::int64_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+      const std::uint8_t* b0 = bq + (j + 0) * kb * 16;
+      const std::uint8_t* b1 = bq + (j + 1) * kb * 16;
+      const std::uint8_t* b2 = bq + (j + 2) * kb * 16;
+      const std::uint8_t* b3 = bq + (j + 3) * kb * 16;
+      const float* s0 = bscales + (j + 0) * kb;
+      const float* s1 = bscales + (j + 1) * kb;
+      const float* s2 = bscales + (j + 2) * kb;
+      const float* s3 = bscales + (j + 3) * kb;
+      for (std::int64_t b = 0; b < kb; ++b) {
+        const std::int8_t* ab = arow + b * 32;
+        const float as = arow_s[b];
+        acc0 += as * s0[b] * static_cast<float>(dot32_q4(ab, b0 + b * 16));
+        acc1 += as * s1[b] * static_cast<float>(dot32_q4(ab, b1 + b * 16));
+        acc2 += as * s2[b] * static_cast<float>(dot32_q4(ab, b2 + b * 16));
+        acc3 += as * s3[b] * static_cast<float>(dot32_q4(ab, b3 + b * 16));
+      }
+      crow[j + 0] += acc0;
+      crow[j + 1] += acc1;
+      crow[j + 2] += acc2;
+      crow[j + 3] += acc3;
+    }
+    for (; j < n; ++j) {
+      const std::uint8_t* brow = bq + j * kb * 16;
+      const float* brow_s = bscales + j * kb;
+      float acc = 0.0f;
+      for (std::int64_t b = 0; b < kb; ++b) {
+        acc += arow_s[b] * brow_s[b] * static_cast<float>(dot32_q4(arow + b * 32, brow + b * 16));
+      }
+      crow[j] += acc;
+    }
+  }
+}
+
+}  // namespace
+
+const KernelTable& avx2_table() {
+  static const KernelTable table{
+      &matmul_accum_range, &matmul_bt_accum_range, &matmul_at_accum_range,
+      &matmul_q8_range,    &matmul_q4_range,
+  };
+  return table;
+}
+
+}  // namespace netllm::tensor::kernels::detail
+
+#endif  // NETLLM_HAVE_AVX2

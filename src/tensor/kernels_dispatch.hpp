@@ -1,0 +1,66 @@
+// Internal dispatch table between the public matmul entry points
+// (tensor/kernels.cpp) and the per-ISA range-kernel TUs (kernels_scalar.cpp,
+// kernels_avx2.cpp, kernels_neon.cpp). Not installed API — tests and callers
+// go through tensor/kernels.hpp and tensor/isa.hpp.
+//
+// Every function here is a *range* kernel: it computes a contiguous slice of
+// the output and is what core::parallel_for chunks over. The contract each
+// tier must honour (DESIGN.md §16): for a fixed tier, every output element's
+// accumulation order is a pure function of (shape, element) — never of the
+// [r0, r1) range it happens to be computed in — so any thread partition of
+// the rows yields bitwise identical results within that tier.
+#pragma once
+
+#include <cstdint>
+
+namespace netllm::tensor::kernels::detail {
+
+/// C[r0:r1, n] += A[r0:r1, k] * B[k, n]   (rows of C)
+using MatmulRangeFn = void (*)(const float* a, const float* b, float* c,
+                               std::int64_t r0, std::int64_t r1, std::int64_t k,
+                               std::int64_t n);
+/// C[r0:r1, n] += A[r0:r1, k] * B^T, B is [n, k]   (rows of C)
+using MatmulBtRangeFn = void (*)(const float* a, const float* b, float* c,
+                                 std::int64_t r0, std::int64_t r1, std::int64_t k,
+                                 std::int64_t n);
+/// C[p0:p1, n] += (A^T B)[p0:p1, :], A is [m, k], B is [m, n]   (rows of C = k dim)
+using MatmulAtRangeFn = void (*)(const float* a, const float* b, float* c,
+                                 std::int64_t m, std::int64_t p0, std::int64_t p1,
+                                 std::int64_t k, std::int64_t n);
+/// Q8_0 x Q8_0 rows [r0, r1) of C[m, n] (kb 32-wide blocks per row).
+using MatmulQ8RangeFn = void (*)(const std::int8_t* aq, const float* ascales,
+                                 const std::int8_t* bq, const float* bscales, float* c,
+                                 std::int64_t r0, std::int64_t r1, std::int64_t kb,
+                                 std::int64_t n);
+/// Q8_0 x Q4_0 rows [r0, r1) of C[m, n].
+using MatmulQ4RangeFn = void (*)(const std::int8_t* aq, const float* ascales,
+                                 const std::uint8_t* bq, const float* bscales, float* c,
+                                 std::int64_t r0, std::int64_t r1, std::int64_t kb,
+                                 std::int64_t n);
+
+struct KernelTable {
+  MatmulRangeFn matmul_accum = nullptr;
+  MatmulBtRangeFn matmul_bt_accum = nullptr;
+  MatmulAtRangeFn matmul_at_accum = nullptr;
+  MatmulQ8RangeFn matmul_q8 = nullptr;
+  MatmulQ4RangeFn matmul_q4 = nullptr;
+};
+
+/// Portable baseline tier — always compiled, the pre-dispatch kernels.
+const KernelTable& scalar_table();
+
+#if defined(NETLLM_HAVE_AVX2)
+/// AVX2+FMA tier (kernels_avx2.cpp, built with -mavx2 -mfma on this TU only).
+const KernelTable& avx2_table();
+#endif
+
+#if defined(NETLLM_HAVE_NEON)
+/// NEON tier (kernels_neon.cpp, aarch64 builds only).
+const KernelTable& neon_table();
+#endif
+
+/// Table for the currently active tier. First call resolves NETLLM_ISA via
+/// isa::active_isa(). Defined in isa.cpp.
+const KernelTable& active_table();
+
+}  // namespace netllm::tensor::kernels::detail

@@ -1,0 +1,144 @@
+// Scalar (portable-baseline) tier of the matmul range kernels — the single
+// compiled implementation every build carries, and the reference the vector
+// tiers are tested against. Built with the project's portable flags only
+// (no -march): forcing NETLLM_ISA=scalar on any host runs exactly this code.
+//
+// NaN/Inf propagation is part of the contract: there is deliberately NO
+// zero-skip fast path on the activation value. `0 * NaN` must produce NaN in
+// C so the serve guard's validity check can see a poisoned weight row even
+// when the activation that hits it is zero (tests/test_isa.cpp pins this —
+// an earlier `if (aip == 0.0f) continue;` silently swallowed the poison).
+#include "tensor/kernels_dispatch.hpp"
+
+#include <algorithm>
+
+namespace netllm::tensor::kernels::detail {
+
+namespace {
+
+// k-dimension tile: keeps the active B rows in L1/L2 while a row block of C
+// is accumulated. Tiling over k does not change the order in which any C
+// element receives its additions (p still ascends).
+constexpr std::int64_t kKBlock = 64;
+
+void matmul_accum_range(const float* a, const float* b, float* c, std::int64_t r0,
+                        std::int64_t r1, std::int64_t k, std::int64_t n) {
+  for (std::int64_t p0 = 0; p0 < k; p0 += kKBlock) {
+    const std::int64_t p1 = std::min(k, p0 + kKBlock);
+    for (std::int64_t i = r0; i < r1; ++i) {
+      float* crow = c + i * n;
+      for (std::int64_t p = p0; p < p1; ++p) {
+        const float aip = a[i * k + p];
+        const float* brow = b + p * n;
+        for (std::int64_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
+      }
+    }
+  }
+}
+
+void matmul_bt_accum_range(const float* a, const float* b, float* c, std::int64_t r0,
+                           std::int64_t r1, std::int64_t k, std::int64_t n) {
+  for (std::int64_t i = r0; i < r1; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* arow = a + i * k;
+      const float* brow = b + j * k;
+      float acc = 0.0f;
+      for (std::int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      c[i * n + j] += acc;
+    }
+  }
+}
+
+// Parallelised over C's rows (the k dimension): every chunk owns a disjoint
+// row range [p0,p1) of C, and each element still accumulates over i in
+// ascending order — same additions, same order as the serial loop.
+void matmul_at_accum_range(const float* a, const float* b, float* c, std::int64_t m,
+                           std::int64_t p0, std::int64_t p1, std::int64_t k,
+                           std::int64_t n) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    const float* brow = b + i * n;
+    for (std::int64_t p = p0; p < p1; ++p) {
+      const float ap = arow[p];
+      float* crow = c + p * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += ap * brow[j];
+    }
+  }
+}
+
+// One row chunk of the Q8xQ8 product. Every (i, j) element is produced
+// entirely inside its chunk: int32 dot per block (lane order t ascending),
+// float accumulation over blocks b ascending. The int dot is exact integer
+// arithmetic and the float expression order is fixed (fp-contract is off on
+// every kernel TU), so the vector tiers reproduce these bits exactly.
+void matmul_q8_range(const std::int8_t* aq, const float* ascales, const std::int8_t* bq,
+                     const float* bscales, float* c, std::int64_t r0, std::int64_t r1,
+                     std::int64_t kb, std::int64_t n) {
+  for (std::int64_t i = r0; i < r1; ++i) {
+    const std::int8_t* arow = aq + i * kb * 32;
+    const float* arow_s = ascales + i * kb;
+    float* crow = c + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const std::int8_t* brow = bq + j * kb * 32;
+      const float* brow_s = bscales + j * kb;
+      float acc = 0.0f;
+      for (std::int64_t b = 0; b < kb; ++b) {
+        const std::int8_t* ab = arow + b * 32;
+        const std::int8_t* bb = brow + b * 32;
+        std::int32_t dot = 0;
+        for (int t = 0; t < 32; ++t) {
+          dot += static_cast<std::int32_t>(ab[t]) * static_cast<std::int32_t>(bb[t]);
+        }
+        acc += arow_s[b] * brow_s[b] * static_cast<float>(dot);
+      }
+      crow[j] += acc;
+    }
+  }
+}
+
+// Q8 activations against packed Q4_0 weights: each weight byte carries two
+// codes (low nibble first), value = code - 8, so the padded code 8 is an
+// exact zero lane.
+void matmul_q4_range(const std::int8_t* aq, const float* ascales, const std::uint8_t* bq,
+                     const float* bscales, float* c, std::int64_t r0, std::int64_t r1,
+                     std::int64_t kb, std::int64_t n) {
+  for (std::int64_t i = r0; i < r1; ++i) {
+    const std::int8_t* arow = aq + i * kb * 32;
+    const float* arow_s = ascales + i * kb;
+    float* crow = c + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const std::uint8_t* brow = bq + j * kb * 16;
+      const float* brow_s = bscales + j * kb;
+      float acc = 0.0f;
+      for (std::int64_t b = 0; b < kb; ++b) {
+        const std::int8_t* ab = arow + b * 32;
+        const std::uint8_t* bb = brow + b * 16;
+        // Two strided accumulators (even lanes x low nibbles, odd lanes x
+        // high nibbles) vectorize measurably better than a fused
+        // decode-and-interleave dot. Integer addition is associative, so
+        // dlo + dhi is bit-identical to the single-accumulator sum.
+        std::int32_t dlo = 0, dhi = 0;
+        for (int t = 0; t < 16; ++t) {
+          dlo += static_cast<std::int32_t>(ab[2 * t]) *
+                 (static_cast<std::int32_t>(bb[t] & 0x0f) - 8);
+          dhi += static_cast<std::int32_t>(ab[2 * t + 1]) *
+                 (static_cast<std::int32_t>(bb[t] >> 4) - 8);
+        }
+        acc += arow_s[b] * brow_s[b] * static_cast<float>(dlo + dhi);
+      }
+      crow[j] += acc;
+    }
+  }
+}
+
+}  // namespace
+
+const KernelTable& scalar_table() {
+  static const KernelTable table{
+      &matmul_accum_range, &matmul_bt_accum_range, &matmul_at_accum_range,
+      &matmul_q8_range,    &matmul_q4_range,
+  };
+  return table;
+}
+
+}  // namespace netllm::tensor::kernels::detail

@@ -5,7 +5,9 @@
 #include <chrono>
 #include <cmath>
 #include <csignal>
+#include <cstdlib>
 #include <fstream>
+#include <optional>
 #include <regex>
 #include <set>
 #include <sstream>
@@ -13,6 +15,7 @@
 #include <thread>
 
 #include "core/fault.hpp"
+#include "core/threadpool.hpp"
 #include "core/rng.hpp"
 #include "core/signal.hpp"
 #include "core/stats.hpp"
@@ -323,4 +326,101 @@ TEST(Fault, SitesEnumerationMatchesDesignDoc) {
   // Both directions: every documented site must exist in the registry, and
   // every registered site must be documented.
   EXPECT_EQ(doc_sites, code_sites);
+}
+
+// ---- NETLLM_THREADS parsing (PR 10 bugfix: the old atoi silently treated
+// garbage and explicit zero as "unset-ish" values) ----
+
+namespace {
+
+/// Sets an env var for one test and restores the previous value on exit.
+class EnvVarGuard {
+ public:
+  EnvVarGuard(const char* name, const char* value) : name_(name) {
+    if (const char* prev = std::getenv(name)) saved_ = prev;
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~EnvVarGuard() {
+    if (saved_.has_value()) {
+      ::setenv(name_, saved_->c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::optional<std::string> saved_;
+};
+
+int hardware_default() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc > 0 ? static_cast<int>(hc) : 1;
+}
+
+}  // namespace
+
+TEST(ThreadCount, CleanPositiveIntegerIsAccepted) {
+  EnvVarGuard guard("NETLLM_THREADS", "4");
+  EXPECT_EQ(nc::default_thread_count(), 4);
+}
+
+TEST(ThreadCount, OneIsAccepted) {
+  EnvVarGuard guard("NETLLM_THREADS", "1");
+  EXPECT_EQ(nc::default_thread_count(), 1);
+}
+
+TEST(ThreadCount, UnsetFallsThroughToHardware) {
+  EnvVarGuard guard("NETLLM_THREADS", nullptr);
+  EXPECT_EQ(nc::default_thread_count(), hardware_default());
+}
+
+TEST(ThreadCount, ZeroIsRejected) {
+  // Explicit 0 means "you asked for no lanes" — not a valid pool size, so it
+  // falls through rather than silently behaving like unset via atoi's 0.
+  EnvVarGuard guard("NETLLM_THREADS", "0");
+  EXPECT_EQ(nc::default_thread_count(), hardware_default());
+}
+
+TEST(ThreadCount, NegativeIsRejected) {
+  EnvVarGuard guard("NETLLM_THREADS", "-2");
+  EXPECT_EQ(nc::default_thread_count(), hardware_default());
+}
+
+TEST(ThreadCount, GarbageIsRejected) {
+  // atoi("abc") == 0 used to slip through as the "unset" behaviour by luck;
+  // the strict parse rejects it explicitly.
+  EnvVarGuard guard("NETLLM_THREADS", "abc");
+  EXPECT_EQ(nc::default_thread_count(), hardware_default());
+}
+
+TEST(ThreadCount, TrailingJunkIsRejected) {
+  // strtol would stop at "4" and yield 4 — a typo like "4x" must not half
+  // parse; the whole token has to be a number.
+  EnvVarGuard guard("NETLLM_THREADS", "4abc");
+  EXPECT_EQ(nc::default_thread_count(), hardware_default());
+}
+
+TEST(ThreadCount, EmptyStringIsRejected) {
+  EnvVarGuard guard("NETLLM_THREADS", "");
+  EXPECT_EQ(nc::default_thread_count(), hardware_default());
+}
+
+TEST(ThreadCount, WhitespaceOnlyIsRejected) {
+  EnvVarGuard guard("NETLLM_THREADS", "  ");
+  EXPECT_EQ(nc::default_thread_count(), hardware_default());
+}
+
+TEST(ThreadCount, HugeValueClampsToPoolCap) {
+  EnvVarGuard guard("NETLLM_THREADS", "300");
+  EXPECT_EQ(nc::default_thread_count(), 256);
+}
+
+TEST(ThreadCount, OverflowIsRejected) {
+  EnvVarGuard guard("NETLLM_THREADS", "99999999999999999999");
+  EXPECT_EQ(nc::default_thread_count(), hardware_default());
 }

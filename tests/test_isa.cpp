@@ -1,0 +1,516 @@
+// ISA microkernel tier suite (DESIGN.md §16, ctest -L isa):
+//   - dispatch plumbing: names, env override, unsupported-tier fallback,
+//     metrics gauge export;
+//   - per-tier determinism: every kernel bitwise identical at any thread
+//     count within a tier (serial vs threads 1/2/8);
+//   - forced NETLLM_ISA=scalar bitwise reproduces an inline re-statement of
+//     the portable scalar loops (the pre-dispatch kernels);
+//   - cross-tier contract: fp32 within a pinned tolerance, Q8/Q4 bitwise
+//     identical between scalar and the vector tier;
+//   - NaN/Inf propagation (PR 10 bugfix): a zero activation against a
+//     NaN-poisoned weight row must reach C — the old `aip == 0.0f` skip
+//     swallowed the poison before the serve guard could see it;
+//   - whole-decode-stream determinism per tier.
+// Built to run under -DNETLLM_SANITIZE=thread as well.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/rng.hpp"
+#include "core/threadpool.hpp"
+#include "envs/vp/dataset.hpp"
+#include "llm/minigpt.hpp"
+#include "llm/tokenizer.hpp"
+#include "netllm/guarded.hpp"
+#include "tensor/isa.hpp"
+#include "tensor/kernels.hpp"
+#include "tensor/quants.hpp"
+
+namespace nc = netllm::core;
+namespace nk = netllm::tensor::kernels;
+namespace nq = netllm::tensor::quant;
+namespace isa = netllm::tensor::isa;
+namespace nl = netllm::llm;
+namespace ad = netllm::adapt;
+namespace vp = netllm::vp;
+using netllm::core::Rng;
+
+namespace {
+
+constexpr float kNaN = std::numeric_limits<float>::quiet_NaN();
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+/// Restores the default pool size AND the env-resolved ISA tier on exit, so
+/// tests that force tiers or thread counts cannot leak into each other.
+struct TierGuard {
+  ~TierGuard() {
+    nc::set_global_threads(0);
+    isa::reset_active_isa();
+  }
+};
+
+/// Sets an env var for one test and restores the previous value on exit.
+class EnvVarGuard {
+ public:
+  EnvVarGuard(const char* name, const char* value) : name_(name) {
+    if (const char* prev = std::getenv(name)) saved_ = prev;
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~EnvVarGuard() {
+    if (saved_.has_value()) {
+      ::setenv(name_, saved_->c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::optional<std::string> saved_;
+};
+
+std::vector<float> random_vec(std::int64_t n, Rng& rng) {
+  std::vector<float> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = static_cast<float>(rng.gaussian(0.0, 1.0));
+  return v;
+}
+
+/// The tiers this binary can actually execute on this host: scalar always,
+/// plus the best vector tier when there is one.
+std::vector<isa::Isa> supported_tiers() {
+  std::vector<isa::Isa> tiers = {isa::Isa::kScalar};
+  if (isa::best_isa() != isa::Isa::kScalar) tiers.push_back(isa::best_isa());
+  return tiers;
+}
+
+bool bitwise_equal(const std::vector<float>& a, const std::vector<float>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+struct QuantOperands {
+  std::int64_t kb = 0;
+  std::vector<std::int8_t> aq;
+  std::vector<float> ascales;
+  nq::QTensor w8, w4;
+};
+
+QuantOperands quant_operands(const std::vector<float>& x, const std::vector<float>& w,
+                             std::int64_t m, std::int64_t k, std::int64_t n) {
+  QuantOperands q;
+  q.kb = nq::blocks_per_row(k);
+  q.aq.resize(static_cast<std::size_t>(m * q.kb * nq::kBlock));
+  q.ascales.resize(static_cast<std::size_t>(m * q.kb));
+  for (std::int64_t i = 0; i < m; ++i) {
+    nq::quantize_row(nq::Dtype::kQ8_0, x.data() + i * k, k, q.ascales.data() + i * q.kb,
+                     reinterpret_cast<std::uint8_t*>(q.aq.data()) + i * q.kb * nq::kBlock);
+  }
+  q.w8 = nq::quantize(nq::Dtype::kQ8_0, w.data(), n, k);
+  q.w4 = nq::quantize(nq::Dtype::kQ4_0, w.data(), n, k);
+  return q;
+}
+
+/// All five kernel outputs for one (tier, thread-count) combination.
+struct KernelRun {
+  std::vector<float> c, cbt, cat, c8, c4;
+};
+
+KernelRun run_all_kernels(const std::vector<float>& a, const std::vector<float>& b,
+                          const std::vector<float>& bt, const std::vector<float>& bm,
+                          const QuantOperands& q, std::int64_t m, std::int64_t k,
+                          std::int64_t n, int threads) {
+  KernelRun r;
+  r.c.assign(static_cast<std::size_t>(m * n), 0.0f);
+  r.cbt.assign(static_cast<std::size_t>(m * n), 0.0f);
+  r.cat.assign(static_cast<std::size_t>(k * n), 0.0f);
+  r.c8.assign(static_cast<std::size_t>(m * n), 0.0f);
+  r.c4.assign(static_cast<std::size_t>(m * n), 0.0f);
+  if (threads <= 0) {
+    nk::matmul_accum_serial(a.data(), b.data(), r.c.data(), m, k, n);
+    nk::matmul_bt_accum_serial(a.data(), bt.data(), r.cbt.data(), m, k, n);
+    nk::matmul_at_accum_serial(a.data(), bm.data(), r.cat.data(), m, k, n);
+    nk::matmul_q8_accum_serial(q.aq.data(), q.ascales.data(),
+                               reinterpret_cast<const std::int8_t*>(q.w8.codes.data()),
+                               q.w8.scales.data(), r.c8.data(), m, q.kb, n);
+    nk::matmul_q4_accum_serial(q.aq.data(), q.ascales.data(), q.w4.codes.data(),
+                               q.w4.scales.data(), r.c4.data(), m, q.kb, n);
+  } else {
+    nc::set_global_threads(threads);
+    nk::matmul_accum(a.data(), b.data(), r.c.data(), m, k, n);
+    nk::matmul_bt_accum(a.data(), bt.data(), r.cbt.data(), m, k, n);
+    nk::matmul_at_accum(a.data(), bm.data(), r.cat.data(), m, k, n);
+    nk::matmul_q8_accum(q.aq.data(), q.ascales.data(),
+                        reinterpret_cast<const std::int8_t*>(q.w8.codes.data()),
+                        q.w8.scales.data(), r.c8.data(), m, q.kb, n);
+    nk::matmul_q4_accum(q.aq.data(), q.ascales.data(), q.w4.codes.data(),
+                        q.w4.scales.data(), r.c4.data(), m, q.kb, n);
+  }
+  return r;
+}
+
+}  // namespace
+
+// ---- dispatch plumbing ----
+
+TEST(IsaDispatch, NamesRoundTripAndGarbageThrows) {
+  for (auto t : {isa::Isa::kScalar, isa::Isa::kAvx2, isa::Isa::kNeon}) {
+    EXPECT_EQ(isa::isa_from_name(isa::isa_name(t)), t);
+  }
+  EXPECT_THROW(isa::isa_from_name("avx512"), std::invalid_argument);
+  EXPECT_THROW(isa::isa_from_name(""), std::invalid_argument);
+  EXPECT_THROW(isa::isa_from_name("Scalar"), std::invalid_argument);
+  // "auto" is an env-level directive, not a tier name.
+  EXPECT_THROW(isa::isa_from_name("auto"), std::invalid_argument);
+}
+
+TEST(IsaDispatch, ScalarAlwaysPresentAndBestIsSupported) {
+  EXPECT_TRUE(isa::isa_compiled(isa::Isa::kScalar));
+  EXPECT_TRUE(isa::isa_supported(isa::Isa::kScalar));
+  EXPECT_TRUE(isa::isa_supported(isa::best_isa()));
+  EXPECT_TRUE(isa::isa_supported(isa::active_isa()));
+}
+
+TEST(IsaDispatch, UnsupportedTierRequestFallsBackToScalar) {
+  TierGuard guard;
+  // At most one vector tier is compiled per architecture, so the other
+  // architecture's tier is always a valid-but-unsupported request.
+  for (auto t : {isa::Isa::kAvx2, isa::Isa::kNeon}) {
+    if (isa::isa_supported(t)) continue;
+    EXPECT_EQ(isa::set_active_isa(t), isa::Isa::kScalar) << isa::isa_name(t);
+    EXPECT_EQ(isa::active_isa(), isa::Isa::kScalar);
+  }
+}
+
+TEST(IsaDispatch, EnvOverrideResolvesOnReset) {
+  TierGuard guard;
+  {
+    EnvVarGuard env("NETLLM_ISA", "scalar");
+    EXPECT_EQ(isa::reset_active_isa(), isa::Isa::kScalar);
+    EXPECT_EQ(isa::active_isa(), isa::Isa::kScalar);
+  }
+  {
+    EnvVarGuard env("NETLLM_ISA", "auto");
+    EXPECT_EQ(isa::reset_active_isa(), isa::best_isa());
+  }
+  {
+    EnvVarGuard env("NETLLM_ISA", nullptr);
+    EXPECT_EQ(isa::reset_active_isa(), isa::best_isa());
+  }
+  {
+    // A valid-but-uncompiled tier name falls back to scalar, silently: the
+    // dispatch decides, the caller's config stays portable across hosts.
+    const auto other =
+        isa::isa_supported(isa::Isa::kAvx2) ? isa::Isa::kNeon : isa::Isa::kAvx2;
+    EnvVarGuard env("NETLLM_ISA", isa::isa_name(other));
+    EXPECT_EQ(isa::reset_active_isa(), isa::Isa::kScalar);
+  }
+}
+
+TEST(IsaDispatch, GarbageEnvThrowsWithoutChangingTier) {
+  TierGuard guard;
+  isa::set_active_isa(isa::best_isa());
+  const auto before = isa::active_isa();
+  EnvVarGuard env("NETLLM_ISA", "turbo9000");
+  EXPECT_THROW(isa::reset_active_isa(), std::invalid_argument);
+  EXPECT_EQ(isa::active_isa(), before);
+}
+
+TEST(IsaDispatch, ActiveTierExportedAsMetricsGauge) {
+  TierGuard guard;
+  nc::metrics::set_enabled(true);
+  isa::set_active_isa(isa::Isa::kScalar);
+  EXPECT_EQ(nc::metrics::gauge("kernels.isa.active").value(),
+            static_cast<double>(isa::Isa::kScalar));
+  isa::set_active_isa(isa::best_isa());
+  EXPECT_EQ(nc::metrics::gauge("kernels.isa.active").value(),
+            static_cast<double>(isa::best_isa()));
+  EXPECT_EQ(nc::metrics::gauge("kernels.isa.best").value(),
+            static_cast<double>(isa::best_isa()));
+}
+
+// ---- per-tier determinism: bitwise across thread counts ----
+
+TEST(IsaTiers, EveryKernelBitwiseThreadInvariantWithinEachTier) {
+  TierGuard guard;
+  Rng rng(0x15a);
+  // Odd shapes straddle the register-tile widths (4-row quads, 64/8-wide
+  // j-blocks, 32-wide k-blocks) so quad/leftover and vector/tail seams are
+  // all exercised; m and k past the row grain so the pool really dispatches.
+  const std::int64_t m = 13, k = 97, n = 75;
+  const auto a = random_vec(m * k, rng);
+  const auto b = random_vec(k * n, rng);
+  const auto bt = random_vec(n * k, rng);
+  const auto bm = random_vec(m * n, rng);
+  const auto q = quant_operands(a, bt, m, k, n);
+
+  for (auto tier : supported_tiers()) {
+    ASSERT_EQ(isa::set_active_isa(tier), tier);
+    const auto serial = run_all_kernels(a, b, bt, bm, q, m, k, n, /*threads=*/0);
+    for (int threads : {1, 2, 8}) {
+      const auto run = run_all_kernels(a, b, bt, bm, q, m, k, n, threads);
+      const std::string ctx =
+          std::string(isa::isa_name(tier)) + " threads=" + std::to_string(threads);
+      EXPECT_TRUE(bitwise_equal(run.c, serial.c)) << "matmul_accum " << ctx;
+      EXPECT_TRUE(bitwise_equal(run.cbt, serial.cbt)) << "matmul_bt_accum " << ctx;
+      EXPECT_TRUE(bitwise_equal(run.cat, serial.cat)) << "matmul_at_accum " << ctx;
+      EXPECT_TRUE(bitwise_equal(run.c8, serial.c8)) << "matmul_q8_accum " << ctx;
+      EXPECT_TRUE(bitwise_equal(run.c4, serial.c4)) << "matmul_q4_accum " << ctx;
+    }
+  }
+}
+
+// ---- forced scalar == the portable reference loops, bitwise ----
+
+namespace {
+
+// Inline re-statement of the scalar tier's fp32 loops (kernels_scalar.cpp):
+// k tiled in blocks of 64, j innermost, plain mul+add. This is also exactly
+// the pre-dispatch kernel minus its zero-skip, so NETLLM_ISA=scalar
+// reproducing these bits means the refactor changed no numerics.
+constexpr std::int64_t kRefKBlock = 64;
+
+void ref_scalar_accum(const float* a, const float* b, float* c, std::int64_t m,
+                      std::int64_t k, std::int64_t n) {
+  for (std::int64_t p0 = 0; p0 < k; p0 += kRefKBlock) {
+    const std::int64_t p1 = std::min(k, p0 + kRefKBlock);
+    for (std::int64_t i = 0; i < m; ++i) {
+      for (std::int64_t p = p0; p < p1; ++p) {
+        const float aip = a[i * k + p];
+        for (std::int64_t j = 0; j < n; ++j) c[i * n + j] += aip * b[p * n + j];
+      }
+    }
+  }
+}
+
+void ref_scalar_bt(const float* a, const float* b, float* c, std::int64_t m,
+                   std::int64_t k, std::int64_t n) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (std::int64_t p = 0; p < k; ++p) acc += a[i * k + p] * b[j * k + p];
+      c[i * n + j] += acc;
+    }
+  }
+}
+
+void ref_scalar_at(const float* a, const float* b, float* c, std::int64_t m,
+                   std::int64_t k, std::int64_t n) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float ap = a[i * k + p];
+      for (std::int64_t j = 0; j < n; ++j) c[p * n + j] += ap * b[i * n + j];
+    }
+  }
+}
+
+}  // namespace
+
+TEST(IsaTiers, ForcedScalarBitwiseMatchesPortableReferenceLoops) {
+  TierGuard guard;
+  EnvVarGuard env("NETLLM_ISA", "scalar");
+  ASSERT_EQ(isa::reset_active_isa(), isa::Isa::kScalar);
+  Rng rng(0x5ca1a);
+  for (auto [m, k, n] : {std::tuple<std::int64_t, std::int64_t, std::int64_t>{1, 512, 33},
+                         {13, 97, 75},
+                         {129, 130, 31}}) {
+    const auto a = random_vec(m * k, rng);
+    const auto b = random_vec(k * n, rng);
+    const auto bt = random_vec(n * k, rng);
+    const auto bm = random_vec(m * n, rng);
+
+    std::vector<float> got(static_cast<std::size_t>(m * n), 0.0f), want = got;
+    nk::matmul_accum_serial(a.data(), b.data(), got.data(), m, k, n);
+    ref_scalar_accum(a.data(), b.data(), want.data(), m, k, n);
+    EXPECT_TRUE(bitwise_equal(got, want)) << "accum m=" << m << " k=" << k << " n=" << n;
+
+    got.assign(static_cast<std::size_t>(m * n), 0.0f);
+    want = got;
+    nk::matmul_bt_accum_serial(a.data(), bt.data(), got.data(), m, k, n);
+    ref_scalar_bt(a.data(), bt.data(), want.data(), m, k, n);
+    EXPECT_TRUE(bitwise_equal(got, want)) << "bt m=" << m << " k=" << k << " n=" << n;
+
+    got.assign(static_cast<std::size_t>(k * n), 0.0f);
+    want = got;
+    nk::matmul_at_accum_serial(a.data(), bm.data(), got.data(), m, k, n);
+    ref_scalar_at(a.data(), bm.data(), want.data(), m, k, n);
+    EXPECT_TRUE(bitwise_equal(got, want)) << "at m=" << m << " k=" << k << " n=" << n;
+  }
+}
+
+// ---- cross-tier contract ----
+
+TEST(IsaTiers, CrossTierF32WithinToleranceQuantBitwise) {
+  TierGuard guard;
+  if (isa::best_isa() == isa::Isa::kScalar) {
+    GTEST_SKIP() << "no vector tier on this host";
+  }
+  Rng rng(0xc105);
+  const std::int64_t m = 9, k = 160, n = 67;
+  const auto a = random_vec(m * k, rng);
+  const auto b = random_vec(k * n, rng);
+  const auto bt = random_vec(n * k, rng);
+  const auto bm = random_vec(m * n, rng);
+  const auto q = quant_operands(a, bt, m, k, n);
+
+  ASSERT_EQ(isa::set_active_isa(isa::Isa::kScalar), isa::Isa::kScalar);
+  const auto sc = run_all_kernels(a, b, bt, bm, q, m, k, n, /*threads=*/0);
+  ASSERT_EQ(isa::set_active_isa(isa::best_isa()), isa::best_isa());
+  const auto vec = run_all_kernels(a, b, bt, bm, q, m, k, n, /*threads=*/0);
+
+  // Pinned cross-tier fp32 tolerance: the tiers differ only in rounding
+  // (FMA fusion + partial-sum association); for N(0,1) data at k <= 160 the
+  // measured gap is ~1e-6 relative — 1e-5 leaves headroom without letting a
+  // real indexing bug through.
+  const auto close = [](const std::vector<float>& x, const std::vector<float>& y,
+                        const char* what) {
+    ASSERT_EQ(x.size(), y.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      ASSERT_NEAR(x[i], y[i], 1e-5 * (std::abs(y[i]) + 1.0)) << what << " at " << i;
+    }
+  };
+  close(vec.c, sc.c, "matmul_accum");
+  close(vec.cbt, sc.cbt, "matmul_bt_accum");
+  close(vec.cat, sc.cat, "matmul_at_accum");
+  // Quantized kernels: exact int dots + fixed float order => bitwise equal.
+  EXPECT_TRUE(bitwise_equal(vec.c8, sc.c8)) << "q8 diverged across tiers";
+  EXPECT_TRUE(bitwise_equal(vec.c4, sc.c4)) << "q4 diverged across tiers";
+}
+
+// ---- NaN/Inf propagation through zero activations (the bugfix) ----
+
+TEST(IsaNanPropagation, ZeroActivationTimesPoisonedWeightReachesC) {
+  TierGuard guard;
+  const std::int64_t m = 5, k = 70, n = 40;
+  for (auto tier : supported_tiers()) {
+    ASSERT_EQ(isa::set_active_isa(tier), tier);
+    for (float poison : {kNaN, kInf}) {
+      // Zero activations everywhere; one poisoned weight row. The product
+      // 0 * NaN (and 0 * Inf) is NaN, and the kernels must not skip it.
+      std::vector<float> a(static_cast<std::size_t>(m * k), 0.0f);
+      std::vector<float> b(static_cast<std::size_t>(k * n), 0.25f);
+      b[static_cast<std::size_t>(37 * n + 11)] = poison;  // row p=37, col j=11
+      std::vector<float> c(static_cast<std::size_t>(m * n), 0.0f);
+      nk::matmul_accum(a.data(), b.data(), c.data(), m, k, n);
+      for (std::int64_t i = 0; i < m; ++i) {
+        EXPECT_TRUE(std::isnan(c[static_cast<std::size_t>(i * n + 11)]))
+            << isa::isa_name(tier) << " poison=" << poison << " row " << i
+            << ": zero activation swallowed the poisoned weight";
+      }
+      // Every untouched column stays exactly zero.
+      for (std::int64_t i = 0; i < m; ++i) {
+        for (std::int64_t j = 0; j < n; ++j) {
+          if (j == 11) continue;
+          EXPECT_EQ(c[static_cast<std::size_t>(i * n + j)], 0.0f);
+        }
+      }
+
+      // Same contract for the A^T kernel (it had the same skip on a[i][p]).
+      std::vector<float> at_a(static_cast<std::size_t>(m * k), 0.0f);
+      std::vector<float> at_b(static_cast<std::size_t>(m * n), 0.25f);
+      at_b[static_cast<std::size_t>(2 * n + 7)] = poison;  // row i=2, col j=7
+      std::vector<float> at_c(static_cast<std::size_t>(k * n), 0.0f);
+      nk::matmul_at_accum(at_a.data(), at_b.data(), at_c.data(), m, k, n);
+      for (std::int64_t p = 0; p < k; ++p) {
+        EXPECT_TRUE(std::isnan(at_c[static_cast<std::size_t>(p * n + 7)]))
+            << isa::isa_name(tier) << " at-kernel poison=" << poison << " row " << p;
+      }
+    }
+  }
+}
+
+namespace {
+
+/// A predictor whose viewports are computed THROUGH matmul_accum with an
+/// all-zero activation against a NaN-poisoned weight matrix — the exact
+/// shape of the swallowed-poison bug: with the old zero-skip the NaN never
+/// reached the output and the guard saw a clean (but wrong) answer.
+class PoisonedMatmulPredictor final : public vp::VpPredictor {
+ public:
+  std::string name() const override { return "poisoned-matmul"; }
+  std::vector<vp::Viewport> predict(std::span<const vp::Viewport> /*history*/,
+                                    const netllm::tensor::Tensor& /*saliency*/,
+                                    int horizon) override {
+    const std::int64_t k = 16, n = 3;
+    std::vector<float> act(static_cast<std::size_t>(k), 0.0f);   // zero activation
+    std::vector<float> w(static_cast<std::size_t>(k * n), kNaN); // poisoned weights
+    std::vector<float> out(static_cast<std::size_t>(n), 0.0f);
+    nk::matmul_accum(act.data(), w.data(), out.data(), 1, k, n);
+    std::vector<vp::Viewport> result(static_cast<std::size_t>(horizon));
+    for (auto& v : result) {
+      v.roll = out[0];
+      v.pitch = out[1];
+      v.yaw = out[2];
+    }
+    return result;
+  }
+};
+
+}  // namespace
+
+TEST(IsaNanPropagation, ServeGuardCatchesPoisonThroughZeroActivation) {
+  TierGuard guard;
+  for (auto tier : supported_tiers()) {
+    ASSERT_EQ(isa::set_active_isa(tier), tier);
+    ad::GuardedVpPredictor guarded(std::make_shared<PoisonedMatmulPredictor>());
+    auto setting = vp::vp_default_train();
+    setting.num_traces = 1;
+    const auto samples = vp::build_dataset(setting, 1);
+    ASSERT_FALSE(samples.empty());
+    const auto pred =
+        guarded.predict(samples[0].history, samples[0].saliency, /*horizon=*/4);
+    // The guard must have seen the NaN, failed validation and served the
+    // finite fallback instead.
+    ASSERT_EQ(pred.size(), 4u) << isa::isa_name(tier);
+    for (const auto& v : pred) {
+      EXPECT_TRUE(std::isfinite(v.roll) && std::isfinite(v.pitch) && std::isfinite(v.yaw))
+          << isa::isa_name(tier);
+    }
+    EXPECT_GE(guarded.counters().fail_invalid, 1) << isa::isa_name(tier);
+    EXPECT_GE(guarded.counters().fallback, 1) << isa::isa_name(tier);
+  }
+}
+
+// ---- whole-decode-stream determinism per tier ----
+
+TEST(IsaDecode, DecodeStreamsDeterministicWithinEachTier) {
+  TierGuard guard;
+  nl::MiniGptConfig cfg;
+  cfg.vocab = nl::Tokenizer().vocab_size();
+  cfg.d_model = 16;
+  cfg.n_heads = 2;
+  cfg.n_layers = 2;
+  cfg.d_ff = 32;
+  cfg.max_seq = 64;
+  const std::vector<int> prompt = {5, 9, 2, 14, 3};
+  for (auto tier : supported_tiers()) {
+    ASSERT_EQ(isa::set_active_isa(tier), tier);
+    Rng rng(0xdec0);
+    nl::MiniGpt gpt(cfg, rng);
+    std::vector<std::vector<int>> streams;
+    for (int threads : {1, 4}) {
+      nc::set_global_threads(threads);
+      const auto uncached = gpt.generate(prompt, 24, /*stop=*/-1, /*use_cache=*/false);
+      const auto cached = gpt.generate(prompt, 24, /*stop=*/-1, /*use_cache=*/true);
+      EXPECT_EQ(uncached, cached)
+          << isa::isa_name(tier) << " threads=" << threads << ": KV cache diverged";
+      streams.push_back(uncached);
+    }
+    ASSERT_EQ(streams.size(), 2u);
+    EXPECT_EQ(streams[0], streams[1])
+        << isa::isa_name(tier) << ": decode stream changed with thread count";
+  }
+}
